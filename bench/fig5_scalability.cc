@@ -1,0 +1,114 @@
+// Figure 5 reproduction: SHP-2 scalability in the distributed setting.
+//
+// (a) Total time (machine-minutes) as a function of |E| for
+//     k ∈ {2, 32, 512, 8192, 131072} on the FB-2B/5B/10B family: the paper
+//     verifies O(|E| · log k). We print the series plus the measured
+//     log-log slope against |E| (expect ≈ 1).
+// (b) Run-time and total time on the largest instance with 4, 8, and 16
+//     machines: run-time drops sublinearly (communication grows), total
+//     time rises — the paper's Fig. 5b.
+#include <cstdio>
+
+#include "common/flags.h"
+#include "common/stats.h"
+#include "engine/distributed_shp.h"
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  using namespace shp;
+  auto flags = Flags::Parse(argc, argv).value();
+  bench::PrintBanner("Figure 5: SHP-2 distributed scalability", flags);
+
+  // -------------------------------------------------------- Fig 5a -----
+  // The paper's x-axis spans FB-2B..FB-10B (5e8..1e10 pins). We grow one
+  // FB-family instance across 8x so |E| actually varies at bench scale;
+  // the label shows the equivalent paper dataset progression.
+  struct SizePoint {
+    std::string label;
+    double extra_scale;
+  };
+  const std::vector<SizePoint> sizes = {{"FB-10B x0.5", 0.5},
+                                        {"FB-10B x1", 1.0},
+                                        {"FB-10B x2", 2.0},
+                                        {"FB-10B x4", 4.0}};
+  std::vector<BucketId> ks = {2, 32, 512, 8192, 131072};
+
+  std::printf("(a) total time (machine-minutes, simulated 4-machine cluster) "
+              "vs |E|\n");
+  TablePrinter table_a({"instance", "|E|", "k=2", "k=32", "k=512", "k=8192",
+                        "k=131072"});
+  std::vector<double> edges;
+  std::vector<double> time_k32;
+  for (const SizePoint& point : sizes) {
+    bench::Instance instance =
+        bench::LoadInstance("FB-10B", point.extra_scale);
+    std::vector<std::string> row = {
+        point.label, TablePrinter::FmtCount(static_cast<long long>(
+                         instance.graph.num_edges()))};
+    for (BucketId k : ks) {
+      if (static_cast<VertexId>(k) * 2 > instance.graph.num_data()) {
+        row.push_back("n/a@scale");
+        continue;
+      }
+      DistributedShpOptions options;
+      options.bsp.num_workers = 4;
+      options.recursive = true;
+      options.recursive_options.seed = 11;
+      const DistributedShpReport report =
+          DistributedShp(options).Run(instance.graph, k);
+      const double machine_minutes = report.simulated.machine_seconds / 60.0;
+      row.push_back(TablePrinter::Fmt(machine_minutes, 3));
+      if (k == 32) {
+        edges.push_back(static_cast<double>(instance.graph.num_edges()));
+        // Slope over the algorithmic (work + communication) cost: at bench
+        // scale the fixed 1 ms barrier dominates the totals above, which
+        // would flatten the slope; at paper scale per-superstep work
+        // dominates and the totals themselves are linear in |E|.
+        CostModelConfig no_barrier;
+        no_barrier.barrier_ns = 0.0;
+        time_k32.push_back(CostModel(no_barrier)
+                               .Total(report.supersteps, 4)
+                               .machine_seconds /
+                           60.0);
+      }
+    }
+    table_a.AddRow(row);
+  }
+  table_a.Print();
+  std::printf("log-log slope of algorithmic (barrier-free) total time vs "
+              "|E| at k=32: %.2f\n(paper: linear, slope ~1; the table above "
+              "includes fixed per-superstep barrier\ncost, which dominates "
+              "at bench scale but vanishes at paper scale)\n\n",
+              LogLogSlope(edges, time_k32));
+
+  // -------------------------------------------------------- Fig 5b -----
+  std::printf("(b) run-time and total time vs cluster size on FB-10B\n");
+  bench::Instance biggest = bench::LoadInstance("FB-10B");
+  const BucketId k_b = static_cast<BucketId>(flags.GetInt("kb", 32));
+  TablePrinter table_b({"#machines", "run-time (min)", "total time (min)",
+                        "speedup vs 4"});
+  double base_runtime = 0.0;
+  for (int machines : {4, 8, 16}) {
+    DistributedShpOptions options;
+    options.bsp.num_workers = machines;
+    options.recursive = true;
+    options.recursive_options.seed = 11;
+    const DistributedShpReport report =
+        DistributedShp(options).Run(biggest.graph, k_b);
+    const double runtime_min = report.simulated.seconds / 60.0;
+    if (machines == 4) base_runtime = runtime_min;
+    table_b.AddRow({std::to_string(machines),
+                    TablePrinter::Fmt(runtime_min, 4),
+                    TablePrinter::Fmt(report.simulated.machine_seconds / 60.0,
+                                      4),
+                    TablePrinter::Fmt(base_runtime /
+                                          std::max(runtime_min, 1e-12),
+                                      2) +
+                        "x"});
+  }
+  table_b.Print();
+  std::printf("\npaper shape: run-time decreases sublinearly with machines "
+              "(communication\ngrows); total time = run-time x machines "
+              "increases.\n");
+  return 0;
+}

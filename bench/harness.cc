@@ -1,0 +1,82 @@
+#include "harness.h"
+
+#include <cstdio>
+
+#include "baseline/label_propagation.h"
+#include "baseline/multilevel.h"
+#include "baseline/random_partitioner.h"
+#include "common/logging.h"
+#include "common/thread_pool.h"
+
+namespace shp::bench {
+
+Instance LoadInstance(const std::string& name, double extra_scale,
+                      uint64_t seed) {
+  Result<DatasetSpec> spec = FindDataset(name);
+  SHP_CHECK(spec.ok()) << spec.status().ToString();
+  Instance instance;
+  instance.name = name;
+  instance.spec = spec.value();
+  const double env_scale = BenchScale();
+  instance.total_scale =
+      instance.spec.default_scale * env_scale * extra_scale;
+  instance.graph =
+      Synthesize(instance.spec, env_scale * extra_scale, seed);
+  return instance;
+}
+
+std::vector<AlgorithmEntry> StandardRoster(uint64_t seed) {
+  std::vector<AlgorithmEntry> roster;
+  roster.push_back({"SHP-k", [seed] {
+                      ShpKOptions options;
+                      options.seed = seed;
+                      return MakeShpK(options);
+                    }});
+  roster.push_back({"SHP-2", [seed] {
+                      RecursiveOptions options;
+                      options.seed = seed;
+                      return MakeShpRecursive(options);
+                    }});
+  roster.push_back({"Multilevel", [seed] {
+                      MultilevelOptions options;
+                      options.seed = seed;
+                      options.memory_budget_bytes = 0;  // quality runs
+                      return MakeMultilevelPartitioner(options);
+                    }});
+  roster.push_back({"LabelProp", [seed] {
+                      LabelPropagationOptions options;
+                      options.seed = seed;
+                      return MakeLabelPropagation(options);
+                    }});
+  return roster;
+}
+
+RunOutcome RunAndEvaluate(Partitioner& partitioner,
+                          const BipartiteGraph& graph, BucketId k) {
+  RunOutcome outcome;
+  Timer timer;
+  Result<std::vector<BucketId>> result =
+      partitioner.Partition(graph, k, &GlobalThreadPool());
+  outcome.wall_seconds = timer.ElapsedSeconds();
+  if (!result.ok()) {
+    outcome.error = result.status().ToString();
+    return outcome;
+  }
+  outcome.ok = true;
+  outcome.assignment = std::move(result).value();
+  outcome.fanout = AverageFanout(graph, outcome.assignment);
+  outcome.imbalance =
+      Partition::FromAssignment(outcome.assignment, k).ImbalanceRatio();
+  return outcome;
+}
+
+void PrintBanner(const std::string& title, const Flags& flags) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf(
+      "scale: SHP_BENCH_SCALE=%.4g (use --scale or the env var to grow "
+      "toward paper-size instances); threads=%zu\n\n",
+      BenchScale(), GlobalThreadPool().num_threads());
+  (void)flags;
+}
+
+}  // namespace shp::bench

@@ -1,0 +1,64 @@
+// Shared plumbing for the table/figure reproduction harnesses: scaled
+// dataset synthesis, the partitioner roster, and run bookkeeping.
+//
+// Scale semantics: every harness generates datasets at
+// catalog_default_scale × SHP_BENCH_SCALE × harness_scale. The default
+// configuration keeps the full `for b in build/bench/*; do $b; done` sweep
+// to a few minutes; SHP_BENCH_SCALE (or --scale) raises it toward
+// paper-sized instances.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/flags.h"
+#include "common/table.h"
+#include "common/timer.h"
+#include "core/shp.h"
+#include "graph/dataset_catalog.h"
+
+namespace shp::bench {
+
+/// A generated instance plus its provenance.
+struct Instance {
+  std::string name;
+  BipartiteGraph graph;
+  DatasetSpec spec;
+  /// Overall scale relative to the paper's instance (catalog × env × local).
+  double total_scale = 1.0;
+};
+
+/// Synthesizes catalog dataset `name` at harness-local `extra_scale`.
+Instance LoadInstance(const std::string& name, double extra_scale = 1.0,
+                      uint64_t seed = 42);
+
+/// The partitioner roster used by Table 2 / Table 3 style comparisons.
+struct AlgorithmEntry {
+  std::string name;
+  std::function<std::unique_ptr<Partitioner>()> make;
+};
+
+/// SHP-k, SHP-2, Multilevel (the Zoltan/Mondriaan/Parkway stand-in),
+/// LabelProp. Random is separate (reference, not a competitor).
+std::vector<AlgorithmEntry> StandardRoster(uint64_t seed);
+
+/// Runs `partitioner` and evaluates fanout; convenience for the harnesses.
+struct RunOutcome {
+  bool ok = false;
+  std::string error;
+  double fanout = 0.0;
+  double imbalance = 0.0;
+  double wall_seconds = 0.0;
+  std::vector<BucketId> assignment;
+};
+
+RunOutcome RunAndEvaluate(Partitioner& partitioner, const BipartiteGraph& graph,
+                          BucketId k);
+
+/// Prints the standard harness banner (scale, threads).
+void PrintBanner(const std::string& title, const Flags& flags);
+
+}  // namespace shp::bench

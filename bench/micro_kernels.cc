@@ -1,0 +1,119 @@
+// google-benchmark microbenches for the hot kernels: neighbor-data build,
+// move-gain computation, one refinement iteration, generator throughput,
+// and the FM pass of the multilevel baseline.
+#include <benchmark/benchmark.h>
+
+#include "baseline/fm_refiner.h"
+#include "core/partition.h"
+#include "core/refiner.h"
+#include "graph/gen_social.h"
+#include "objective/gain.h"
+#include "objective/neighbor_data.h"
+
+namespace shp {
+namespace {
+
+BipartiteGraph MakeGraph(VertexId users, double degree) {
+  SocialGraphConfig config;
+  config.num_users = users;
+  config.avg_degree = degree;
+  config.seed = 77;
+  return GenerateSocialGraph(config);
+}
+
+void BM_NeighborDataBuild(benchmark::State& state) {
+  const BipartiteGraph graph = MakeGraph(20000, 16);
+  const auto assignment =
+      Partition::Random(graph.num_data(), 32, 1).assignment();
+  QueryNeighborData ndata;
+  for (auto _ : state) {
+    ndata.Build(graph, assignment);
+    benchmark::DoNotOptimize(ndata.TotalEntries());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(graph.num_edges()));
+}
+BENCHMARK(BM_NeighborDataBuild)->Unit(benchmark::kMillisecond);
+
+void BM_MoveGainKernel(benchmark::State& state) {
+  const BipartiteGraph graph = MakeGraph(20000, 16);
+  const auto partition = Partition::Random(graph.num_data(), 32, 1);
+  QueryNeighborData ndata;
+  ndata.Build(graph, partition.assignment());
+  const GainComputer gain(0.5,
+                          static_cast<uint32_t>(graph.MaxQueryDegree()));
+  uint64_t v = 0;
+  for (auto _ : state) {
+    const VertexId vertex = static_cast<VertexId>(v++ % graph.num_data());
+    benchmark::DoNotOptimize(gain.MoveGain(
+        graph, ndata, vertex, partition.bucket_of(vertex),
+        (partition.bucket_of(vertex) + 1) % 32));
+  }
+}
+BENCHMARK(BM_MoveGainKernel);
+
+void BM_BestTargetScan(benchmark::State& state) {
+  const BucketId k = static_cast<BucketId>(state.range(0));
+  const BipartiteGraph graph = MakeGraph(20000, 16);
+  const auto partition = Partition::Random(graph.num_data(), k, 1);
+  QueryNeighborData ndata;
+  ndata.Build(graph, partition.assignment());
+  const GainComputer gain(0.5,
+                          static_cast<uint32_t>(graph.MaxQueryDegree()));
+  std::vector<double> affinity(static_cast<size_t>(k), 0.0);
+  std::vector<BucketId> touched;
+  uint64_t v = 0;
+  for (auto _ : state) {
+    const VertexId vertex = static_cast<VertexId>(v++ % graph.num_data());
+    benchmark::DoNotOptimize(
+        gain.FindBestTarget(graph, ndata, vertex,
+                            partition.bucket_of(vertex), 0, k, &affinity,
+                            &touched));
+  }
+}
+BENCHMARK(BM_BestTargetScan)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_RefinerIteration(benchmark::State& state) {
+  const BipartiteGraph graph = MakeGraph(20000, 16);
+  const BucketId k = 32;
+  RefinerOptions options;
+  Refiner refiner(graph, options);
+  const MoveTopology topo = MoveTopology::FullK(k, graph.num_data(), 0.05);
+  uint64_t iteration = 0;
+  Partition partition = Partition::Random(graph.num_data(), k, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        refiner.RunIteration(topo, &partition, 1, iteration++));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(graph.num_edges()));
+}
+BENCHMARK(BM_RefinerIteration)->Unit(benchmark::kMillisecond);
+
+void BM_SocialGenerator(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MakeGraph(10000, 12).num_edges());
+  }
+}
+BENCHMARK(BM_SocialGenerator)->Unit(benchmark::kMillisecond);
+
+void BM_FmPass(benchmark::State& state) {
+  const BipartiteGraph graph = MakeGraph(5000, 10);
+  FmOptions options;
+  options.max_passes = 1;
+  for (auto _ : state) {
+    std::vector<int8_t> side(graph.num_data());
+    for (VertexId v = 0; v < graph.num_data(); ++v) {
+      side[v] = static_cast<int8_t>(v % 2);
+    }
+    benchmark::DoNotOptimize(FmRefineBisection(graph, {}, options, &side));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(graph.num_edges()));
+}
+BENCHMARK(BM_FmPass)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace shp
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// Table 2 reproduction: fanout quality of the partitioner roster across
+// hypergraphs and bucket counts k ∈ {2, 8, 32, 128, 512}.
+//
+// Paper shape to check: no partitioner dominates everywhere; the multilevel
+// family (standing in for Zoltan/Mondriaan) tends to win on web graphs by
+// 10-30%, while SHP is competitive on social/FB-like graphs; SHP-2 trails
+// SHP-k by roughly 5-10%. Random is printed as the no-structure reference.
+#include <cstdio>
+#include <map>
+
+#include "baseline/random_partitioner.h"
+#include "common/flags.h"
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  using namespace shp;
+  auto flags = Flags::Parse(argc, argv).value();
+  bench::PrintBanner("Table 2: fanout quality comparison", flags);
+
+  // Default extra scale keeps the whole grid to a couple of minutes.
+  const double extra_scale = flags.GetDouble("scale", 0.15);
+  const std::vector<std::string> datasets = {
+      "email-Enron", "soc-Epinions", "web-Stanford", "web-BerkStan",
+      "soc-Pokec",   "soc-LJ",       "FB-10M",       "FB-50M"};
+  const std::vector<BucketId> ks = {2, 8, 32, 128, 512};
+
+  auto roster = bench::StandardRoster(/*seed=*/12);
+
+  for (const std::string& dataset : datasets) {
+    bench::Instance instance = bench::LoadInstance(dataset, extra_scale);
+    std::printf("--- %s (|Q|=%u |D|=%u |E|=%llu) ---\n", dataset.c_str(),
+                instance.graph.num_queries(), instance.graph.num_data(),
+                static_cast<unsigned long long>(instance.graph.num_edges()));
+
+    // fanout[algorithm][k]
+    std::map<std::string, std::map<BucketId, double>> fanout;
+    for (BucketId k : ks) {
+      if (static_cast<VertexId>(k) * 2 > instance.graph.num_data()) {
+        continue;  // k too large for this bench scale
+      }
+      for (const auto& entry : roster) {
+        auto partitioner = entry.make();
+        const bench::RunOutcome outcome =
+            bench::RunAndEvaluate(*partitioner, instance.graph, k);
+        if (outcome.ok) fanout[entry.name][k] = outcome.fanout;
+      }
+      auto random = MakeRandomPartitioner({});
+      fanout["Random"][k] =
+          bench::RunAndEvaluate(*random, instance.graph, k).fanout;
+    }
+
+    // Raw fanout table (right half of paper Table 2).
+    std::vector<std::string> headers = {"algorithm"};
+    for (BucketId k : ks) headers.push_back("k=" + std::to_string(k));
+    TablePrinter raw(headers);
+    TablePrinter relative(headers);  // left half: % over best
+    std::vector<std::string> algo_order = {"SHP-k", "SHP-2", "Multilevel",
+                                           "LabelProp", "Random"};
+    for (const auto& algo : algo_order) {
+      std::vector<std::string> raw_row = {algo};
+      std::vector<std::string> rel_row = {algo};
+      for (BucketId k : ks) {
+        const auto it = fanout[algo].find(k);
+        if (it == fanout[algo].end()) {
+          raw_row.push_back("-");
+          rel_row.push_back("-");
+          continue;
+        }
+        raw_row.push_back(TablePrinter::Fmt(it->second, 2));
+        double best = 1e300;
+        for (const auto& other : algo_order) {
+          if (other == "Random") continue;  // reference, not competitor
+          const auto jt = fanout[other].find(k);
+          if (jt != fanout[other].end()) best = std::min(best, jt->second);
+        }
+        rel_row.push_back(algo == "Random"
+                              ? "ref"
+                              : TablePrinter::FmtPercent(
+                                    it->second / best - 1.0, 1));
+      }
+      raw.AddRow(raw_row);
+      relative.AddRow(rel_row);
+    }
+    std::printf("raw fanout:\n");
+    raw.Print();
+    std::printf("relative over best (Random = reference):\n");
+    relative.Print();
+    std::printf("\n");
+  }
+  return 0;
+}

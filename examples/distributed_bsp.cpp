@@ -1,0 +1,73 @@
+// Distributed execution demo: run SHP-2 on the simulated Giraph cluster and
+// inspect what the paper's Fig. 3 pipeline actually does — supersteps,
+// message volumes, the Giraph combining/delta optimizations, and cost-model
+// cluster time for different machine counts.
+//
+//   ./distributed_bsp [--users=15000] [--k=32]
+#include <cstdio>
+
+#include "common/flags.h"
+#include "common/table.h"
+#include "core/shp.h"
+#include "engine/distributed_shp.h"
+#include "graph/gen_social.h"
+
+int main(int argc, char** argv) {
+  using namespace shp;
+  auto flags = Flags::Parse(argc, argv).value();
+  const VertexId users = static_cast<VertexId>(flags.GetInt("users", 15000));
+  const BucketId k = static_cast<BucketId>(flags.GetInt("k", 32));
+
+  SocialGraphConfig config;
+  config.num_users = users;
+  config.avg_degree = 12;
+  const BipartiteGraph graph = GenerateSocialGraph(config);
+  std::printf("hypergraph: |D|=%u |E|=%llu, k=%d\n\n", graph.num_data(),
+              static_cast<unsigned long long>(graph.num_edges()), k);
+
+  TablePrinter table({"machines", "supersteps", "remote msgs", "remote MB",
+                      "sim wall (s)", "machine-sec", "fanout"});
+  for (int machines : {2, 4, 8, 16}) {
+    DistributedShpOptions options;
+    options.bsp.num_workers = machines;
+    options.recursive = true;
+    const DistributedShpReport report =
+        DistributedShp(options).Run(graph, k);
+    table.AddRow(
+        {std::to_string(machines),
+         std::to_string(report.num_supersteps),
+         TablePrinter::FmtCount(
+             static_cast<long long>(report.total_traffic.remote_messages)),
+         TablePrinter::Fmt(report.total_traffic.remote_bytes / 1e6, 2),
+         TablePrinter::Fmt(report.simulated.seconds, 3),
+         TablePrinter::Fmt(report.simulated.machine_seconds, 3),
+         TablePrinter::Fmt(AverageFanout(graph, report.assignment), 3)});
+  }
+  table.Print();
+
+  // Drill into the first iteration's four supersteps on 4 machines.
+  DistributedShpOptions options;
+  options.bsp.num_workers = 4;
+  options.recursive = true;
+  const DistributedShpReport report = DistributedShp(options).Run(graph, k);
+  std::printf("\nfirst iteration, superstep by superstep (Fig. 3):\n");
+  TablePrinter steps({"superstep", "remote msgs", "local msgs", "remote KB",
+                      "max work units"});
+  for (size_t i = 0; i < 4 && i < report.supersteps.size(); ++i) {
+    const SuperstepStats& s = report.supersteps[i];
+    steps.AddRow({s.label,
+                  TablePrinter::FmtCount(static_cast<long long>(
+                      s.traffic.remote_messages)),
+                  TablePrinter::FmtCount(static_cast<long long>(
+                      s.traffic.local_messages)),
+                  TablePrinter::Fmt(s.traffic.remote_bytes / 1e3, 1),
+                  TablePrinter::FmtCount(static_cast<long long>(
+                      s.MaxWork()))});
+  }
+  steps.Print();
+  std::printf(
+      "\nnotes: more machines = less wall time but more communication and "
+      "machine-seconds\n(paper Fig. 5b); superstep 2 dominates traffic, "
+      "bounded by fanout·|E| (§3.3).\n");
+  return 0;
+}

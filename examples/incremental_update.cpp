@@ -1,0 +1,88 @@
+// Incremental re-partitioning (paper §5(i)): a live system cannot reshuffle
+// every record when the graph changes. This example partitions a social
+// graph, grows it by 10% new users and edges, and re-partitions with a
+// movement penalty — comparing quality and churn against a full re-run.
+//
+//   ./incremental_update [--users=20000] [--penalty=0.5]
+#include <cstdio>
+
+#include "common/flags.h"
+#include "common/table.h"
+#include "core/incremental.h"
+#include "core/shp.h"
+#include "graph/gen_social.h"
+
+int main(int argc, char** argv) {
+  using namespace shp;
+  auto flags = Flags::Parse(argc, argv).value();
+  const VertexId users = static_cast<VertexId>(flags.GetInt("users", 20000));
+  const double penalty = flags.GetDouble("penalty", 0.5);
+  const BucketId k = 16;
+
+  // Yesterday's graph and its partition.
+  SocialGraphConfig config;
+  config.num_users = users;
+  config.avg_degree = 12;
+  const BipartiteGraph old_graph = GenerateSocialGraph(config);
+  RecursiveOptions shp2;
+  shp2.k = k;
+  const auto old_assignment = RecursivePartitioner(shp2).Run(old_graph)
+                                  .assignment;
+
+  // Today's graph: 10% more users (same generator, larger n, same seed
+  // family keeps the old community structure as a prefix).
+  config.num_users = static_cast<VertexId>(users * 1.1);
+  const BipartiteGraph new_graph = GenerateSocialGraph(config);
+  std::printf("graph grew: %u -> %u users\n", old_graph.num_data(),
+              new_graph.num_data());
+
+  // Previous assignment, padded with -1 for new vertices.
+  std::vector<BucketId> previous(new_graph.num_data(), -1);
+  for (VertexId v = 0; v < old_graph.num_data(); ++v) {
+    previous[v] = old_assignment[v];
+  }
+
+  TablePrinter table(
+      {"strategy", "fanout", "moved existing", "moved %", "imbalance"});
+  auto add_row = [&](const std::string& name,
+                     const std::vector<BucketId>& assignment) {
+    uint64_t moved = 0;
+    for (VertexId v = 0; v < old_graph.num_data(); ++v) {
+      if (assignment[v] != old_assignment[v]) ++moved;
+    }
+    const PartitionSummary summary =
+        SummarizePartition(new_graph, assignment, k);
+    table.AddRow({name, TablePrinter::Fmt(summary.fanout, 3),
+                  TablePrinter::FmtCount(static_cast<long long>(moved)),
+                  TablePrinter::Fmt(100.0 * moved / old_graph.num_data(), 1),
+                  TablePrinter::Fmt(summary.imbalance, 4)});
+  };
+
+  // Strategy 1: full re-partition from scratch (max quality, max churn).
+  add_row("full re-run",
+          RecursivePartitioner(shp2).Run(new_graph).assignment);
+
+  // Strategy 2: incremental with movement penalty + damped probabilities.
+  IncrementalOptions inc;
+  inc.base.k = k;
+  inc.move_penalty = penalty;
+  inc.probability_damping = 0.5;
+  const IncrementalResult result =
+      IncrementalRepartitioner(inc).Repartition(new_graph, previous);
+  add_row("incremental", result.shp.assignment);
+
+  // Strategy 3: do nothing (keep old buckets, new vertices least-loaded).
+  IncrementalOptions frozen = inc;
+  frozen.base.max_iterations = 0;
+  add_row("frozen",
+          IncrementalRepartitioner(frozen)
+              .Repartition(new_graph, previous)
+              .shp.assignment);
+
+  table.Print();
+  std::printf(
+      "\nincremental keeps most records in place (bounded migration) while "
+      "recovering\nmost of the fanout quality of a full re-run — paper "
+      "§5(i).\n");
+  return 0;
+}

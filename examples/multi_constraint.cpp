@@ -1,0 +1,85 @@
+// Multi-dimensional balance (paper §5(ii)): storage servers must balance
+// several resources at once (record count, storage bytes, read QPS). SHP
+// oversamples to c·k buckets balanced on one dimension, then merges to k
+// buckets balancing all dimensions.
+//
+//   ./multi_constraint [--users=15000] [--k=8] [--oversample=8]
+#include <cstdio>
+
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "core/multidim.h"
+#include "core/shp.h"
+#include "graph/gen_social.h"
+
+int main(int argc, char** argv) {
+  using namespace shp;
+  auto flags = Flags::Parse(argc, argv).value();
+  const VertexId users = static_cast<VertexId>(flags.GetInt("users", 15000));
+  const BucketId k = static_cast<BucketId>(flags.GetInt("k", 8));
+  const int oversample = static_cast<int>(flags.GetInt("oversample", 8));
+
+  SocialGraphConfig config;
+  config.num_users = users;
+  config.avg_degree = 12;
+  const BipartiteGraph graph = GenerateSocialGraph(config);
+
+  // Three per-record dimensions: count (1), storage bytes (heavy-tailed),
+  // read rate (correlated with degree — hot users are read more).
+  const int dims = 3;
+  std::vector<double> weights(static_cast<size_t>(graph.num_data()) * dims);
+  Rng rng(11);
+  for (VertexId v = 0; v < graph.num_data(); ++v) {
+    weights[v * dims + 0] = 1.0;
+    weights[v * dims + 1] = 1.0 + rng.NextExponential() * 9.0;  // bytes
+    weights[v * dims + 2] =
+        1.0 + static_cast<double>(graph.DataDegree(v));  // read QPS
+  }
+
+  MultiDimOptions options;
+  options.k = k;
+  options.oversample = oversample;
+  const MultiDimResult result =
+      MultiDimBalancer(options).Run(graph, weights, dims);
+
+  // Compare against plain SHP (balances record count only).
+  RecursiveOptions plain;
+  plain.k = k;
+  const auto plain_assignment =
+      RecursivePartitioner(plain).Run(graph).assignment;
+  auto imbalance_of = [&](const std::vector<BucketId>& assignment, int d) {
+    std::vector<double> load(static_cast<size_t>(k), 0.0);
+    double total = 0.0;
+    for (VertexId v = 0; v < graph.num_data(); ++v) {
+      load[static_cast<size_t>(assignment[v])] += weights[v * dims + d];
+      total += weights[v * dims + d];
+    }
+    double biggest = 0.0;
+    for (double x : load) biggest = std::max(biggest, x);
+    return biggest / (total / k) - 1.0;
+  };
+
+  TablePrinter table({"method", "fanout", "imb(count)", "imb(bytes)",
+                      "imb(reads)"});
+  const PartitionSummary plain_summary =
+      SummarizePartition(graph, plain_assignment, k);
+  table.AddRow({"SHP (1-dim)", TablePrinter::Fmt(plain_summary.fanout, 3),
+                TablePrinter::Fmt(imbalance_of(plain_assignment, 0), 3),
+                TablePrinter::Fmt(imbalance_of(plain_assignment, 1), 3),
+                TablePrinter::Fmt(imbalance_of(plain_assignment, 2), 3)});
+  const PartitionSummary multi_summary =
+      SummarizePartition(graph, result.assignment, k);
+  table.AddRow(
+      {"SHP + merge (" + std::to_string(oversample) + "x)",
+       TablePrinter::Fmt(multi_summary.fanout, 3),
+       TablePrinter::Fmt(result.imbalance[0], 3),
+       TablePrinter::Fmt(result.imbalance[1], 3),
+       TablePrinter::Fmt(result.imbalance[2], 3)});
+  table.Print();
+  std::printf(
+      "\nthe c·k merge trades a little fanout for balance across all "
+      "dimensions\n(paper §5(ii): strict multi-dimension balance during "
+      "search harms quality).\n");
+  return 0;
+}

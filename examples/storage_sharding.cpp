@@ -1,0 +1,74 @@
+// Storage sharding end to end — the paper's motivating application (§1,
+// §4.2.1): place a social network's data records on servers so multi-get
+// queries touch few servers, then measure simulated query latency under
+// random vs SHP sharding.
+//
+//   ./storage_sharding [--servers=40] [--users=30000] [--requests=100000]
+#include <cstdio>
+
+#include "common/flags.h"
+#include "common/table.h"
+#include "core/shp.h"
+#include "graph/gen_social.h"
+#include "sharding/kv_cluster.h"
+#include "sharding/traffic_replay.h"
+
+int main(int argc, char** argv) {
+  using namespace shp;
+  auto flags = Flags::Parse(argc, argv).value();
+  const BucketId servers =
+      static_cast<BucketId>(flags.GetInt("servers", 40));
+  const VertexId users =
+      static_cast<VertexId>(flags.GetInt("users", 30000));
+
+  // The workload: rendering a user's page fetches the user's record plus
+  // all friends' records — hyperedge(u) = {u} ∪ friends(u).
+  SocialGraphConfig social;
+  social.num_users = users;
+  social.avg_degree = 40;
+  const BipartiteGraph graph = GenerateSocialGraph(social);
+  std::printf("social graph: %u users, %llu pins\n", graph.num_data(),
+              static_cast<unsigned long long>(graph.num_edges()));
+
+  // Sharding A: random placement (what a hash shard gives you).
+  const auto random_assignment =
+      Partition::BalancedRandom(graph.num_data(), servers, 7).assignment();
+  // Sharding B: SHP-2 fanout minimization.
+  RecursiveOptions options;
+  options.k = servers;
+  const auto shp_assignment = RecursivePartitioner(options).Run(graph)
+                                  .assignment;
+
+  // Replay identical traffic against both layouts of a simulated cluster.
+  KvClusterConfig cluster_config;
+  cluster_config.num_servers = static_cast<uint32_t>(servers);
+  ReplayConfig replay;
+  replay.num_requests =
+      static_cast<uint64_t>(flags.GetInt("requests", 100000));
+
+  const ReplayReport random_report = ReplayTraffic(
+      graph, KvClusterSim(cluster_config, random_assignment), replay);
+  const ReplayReport shp_report = ReplayTraffic(
+      graph, KvClusterSim(cluster_config, shp_assignment), replay);
+
+  TablePrinter table({"sharding", "avg fanout", "avg latency", "p99@f=10"});
+  auto p99 = [](const ReplayReport& r, size_t f) {
+    return f < r.p99_latency_by_fanout.size() ? r.p99_latency_by_fanout[f]
+                                              : 0.0;
+  };
+  table.AddRow({"random", TablePrinter::Fmt(random_report.average_fanout, 1),
+                TablePrinter::Fmt(random_report.average_latency, 3),
+                TablePrinter::Fmt(p99(random_report, 10), 3)});
+  table.AddRow({"SHP", TablePrinter::Fmt(shp_report.average_fanout, 1),
+                TablePrinter::Fmt(shp_report.average_latency, 3),
+                TablePrinter::Fmt(p99(shp_report, 10), 3)});
+  table.Print();
+
+  std::printf(
+      "\nSHP sharding answers the same queries with %.1fx lower average "
+      "latency\n(paper reports ~2x at fanout 40 -> 10, plus >50%% in "
+      "production; §4.2.1).\n",
+      random_report.average_latency /
+          std::max(1e-9, shp_report.average_latency));
+  return 0;
+}

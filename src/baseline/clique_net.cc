@@ -1,0 +1,82 @@
+#include "baseline/clique_net.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace shp {
+
+WeightedGraph BuildCliqueNet(const BipartiteGraph& graph,
+                             const CliqueNetOptions& options) {
+  // Accumulate weighted pairs (u < v), then fold duplicates.
+  std::vector<std::pair<uint64_t, uint32_t>> pairs;  // (packed uv, weight)
+  auto pack = [](VertexId u, VertexId v) {
+    if (u > v) std::swap(u, v);
+    return (static_cast<uint64_t>(u) << 32) | v;
+  };
+
+  for (VertexId q = 0; q < graph.num_queries(); ++q) {
+    auto nbrs = graph.QueryNeighbors(q);
+    const size_t d = nbrs.size();
+    if (d < 2) continue;
+    if (d <= options.max_clique_degree) {
+      for (size_t i = 0; i < d; ++i) {
+        for (size_t j = i + 1; j < d; ++j) {
+          pairs.emplace_back(pack(nbrs[i], nbrs[j]), 1);
+        }
+      }
+    } else {
+      // Sampled expansion: ring (connectivity) + random chords, with edge
+      // weight scaled so total expanded weight ≈ d(d-1)/2.
+      const uint64_t kept = 2 * d;  // ring d + chords d
+      const double full = static_cast<double>(d) * (d - 1) / 2.0;
+      const uint32_t weight = static_cast<uint32_t>(
+          std::max(1.0, full / static_cast<double>(kept)));
+      for (size_t i = 0; i < d; ++i) {
+        pairs.emplace_back(pack(nbrs[i], nbrs[(i + 1) % d]), weight);
+        const size_t other = HashToBounded(options.seed, q, i, d);
+        if (other != i) {
+          pairs.emplace_back(pack(nbrs[i], nbrs[other]), weight);
+        }
+      }
+    }
+  }
+
+  std::sort(pairs.begin(), pairs.end());
+  // Fold duplicate pairs, summing weights.
+  size_t write = 0;
+  for (size_t read = 0; read < pairs.size(); ++read) {
+    if (write > 0 && pairs[write - 1].first == pairs[read].first) {
+      pairs[write - 1].second += pairs[read].second;
+    } else {
+      pairs[write++] = pairs[read];
+    }
+  }
+  pairs.resize(write);
+
+  // Symmetric CSR.
+  WeightedGraph out;
+  const VertexId n = graph.num_data();
+  out.offsets.assign(n + 1, 0);
+  for (const auto& [key, w] : pairs) {
+    ++out.offsets[(key >> 32) + 1];
+    ++out.offsets[(key & 0xffffffffULL) + 1];
+  }
+  for (size_t i = 1; i < out.offsets.size(); ++i) {
+    out.offsets[i] += out.offsets[i - 1];
+  }
+  out.adjacency.resize(out.offsets.back());
+  out.weights.resize(out.offsets.back());
+  std::vector<uint64_t> cursor(out.offsets.begin(), out.offsets.end() - 1);
+  for (const auto& [key, w] : pairs) {
+    const VertexId u = static_cast<VertexId>(key >> 32);
+    const VertexId v = static_cast<VertexId>(key & 0xffffffffULL);
+    out.adjacency[cursor[u]] = v;
+    out.weights[cursor[u]++] = w;
+    out.adjacency[cursor[v]] = u;
+    out.weights[cursor[v]++] = w;
+  }
+  return out;
+}
+
+}  // namespace shp

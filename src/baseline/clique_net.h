@@ -1,0 +1,44 @@
+// Clique-net expansion: the weighted unipartite graph over data vertices
+// where w(u, v) = number of shared queries (paper Lemma 2). Used by the
+// multilevel baseline's heavy-edge coarsening.
+//
+// As the paper notes (§3.1), a hyperedge over Ω(n) vertices expands to Ω(n²)
+// clique edges, so practical implementations sample large hyperedges; we
+// keep each query's expansion at most `max_clique_degree` pairs (a ring plus
+// random chords — connectivity preserved, weight approximated). This very
+// workaround is what Lemma 2 makes unnecessary for SHP itself.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+
+namespace shp {
+
+struct CliqueNetOptions {
+  /// Queries with degree above this are sampled instead of fully expanded.
+  uint32_t max_clique_degree = 32;
+  uint64_t seed = 23;
+};
+
+/// Weighted undirected adjacency (CSR) over data vertices.
+struct WeightedGraph {
+  std::vector<uint64_t> offsets;   // num_vertices + 1
+  std::vector<VertexId> adjacency;
+  std::vector<uint32_t> weights;   // parallel to adjacency
+
+  VertexId num_vertices() const {
+    return offsets.empty() ? 0 : static_cast<VertexId>(offsets.size() - 1);
+  }
+  uint64_t num_edges() const { return adjacency.size(); }  // directed count
+  size_t MemoryBytes() const {
+    return offsets.size() * sizeof(uint64_t) +
+           adjacency.size() * (sizeof(VertexId) + sizeof(uint32_t));
+  }
+};
+
+WeightedGraph BuildCliqueNet(const BipartiteGraph& graph,
+                             const CliqueNetOptions& options = {});
+
+}  // namespace shp

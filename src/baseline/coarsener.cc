@@ -1,0 +1,91 @@
+#include "baseline/coarsener.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "graph/graph_builder.h"
+
+namespace shp {
+
+CoarseLevel CoarsenOnce(const BipartiteGraph& graph,
+                        const std::vector<uint32_t>& fine_weight,
+                        const CoarsenOptions& options) {
+  const VertexId n = graph.num_data();
+  const WeightedGraph clique = BuildCliqueNet(graph, options.clique);
+
+  // Heavy-edge matching in randomized vertex order.
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(options.seed);
+  std::shuffle(order.begin(), order.end(), rng);
+
+  std::vector<VertexId> match(n, kInvalidVertex);
+  for (VertexId u : order) {
+    if (match[u] != kInvalidVertex) continue;
+    VertexId best = kInvalidVertex;
+    uint32_t best_weight = 0;
+    for (uint64_t e = clique.offsets[u]; e < clique.offsets[u + 1]; ++e) {
+      const VertexId v = clique.adjacency[e];
+      if (v == u || match[v] != kInvalidVertex) continue;
+      if (clique.weights[e] > best_weight ||
+          (clique.weights[e] == best_weight && best != kInvalidVertex &&
+           v < best)) {
+        best = v;
+        best_weight = clique.weights[e];
+      }
+    }
+    if (best != kInvalidVertex) {
+      match[u] = best;
+      match[best] = u;
+    } else {
+      match[u] = u;  // stays single
+    }
+  }
+
+  CoarseLevel level;
+  level.fine_to_coarse.assign(n, kInvalidVertex);
+  VertexId next_coarse = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (level.fine_to_coarse[v] != kInvalidVertex) continue;
+    level.fine_to_coarse[v] = next_coarse;
+    if (match[v] != v && match[v] != kInvalidVertex) {
+      level.fine_to_coarse[match[v]] = next_coarse;
+    }
+    ++next_coarse;
+  }
+
+  level.vertex_weight.assign(next_coarse, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    const uint32_t w = fine_weight.empty() ? 1 : fine_weight[v];
+    level.vertex_weight[level.fine_to_coarse[v]] += w;
+  }
+
+  GraphBuilder builder(graph.num_queries(), next_coarse);
+  for (VertexId q = 0; q < graph.num_queries(); ++q) {
+    for (VertexId v : graph.QueryNeighbors(q)) {
+      builder.AddEdge(q, level.fine_to_coarse[v]);
+    }
+  }
+  GraphBuilder::Options build_options;
+  build_options.drop_trivial_queries = true;  // collapsed hyperedges are inert
+  level.graph = builder.Build(build_options);
+
+  level.memory_bytes = level.graph.MemoryBytes() + clique.MemoryBytes() +
+                       level.fine_to_coarse.size() * sizeof(VertexId) +
+                       level.vertex_weight.size() * sizeof(uint32_t);
+  // Un-sampled accounting: every query of the *input* level expands into
+  // d(d-1)/2 weighted pairs at 12 bytes (two endpoints + weight).
+  uint64_t full_pairs = 0;
+  for (VertexId q = 0; q < graph.num_queries(); ++q) {
+    const uint64_t d = graph.QueryDegree(q);
+    full_pairs += d * (d - 1) / 2;
+  }
+  level.modeled_full_bytes =
+      graph.MemoryBytes() + full_pairs * 12 +
+      level.fine_to_coarse.size() * sizeof(VertexId);
+  return level;
+}
+
+}  // namespace shp

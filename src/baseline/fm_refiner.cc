@@ -1,0 +1,198 @@
+#include "baseline/fm_refiner.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace shp {
+
+namespace {
+
+/// Bucket-list priority structure over integer gains in
+/// [-max_gain, +max_gain]; supports O(1) push/update and O(range) max pop.
+class GainBuckets {
+ public:
+  GainBuckets(VertexId n, int64_t max_gain)
+      : max_gain_(max_gain),
+        buckets_(static_cast<size_t>(2 * max_gain + 1)),
+        where_(n, {-1, 0}),
+        current_max_(-max_gain) {}
+
+  void Insert(VertexId v, int64_t gain) {
+    const int64_t idx = Clamp(gain);
+    auto& bucket = buckets_[static_cast<size_t>(idx + max_gain_)];
+    where_[v] = {idx, bucket.size()};
+    bucket.push_back(v);
+    current_max_ = std::max(current_max_, idx);
+  }
+
+  void Remove(VertexId v) {
+    const auto [idx, pos] = where_[v];
+    if (idx == kAbsent) return;
+    auto& bucket = buckets_[static_cast<size_t>(idx + max_gain_)];
+    // Swap-remove, fixing the moved vertex's position.
+    bucket[pos] = bucket.back();
+    where_[bucket[pos]].second = pos;
+    bucket.pop_back();
+    where_[v] = {kAbsent, 0};
+  }
+
+  void Update(VertexId v, int64_t gain) {
+    Remove(v);
+    Insert(v, gain);
+  }
+
+  /// Highest-gain vertex satisfying `movable`, or kInvalidVertex.
+  template <typename Pred>
+  VertexId PopBest(const Pred& movable) {
+    while (current_max_ >= -max_gain_) {
+      auto& bucket = buckets_[static_cast<size_t>(current_max_ + max_gain_)];
+      // Scan the top bucket for a movable vertex.
+      for (size_t i = bucket.size(); i-- > 0;) {
+        const VertexId v = bucket[i];
+        if (movable(v)) {
+          Remove(v);
+          return v;
+        }
+      }
+      --current_max_;
+    }
+    return kInvalidVertex;
+  }
+
+ private:
+  static constexpr int64_t kAbsent = std::numeric_limits<int64_t>::min();
+
+  int64_t Clamp(int64_t gain) const {
+    return std::clamp(gain, -max_gain_, max_gain_);
+  }
+
+  int64_t max_gain_;
+  std::vector<std::vector<VertexId>> buckets_;
+  std::vector<std::pair<int64_t, size_t>> where_;  // (gain idx, position)
+  int64_t current_max_;
+};
+
+}  // namespace
+
+int64_t FmRefineBisection(const BipartiteGraph& graph,
+                          const std::vector<uint32_t>& weight,
+                          const FmOptions& options,
+                          std::vector<int8_t>* side_ptr) {
+  std::vector<int8_t>& side = *side_ptr;
+  const VertexId n = graph.num_data();
+  SHP_CHECK_EQ(side.size(), n);
+
+  auto weight_of = [&weight](VertexId v) -> uint64_t {
+    return weight.empty() ? 1 : weight[v];
+  };
+  uint64_t total_weight = 0;
+  uint64_t side_weight[2] = {0, 0};
+  for (VertexId v = 0; v < n; ++v) {
+    total_weight += weight_of(v);
+    side_weight[static_cast<size_t>(side[v])] += weight_of(v);
+  }
+  const double f = std::clamp(options.target_left_fraction, 0.05, 0.95);
+  const uint64_t max_side_limit[2] = {
+      static_cast<uint64_t>((1.0 + options.epsilon) *
+                            static_cast<double>(total_weight) * f),
+      static_cast<uint64_t>((1.0 + options.epsilon) *
+                            static_cast<double>(total_weight) * (1.0 - f))};
+
+  // Per-query side counts.
+  std::vector<uint32_t> count0(graph.num_queries(), 0);
+  std::vector<uint32_t> count1(graph.num_queries(), 0);
+  for (VertexId q = 0; q < graph.num_queries(); ++q) {
+    for (VertexId v : graph.QueryNeighbors(q)) {
+      (side[v] == 0 ? count0[q] : count1[q])++;
+    }
+  }
+
+  auto gain_of = [&](VertexId v) -> int64_t {
+    int64_t gain = 0;
+    for (VertexId q : graph.DataNeighbors(v)) {
+      const uint32_t here = side[v] == 0 ? count0[q] : count1[q];
+      const uint32_t there = side[v] == 0 ? count1[q] : count0[q];
+      if (here == 1) ++gain;    // vacates this side: fanout -1
+      if (there == 0) --gain;   // opens the other side: fanout +1
+    }
+    return gain;
+  };
+
+  const int64_t max_gain =
+      static_cast<int64_t>(std::max<EdgeIndex>(1, graph.MaxDataDegree()));
+  int64_t total_improvement = 0;
+
+  for (uint32_t pass = 0; pass < options.max_passes; ++pass) {
+    GainBuckets buckets(n, max_gain);
+    std::vector<uint8_t> locked(n, 0);
+    for (VertexId v = 0; v < n; ++v) buckets.Insert(v, gain_of(v));
+
+    struct MoveRecord {
+      VertexId vertex;
+      int64_t gain;
+    };
+    std::vector<MoveRecord> sequence;
+    int64_t running = 0, best_running = 0;
+    size_t best_prefix = 0;
+    uint32_t stall = 0;
+
+    for (;;) {
+      const VertexId v = buckets.PopBest([&](VertexId u) {
+        const int8_t target = static_cast<int8_t>(1 - side[u]);
+        return !locked[u] &&
+               side_weight[static_cast<size_t>(target)] + weight_of(u) <=
+                   max_side_limit[static_cast<size_t>(target)];
+      });
+      if (v == kInvalidVertex) break;
+      const int64_t gain = gain_of(v);
+      const int8_t from = side[v];
+      const int8_t to = static_cast<int8_t>(1 - from);
+
+      // Execute the move and update query counts + neighbor gains.
+      side[v] = to;
+      side_weight[static_cast<size_t>(from)] -= weight_of(v);
+      side_weight[static_cast<size_t>(to)] += weight_of(v);
+      locked[v] = 1;
+      for (VertexId q : graph.DataNeighbors(v)) {
+        (from == 0 ? count0[q] : count1[q])--;
+        (to == 0 ? count0[q] : count1[q])++;
+        for (VertexId u : graph.QueryNeighbors(q)) {
+          if (!locked[u]) buckets.Update(u, gain_of(u));
+        }
+      }
+
+      sequence.push_back({v, gain});
+      running += gain;
+      if (running > best_running) {
+        best_running = running;
+        best_prefix = sequence.size();
+        stall = 0;
+      } else if (options.stall_limit > 0 &&
+                 ++stall >= options.stall_limit) {
+        break;
+      }
+    }
+
+    // Roll back everything past the best prefix.
+    for (size_t i = sequence.size(); i-- > best_prefix;) {
+      const VertexId v = sequence[i].vertex;
+      const int8_t from = side[v];
+      const int8_t to = static_cast<int8_t>(1 - from);
+      side[v] = to;
+      side_weight[static_cast<size_t>(from)] -= weight_of(v);
+      side_weight[static_cast<size_t>(to)] += weight_of(v);
+      for (VertexId q : graph.DataNeighbors(v)) {
+        (from == 0 ? count0[q] : count1[q])--;
+        (to == 0 ? count0[q] : count1[q])++;
+      }
+    }
+
+    total_improvement += best_running;
+    if (best_running == 0) break;  // pass converged
+  }
+  return total_improvement;
+}
+
+}  // namespace shp

@@ -1,0 +1,40 @@
+// Fiduccia–Mattheyses boundary refinement for weighted bisection,
+// optimizing exact fanout (the k=2 case of the paper's objective).
+//
+// Classic FM: one pass moves every vertex at most once, always the
+// highest-gain movable vertex (bucket-indexed gain structure, O(1)
+// updates); the best prefix of the move sequence is kept. Gains are exact
+// fanout deltas: moving v from side A to B improves a query q by 1 when v
+// was q's last A-side member, and worsens it by 1 when q had no B-side
+// member ("cut net" bookkeeping, Fiduccia & Mattheyses 1982 / hMetis).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "objective/neighbor_data.h"
+
+namespace shp {
+
+struct FmOptions {
+  /// Per-side weight ceiling: side0 ≤ (1+ε)·total·target_left_fraction,
+  /// side1 ≤ (1+ε)·total·(1 − target_left_fraction).
+  double epsilon = 0.05;
+  /// Fraction of total weight targeted at side 0 (recursive bisection with
+  /// uneven leaf counts sets this to leaves_left / leaves_total).
+  double target_left_fraction = 0.5;
+  /// FM passes (each pass is a full move sequence + rollback).
+  uint32_t max_passes = 8;
+  /// Abort a pass after this many consecutive non-improving moves
+  /// (classic early exit; 0 = no limit).
+  uint32_t stall_limit = 512;
+};
+
+/// Refines a bisection in place. side[v] ∈ {0, 1}; weight[v] ≥ 1 (pass {}
+/// for all-ones). Returns the total fanout improvement achieved.
+int64_t FmRefineBisection(const BipartiteGraph& graph,
+                          const std::vector<uint32_t>& weight,
+                          const FmOptions& options, std::vector<int8_t>* side);
+
+}  // namespace shp

@@ -1,0 +1,36 @@
+#include "baseline/hash_partitioner.h"
+
+#include "common/rng.h"
+
+namespace shp {
+
+namespace {
+
+class HashPartitioner : public Partitioner {
+ public:
+  explicit HashPartitioner(uint64_t salt) : salt_(salt) {}
+
+  std::string name() const override { return "Hash"; }
+
+  Result<std::vector<BucketId>> Partition(const BipartiteGraph& graph,
+                                          BucketId k, ThreadPool*) override {
+    if (k < 1) return Status::InvalidArgument("k must be ≥ 1");
+    std::vector<BucketId> assignment(graph.num_data());
+    for (VertexId v = 0; v < graph.num_data(); ++v) {
+      assignment[v] = static_cast<BucketId>(
+          HashToBounded(salt_, v, 0xcafe, static_cast<uint64_t>(k)));
+    }
+    return assignment;
+  }
+
+ private:
+  uint64_t salt_;
+};
+
+}  // namespace
+
+std::unique_ptr<Partitioner> MakeHashPartitioner(uint64_t salt) {
+  return std::make_unique<HashPartitioner>(salt);
+}
+
+}  // namespace shp

@@ -1,0 +1,13 @@
+// Deterministic hash (modulo) sharding — what production systems do before
+// adopting graph-aware placement; equivalent in expectation to random.
+#pragma once
+
+#include <memory>
+
+#include "core/shp.h"
+
+namespace shp {
+
+std::unique_ptr<Partitioner> MakeHashPartitioner(uint64_t salt = 0);
+
+}  // namespace shp

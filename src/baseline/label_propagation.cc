@@ -1,0 +1,77 @@
+#include "baseline/label_propagation.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "core/move_topology.h"
+#include "core/partition.h"
+
+namespace shp {
+
+namespace {
+
+class LabelPropagationPartitioner : public Partitioner {
+ public:
+  explicit LabelPropagationPartitioner(const LabelPropagationOptions& options)
+      : options_(options) {}
+
+  std::string name() const override { return "LabelProp"; }
+
+  Result<std::vector<BucketId>> Partition(const BipartiteGraph& graph,
+                                          BucketId k, ThreadPool*) override {
+    if (k < 2) return Status::InvalidArgument("k must be ≥ 2");
+    const VertexId n = graph.num_data();
+    ::shp::Partition partition = ::shp::Partition::Random(n, k, options_.seed);
+    const uint64_t capacity = MoveTopology::BucketCapacity(
+        n, k, /*leaves=*/1, options_.epsilon);
+
+    std::unordered_map<BucketId, uint32_t> votes;
+    for (uint32_t iter = 0; iter < options_.max_iterations; ++iter) {
+      uint64_t moves = 0;
+      for (VertexId v = 0; v < n; ++v) {
+        votes.clear();
+        // Vote: buckets of all co-query neighbors, weighted by co-occurrence.
+        for (VertexId q : graph.DataNeighbors(v)) {
+          for (VertexId u : graph.QueryNeighbors(q)) {
+            if (u == v) continue;
+            ++votes[partition.bucket_of(u)];
+          }
+        }
+        const BucketId from = partition.bucket_of(v);
+        BucketId best = from;
+        uint32_t best_votes = votes.count(from) ? votes[from] : 0;
+        for (const auto& [bucket, count] : votes) {
+          const bool better =
+              count > best_votes ||
+              // Deterministic tie-break toward the smaller bucket id.
+              (count == best_votes && bucket < best);
+          if (better &&
+              (bucket == from ||
+               partition.bucket_size(bucket) < capacity)) {
+            best = bucket;
+            best_votes = count;
+          }
+        }
+        if (best != from) {
+          partition.Move(v, best);
+          ++moves;
+        }
+      }
+      if (moves == 0) break;
+    }
+    return partition.assignment();
+  }
+
+ private:
+  LabelPropagationOptions options_;
+};
+
+}  // namespace
+
+std::unique_ptr<Partitioner> MakeLabelPropagation(
+    const LabelPropagationOptions& options) {
+  return std::make_unique<LabelPropagationPartitioner>(options);
+}
+
+}  // namespace shp

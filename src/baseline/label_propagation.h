@@ -1,0 +1,26 @@
+// Size-constrained label propagation partitioner.
+//
+// A lightweight distributed-style baseline: every data vertex repeatedly
+// adopts the bucket that the plurality of its co-query neighbors occupy,
+// subject to bucket capacities. This is the technique used for partitioning
+// in several large-scale systems and as the coarsening engine of modern
+// multilevel partitioners; it converges fast but has no objective-aware
+// tie-breaking, so SHP should dominate it on fanout.
+#pragma once
+
+#include <memory>
+
+#include "core/shp.h"
+
+namespace shp {
+
+struct LabelPropagationOptions {
+  uint32_t max_iterations = 20;
+  double epsilon = 0.05;
+  uint64_t seed = 17;
+};
+
+std::unique_ptr<Partitioner> MakeLabelPropagation(
+    const LabelPropagationOptions& options = {});
+
+}  // namespace shp

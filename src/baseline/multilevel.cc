@@ -1,0 +1,182 @@
+#include "baseline/multilevel.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "graph/subgraph.h"
+
+namespace shp {
+
+namespace {
+
+/// One full multilevel bisection of `graph` with vertex weights `weight`.
+/// Returns sides (0/1) per data vertex, or an error if the hierarchy blows
+/// the memory budget.
+Result<std::vector<int8_t>> MultilevelBisect(
+    const BipartiteGraph& graph, const std::vector<uint32_t>& weight,
+    const MultilevelOptions& options, uint64_t* peak_memory) {
+  // --- Coarsening phase ---
+  struct Level {
+    CoarseLevel coarse;
+  };
+  std::vector<Level> hierarchy;
+  const BipartiteGraph* current = &graph;
+  std::vector<uint32_t> current_weight = weight;
+  uint64_t memory = graph.MemoryBytes();
+
+  for (uint32_t level = 0; level < options.max_levels; ++level) {
+    if (current->num_data() <= options.coarsest_size) break;
+    CoarsenOptions coarsen = options.coarsen;
+    coarsen.seed = options.coarsen.seed + level;
+    CoarseLevel next = CoarsenOnce(*current, current_weight, coarsen);
+    memory += options.full_expansion_accounting ? next.modeled_full_bytes
+                                                : next.memory_bytes;
+    if (options.memory_budget_bytes > 0 &&
+        memory > options.memory_budget_bytes) {
+      return Status::OutOfRange(
+          "multilevel hierarchy exceeds memory budget (" +
+          std::to_string(memory) + " > " +
+          std::to_string(options.memory_budget_bytes) + " bytes)");
+    }
+    // Stalled coarsening (matching found nothing) — stop here.
+    if (next.graph.num_data() >= current->num_data()) break;
+    current_weight = next.vertex_weight;
+    hierarchy.push_back({std::move(next)});
+    current = &hierarchy.back().coarse.graph;
+  }
+  if (peak_memory != nullptr) *peak_memory = std::max(*peak_memory, memory);
+
+  // --- Initial partition of the coarsest level: LPT greedy by weight ---
+  const BipartiteGraph& coarsest = *current;
+  std::vector<int8_t> side(coarsest.num_data(), 0);
+  {
+    std::vector<VertexId> order(coarsest.num_data());
+    std::iota(order.begin(), order.end(), 0);
+    auto weight_of = [&current_weight](VertexId v) -> uint64_t {
+      return current_weight.empty() ? 1 : current_weight[v];
+    };
+    std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+      if (weight_of(a) != weight_of(b)) return weight_of(a) > weight_of(b);
+      return a < b;
+    });
+    const double f = options.fm.target_left_fraction;
+    uint64_t load[2] = {0, 0};
+    for (VertexId v : order) {
+      // Fill toward the target ratio: pick the side furthest below target.
+      const double deficit0 =
+          f - static_cast<double>(load[0]) /
+                  std::max<double>(1.0, static_cast<double>(load[0] + load[1]));
+      const int8_t target = deficit0 >= 0 ? 0 : 1;
+      side[v] = target;
+      load[static_cast<size_t>(target)] += weight_of(v);
+    }
+    FmRefineBisection(coarsest, current_weight, options.fm, &side);
+  }
+
+  // --- Uncoarsening: project up, refine at each level ---
+  for (size_t level = hierarchy.size(); level-- > 0;) {
+    const CoarseLevel& coarse = hierarchy[level].coarse;
+    const BipartiteGraph& fine_graph =
+        level == 0 ? graph : hierarchy[level - 1].coarse.graph;
+    const std::vector<uint32_t>& fine_weight =
+        level == 0 ? weight
+                   : hierarchy[level - 1].coarse.vertex_weight;
+    std::vector<int8_t> fine_side(fine_graph.num_data());
+    for (VertexId v = 0; v < fine_graph.num_data(); ++v) {
+      fine_side[v] = side[coarse.fine_to_coarse[v]];
+    }
+    FmRefineBisection(fine_graph, fine_weight, options.fm, &fine_side);
+    side = std::move(fine_side);
+  }
+  return side;
+}
+
+class MultilevelPartitioner : public Partitioner {
+ public:
+  explicit MultilevelPartitioner(const MultilevelOptions& options)
+      : options_(options) {}
+
+  std::string name() const override { return "Multilevel"; }
+
+  Result<std::vector<BucketId>> Partition(const BipartiteGraph& graph,
+                                          BucketId k, ThreadPool*) override {
+    if (k < 2) return Status::InvalidArgument("k must be ≥ 2");
+    std::vector<BucketId> assignment(graph.num_data(), 0);
+    uint64_t peak_memory = 0;
+    // Recursive bisection over leaf ranges [lo, hi), like the SHP driver:
+    // bucket id = first leaf of the subtree.
+    Status st = Bisect(graph, {}, &assignment, 0, k, &peak_memory);
+    if (!st.ok()) return st;
+    return assignment;
+  }
+
+ private:
+  Status Bisect(const BipartiteGraph& graph,
+                const std::vector<uint32_t>& weight,
+                std::vector<BucketId>* assignment, BucketId lo, BucketId hi,
+                uint64_t* peak_memory) const {
+    if (hi - lo <= 1) return Status::Ok();
+    // Split leaves: left gets ceil(half) so sizes differ by ≤ 1.
+    const BucketId mid = lo + (hi - lo + 1) / 2;
+
+    MultilevelOptions options = options_;
+    // Uneven leaf counts (k not a power of two) need an uneven weight split.
+    options.fm.target_left_fraction =
+        static_cast<double>(mid - lo) / static_cast<double>(hi - lo);
+    Result<std::vector<int8_t>> sides =
+        MultilevelBisect(graph, weight, options, peak_memory);
+    if (!sides.ok()) return sides.status();
+
+    // Route side 0 -> [lo, mid), side 1 -> [mid, hi); recurse on induced
+    // subgraphs.
+    std::vector<bool> in_left(graph.num_data());
+    for (VertexId v = 0; v < graph.num_data(); ++v) {
+      in_left[v] = sides.value()[v] == 0;
+    }
+    for (int half = 0; half < 2; ++half) {
+      std::vector<bool> include(graph.num_data());
+      for (VertexId v = 0; v < graph.num_data(); ++v) {
+        include[v] = in_left[v] == (half == 0);
+      }
+      InducedSubgraph sub = BuildInducedSubgraph(graph, include);
+      const BucketId sub_lo = half == 0 ? lo : mid;
+      const BucketId sub_hi = half == 0 ? mid : hi;
+      // Tag this half's vertices with the subtree's first leaf.
+      for (VertexId v : sub.data_to_parent) (*assignment)[v] = sub_lo;
+      if (sub_hi - sub_lo > 1) {
+        std::vector<BucketId> sub_assignment(sub.graph.num_data(), 0);
+        SHP_RETURN_IF_ERROR(Bisect(sub.graph, {}, &sub_assignment, sub_lo,
+                                   sub_hi, peak_memory));
+        for (VertexId sv = 0; sv < sub.graph.num_data(); ++sv) {
+          (*assignment)[sub.data_to_parent[sv]] = sub_assignment[sv];
+        }
+      }
+    }
+    return Status::Ok();
+  }
+
+  MultilevelOptions options_;
+};
+
+}  // namespace
+
+std::unique_ptr<Partitioner> MakeMultilevelPartitioner(
+    const MultilevelOptions& options) {
+  return std::make_unique<MultilevelPartitioner>(options);
+}
+
+uint64_t EstimateMultilevelMemory(const BipartiteGraph& graph,
+                                  const MultilevelOptions& options) {
+  MultilevelOptions trial = options;
+  trial.memory_budget_bytes = 0;  // measure, don't fail
+  uint64_t peak = 0;
+  std::vector<int8_t> unused_result_storage;
+  Result<std::vector<int8_t>> sides =
+      MultilevelBisect(graph, {}, trial, &peak);
+  (void)sides;
+  return peak;
+}
+
+}  // namespace shp

@@ -1,0 +1,33 @@
+#include "baseline/random_partitioner.h"
+
+#include "core/partition.h"
+
+namespace shp {
+
+namespace {
+
+class RandomPartitioner : public Partitioner {
+ public:
+  explicit RandomPartitioner(const RandomPartitionerOptions& options)
+      : options_(options) {}
+
+  std::string name() const override { return "Random"; }
+
+  Result<std::vector<BucketId>> Partition(const BipartiteGraph& graph,
+                                          BucketId k, ThreadPool*) override {
+    if (k < 1) return Status::InvalidArgument("k must be ≥ 1");
+    return Partition::Random(graph.num_data(), k, options_.seed).assignment();
+  }
+
+ private:
+  RandomPartitionerOptions options_;
+};
+
+}  // namespace
+
+std::unique_ptr<Partitioner> MakeRandomPartitioner(
+    const RandomPartitionerOptions& options) {
+  return std::make_unique<RandomPartitioner>(options);
+}
+
+}  // namespace shp

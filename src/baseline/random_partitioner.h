@@ -1,0 +1,19 @@
+// Uniform random assignment — the "random sharding" reference point of the
+// paper's storage experiments (Fig. 4: random sharding ≈ fanout 40 on 40
+// servers) and the floor every real partitioner must beat.
+#pragma once
+
+#include <memory>
+
+#include "core/shp.h"
+
+namespace shp {
+
+struct RandomPartitionerOptions {
+  uint64_t seed = 99;
+};
+
+std::unique_ptr<Partitioner> MakeRandomPartitioner(
+    const RandomPartitionerOptions& options = {});
+
+}  // namespace shp

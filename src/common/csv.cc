@@ -1,0 +1,54 @@
+#include "common/csv.h"
+
+#include <cstdio>
+
+namespace shp {
+
+CsvWriter::CsvWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void CsvWriter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void CsvWriter::AppendCell(std::string* out, const std::string& cell) {
+  const bool needs_quote =
+      cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quote) {
+    *out += cell;
+    return;
+  }
+  out->push_back('"');
+  for (char ch : cell) {
+    if (ch == '"') out->push_back('"');
+    out->push_back(ch);
+  }
+  out->push_back('"');
+}
+
+std::string CsvWriter::ToString() const {
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out.push_back(',');
+      AppendCell(&out, row[c]);
+    }
+    out.push_back('\n');
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+Status CsvWriter::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  const std::string data = ToString();
+  const size_t written = std::fwrite(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  if (written != data.size()) return Status::IoError("short write to " + path);
+  return Status::Ok();
+}
+
+}  // namespace shp

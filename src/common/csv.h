@@ -1,0 +1,32 @@
+// Minimal CSV writer (RFC 4180 quoting) for exporting experiment series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace shp {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Serializes header + rows, quoting cells containing [",\n].
+  std::string ToString() const;
+
+  /// Writes ToString() to `path`.
+  Status WriteFile(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  static void AppendCell(std::string* out, const std::string& cell);
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace shp

@@ -1,0 +1,33 @@
+#include "common/env.h"
+
+#include <cstdlib>
+
+namespace shp {
+
+int64_t GetEnvInt(const std::string& name, int64_t def) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr || *value == '\0') return def;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value, &end, 10);
+  if (end == value) return def;
+  return static_cast<int64_t>(parsed);
+}
+
+double GetEnvDouble(const std::string& name, double def) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr || *value == '\0') return def;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  if (end == value) return def;
+  return parsed;
+}
+
+std::string GetEnvString(const std::string& name, const std::string& def) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr) return def;
+  return value;
+}
+
+double BenchScale() { return GetEnvDouble("SHP_BENCH_SCALE", 1.0); }
+
+}  // namespace shp

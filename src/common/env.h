@@ -1,0 +1,24 @@
+// Environment-variable helpers used by bench harnesses for scale knobs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace shp {
+
+/// Returns the integer value of env var `name`, or `def` if unset/invalid.
+int64_t GetEnvInt(const std::string& name, int64_t def);
+
+/// Returns the double value of env var `name`, or `def` if unset/invalid.
+double GetEnvDouble(const std::string& name, double def);
+
+/// Returns the string value of env var `name`, or `def` if unset.
+std::string GetEnvString(const std::string& name, const std::string& def);
+
+/// Global dataset-size multiplier for benches (SHP_BENCH_SCALE, default 1.0).
+/// All Table/Figure harnesses generate datasets scaled by this factor so the
+/// whole suite runs in minutes by default and can be scaled toward
+/// paper-size runs on bigger machines.
+double BenchScale();
+
+}  // namespace shp

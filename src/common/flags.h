@@ -1,0 +1,35 @@
+// Tiny command-line flag parser for examples and bench harnesses.
+// Supports --name=value and bare boolean --name; a bare "--" ends flag
+// parsing. (No "--name value" form: it is ambiguous with positionals.)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace shp {
+
+class Flags {
+ public:
+  /// Parses argv; positional (non --) arguments are collected in order.
+  static Result<Flags> Parse(int argc, const char* const* argv);
+
+  bool Has(const std::string& name) const;
+  std::string GetString(const std::string& name, const std::string& def) const;
+  int64_t GetInt(const std::string& name, int64_t def) const;
+  double GetDouble(const std::string& name, double def) const;
+  bool GetBool(const std::string& name, bool def) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program_name() const { return program_name_; }
+
+ private:
+  std::string program_name_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace shp

@@ -1,0 +1,87 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace shp {
+
+ExponentialHistogram::ExponentialHistogram(double min_value, double growth,
+                                           int num_bins)
+    : min_value_(min_value),
+      log_growth_(std::log(growth)),
+      growth_(growth),
+      counts_(static_cast<size_t>(num_bins), 0) {
+  SHP_CHECK_GT(min_value, 0.0);
+  SHP_CHECK_GT(growth, 1.0);
+  SHP_CHECK_GE(num_bins, 2);
+}
+
+int ExponentialHistogram::BinFor(double value) const {
+  if (!(value > min_value_)) return 0;  // also catches NaN -> bin 0
+  const int bin =
+      1 + static_cast<int>(std::floor(std::log(value / min_value_) /
+                                      log_growth_));
+  return std::min(bin, num_bins() - 1);
+}
+
+double ExponentialHistogram::BinLower(int bin) const {
+  if (bin <= 0) return 0.0;
+  return min_value_ * std::pow(growth_, bin - 1);
+}
+
+double ExponentialHistogram::BinUpper(int bin) const {
+  if (bin >= num_bins() - 1) return std::numeric_limits<double>::infinity();
+  return min_value_ * std::pow(growth_, bin);
+}
+
+void ExponentialHistogram::Add(double value, uint64_t weight) {
+  counts_[static_cast<size_t>(BinFor(std::max(value, 0.0)))] += weight;
+  total_ += weight;
+}
+
+void ExponentialHistogram::Clear() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
+}
+
+void ExponentialHistogram::Merge(const ExponentialHistogram& other) {
+  SHP_CHECK_EQ(num_bins(), other.num_bins());
+  for (int i = 0; i < num_bins(); ++i) {
+    counts_[static_cast<size_t>(i)] += other.counts_[static_cast<size_t>(i)];
+  }
+  total_ += other.total_;
+}
+
+double ExponentialHistogram::Percentile(double p) const {
+  if (total_ == 0) return 0.0;
+  const double target = std::clamp(p, 0.0, 100.0) / 100.0 *
+                        static_cast<double>(total_);
+  uint64_t cumulative = 0;
+  for (int bin = 0; bin < num_bins(); ++bin) {
+    const uint64_t c = counts_[static_cast<size_t>(bin)];
+    if (cumulative + c >= target && c > 0) {
+      const double fraction =
+          (target - static_cast<double>(cumulative)) / static_cast<double>(c);
+      const double lo = BinLower(bin);
+      double hi = BinUpper(bin);
+      if (std::isinf(hi)) hi = lo * growth_;  // last bin: extrapolate one step
+      return lo + fraction * (hi - lo);
+    }
+    cumulative += c;
+  }
+  double hi = BinUpper(num_bins() - 1);
+  if (std::isinf(hi)) hi = BinLower(num_bins() - 1) * growth_;
+  return hi;
+}
+
+std::string ExponentialHistogram::Summary() const {
+  std::ostringstream out;
+  out << "count=" << total_ << " p50=" << Percentile(50)
+      << " p95=" << Percentile(95) << " p99=" << Percentile(99);
+  return out.str();
+}
+
+}  // namespace shp

@@ -1,0 +1,56 @@
+// Exponentially-binned histogram over non-negative doubles.
+//
+// Used for (a) latency distributions in the sharding simulator and (b) as the
+// building block of the signed gain histograms in the advanced move matcher
+// (paper §3.4: "histograms that contain the number of vertices with move
+// gains in exponentially sized bins").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace shp {
+
+class ExponentialHistogram {
+ public:
+  /// Bins: [0, min_value), [min_value, min_value*growth), ... capped at
+  /// num_bins. growth must be > 1.
+  ExponentialHistogram(double min_value = 1e-9, double growth = 2.0,
+                       int num_bins = 64);
+
+  /// Adds a sample (weight defaults to 1). Negative samples are clamped to 0.
+  void Add(double value, uint64_t weight = 1);
+
+  /// Bin index a value falls into (0 .. num_bins-1).
+  int BinFor(double value) const;
+
+  /// Lower/upper edge of bin i; upper edge of the last bin is +inf.
+  double BinLower(int bin) const;
+  double BinUpper(int bin) const;
+
+  uint64_t BinCount(int bin) const { return counts_[static_cast<size_t>(bin)]; }
+  int num_bins() const { return static_cast<int>(counts_.size()); }
+  uint64_t total_count() const { return total_; }
+
+  /// Approximate p-th percentile (p in [0,100]) assuming samples sit at their
+  /// bin's geometric midpoint; linear interpolation within the bin.
+  double Percentile(double p) const;
+
+  void Clear();
+
+  /// Merges another histogram with identical bin configuration.
+  void Merge(const ExponentialHistogram& other);
+
+  /// One-line summary "count=.. p50=.. p95=.. p99=..".
+  std::string Summary() const;
+
+ private:
+  double min_value_;
+  double log_growth_;  // precomputed log(growth)
+  double growth_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace shp

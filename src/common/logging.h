@@ -1,0 +1,89 @@
+// Minimal logging and invariant-checking macros.
+//
+// SHP_CHECK* fire in all build types: internal invariants of the partitioner
+// must hold regardless of NDEBUG because silent balance violations corrupt
+// experiment results. SHP_DCHECK* compile out in release builds and guard
+// hot-path-only assertions.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace shp {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level actually emitted; default kInfo. Thread-safe to set
+/// before spawning workers.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Terminates the process after streaming the failure context.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define SHP_LOG(level)                                                      \
+  ::shp::internal::LogMessage(::shp::LogLevel::k##level, __FILE__, __LINE__) \
+      .stream()
+
+#define SHP_CHECK(cond)                                             \
+  if (!(cond))                                                      \
+  ::shp::internal::FatalMessage(__FILE__, __LINE__, #cond).stream()
+
+#define SHP_CHECK_OP(a, b, op) SHP_CHECK((a)op(b)) << " (" << (a) << " vs " << (b) << ") "
+#define SHP_CHECK_EQ(a, b) SHP_CHECK_OP(a, b, ==)
+#define SHP_CHECK_NE(a, b) SHP_CHECK_OP(a, b, !=)
+#define SHP_CHECK_LT(a, b) SHP_CHECK_OP(a, b, <)
+#define SHP_CHECK_LE(a, b) SHP_CHECK_OP(a, b, <=)
+#define SHP_CHECK_GT(a, b) SHP_CHECK_OP(a, b, >)
+#define SHP_CHECK_GE(a, b) SHP_CHECK_OP(a, b, >=)
+#define SHP_CHECK_OK(expr)                          \
+  do {                                              \
+    ::shp::Status _st = (expr);                     \
+    SHP_CHECK(_st.ok()) << _st.ToString();          \
+  } while (0)
+
+#ifdef NDEBUG
+#define SHP_DCHECK(cond) \
+  if (false) ::shp::internal::NullStream()
+#else
+#define SHP_DCHECK(cond) SHP_CHECK(cond)
+#endif
+
+#define SHP_DCHECK_LT(a, b) SHP_DCHECK((a) < (b))
+#define SHP_DCHECK_LE(a, b) SHP_DCHECK((a) <= (b))
+#define SHP_DCHECK_EQ(a, b) SHP_DCHECK((a) == (b))
+
+}  // namespace shp

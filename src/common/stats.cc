@@ -1,0 +1,81 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace shp {
+
+double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(samples.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(rank));
+  const size_t hi = static_cast<size_t>(std::ceil(rank));
+  if (lo == hi) return samples[lo];
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ == 0) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double total = static_cast<double>(count_ + other.count_);
+  const double delta = other.mean_ - mean_;
+  const double new_mean =
+      mean_ + delta * static_cast<double>(other.count_) / total;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) / total;
+  mean_ = new_mean;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+}
+
+double LogLogSlope(const std::vector<double>& x, const std::vector<double>& y) {
+  SHP_CHECK_EQ(x.size(), y.size());
+  if (x.size() < 2) return 0.0;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  int n = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (x[i] <= 0.0 || y[i] <= 0.0) continue;
+    const double lx = std::log(x[i]);
+    const double ly = std::log(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    ++n;
+  }
+  if (n < 2) return 0.0;
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) return 0.0;
+  return (n * sxy - sx * sy) / denom;
+}
+
+}  // namespace shp

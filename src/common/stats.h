@@ -1,0 +1,44 @@
+// Small statistics helpers: exact percentiles over stored samples and
+// streaming mean/variance (Welford).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace shp {
+
+/// Exact percentile of a sample set (copies + sorts on demand; for
+/// experiment-sized sample counts). p in [0, 100]; linear interpolation
+/// between order statistics.
+double Percentile(std::vector<double> samples, double p);
+
+/// Streaming mean / variance / min / max.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+
+  /// Population variance / standard deviation.
+  double variance() const;
+  double stddev() const;
+
+  void Merge(const RunningStats& other);
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Least-squares slope of log(y) against log(x); used to verify complexity
+/// claims like "total time is O(|E| log k)" (slope ≈ 1 against |E|).
+/// Returns 0 if fewer than two points.
+double LogLogSlope(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace shp

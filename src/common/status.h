@@ -1,0 +1,106 @@
+// Lightweight Status / Result types for error propagation on non-hot paths
+// (I/O, configuration validation). Modeled after the RocksDB/Arrow idiom:
+// library code never throws; fallible functions return Status or Result<T>.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace shp {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kCorruption,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a short human-readable name for a StatusCode ("Ok", "IOError", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Result of an operation that can fail. Cheap to copy when OK (no message
+/// allocation); carries a code + message otherwise.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Value-or-Status. Use `result.ok()` then `result.value()` /
+/// `std::move(result).value()`; accessing value() of a failed Result aborts.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : var_(std::move(value)) {}            // NOLINT(runtime/explicit)
+  Result(Status status) : var_(std::move(status)) {}     // NOLINT(runtime/explicit)
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::Ok();
+    if (ok()) return kOk;
+    return std::get<Status>(var_);
+  }
+
+  const T& value() const& { return std::get<T>(var_); }
+  T& value() & { return std::get<T>(var_); }
+  T&& value() && { return std::get<T>(std::move(var_)); }
+
+ private:
+  std::variant<T, Status> var_;
+};
+
+/// Propagate a non-OK Status from the current function.
+#define SHP_RETURN_IF_ERROR(expr)              \
+  do {                                         \
+    ::shp::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+}  // namespace shp

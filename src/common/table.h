@@ -1,0 +1,38 @@
+// Aligned-column table printer for bench harnesses. Prints the paper-style
+// rows (Tables 1-3, figure series) as plain text and optionally markdown.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace shp {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds one row; the row is padded/truncated to the header width.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience formatter helpers for numeric cells.
+  static std::string Fmt(double value, int precision = 2);
+  static std::string FmtInt(long long value);
+  /// Thousands-separated ("2,283,863") — used for Table 1.
+  static std::string FmtCount(long long value);
+  /// Percent with sign ("+12.3%").
+  static std::string FmtPercent(double fraction, int precision = 1);
+
+  /// Renders with space-aligned columns and a header separator.
+  std::string ToString() const;
+  /// Renders as a GitHub-flavored markdown table.
+  std::string ToMarkdown() const;
+
+  /// Prints ToString() to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace shp

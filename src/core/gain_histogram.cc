@@ -1,0 +1,89 @@
+#include "core/gain_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace shp {
+
+GainBinning::GainBinning(double min_gain, double growth, int num_levels)
+    : min_gain_(min_gain),
+      log_growth_(std::log(growth)),
+      growth_(growth),
+      num_levels_(num_levels) {
+  SHP_CHECK_GT(min_gain, 0.0);
+  SHP_CHECK_GT(growth, 1.0);
+  SHP_CHECK_GE(num_levels, 1);
+}
+
+int GainBinning::BinFor(double gain) const {
+  const double magnitude = std::abs(gain);
+  if (!(magnitude > min_gain_)) return zero_bin();  // includes NaN
+  int level = 1 + static_cast<int>(
+                      std::floor(std::log(magnitude / min_gain_) /
+                                 log_growth_));
+  level = std::min(level, num_levels_);
+  return gain > 0 ? zero_bin() + level : zero_bin() - level;
+}
+
+double GainBinning::Representative(int bin) const {
+  if (bin == zero_bin()) return 0.0;
+  const int level = std::abs(bin - zero_bin());
+  // Geometric midpoint of [min_gain * growth^(level-1), min_gain * growth^level).
+  const double mid = min_gain_ * std::pow(growth_, level - 0.5);
+  return bin > zero_bin() ? mid : -mid;
+}
+
+PairMoveProbabilities MatchHistograms(const GainBinning& binning,
+                                      const DirectedGainHistogram& forward,
+                                      const DirectedGainHistogram& backward) {
+  const int bins = binning.num_bins();
+  PairMoveProbabilities out;
+  out.forward.assign(static_cast<size_t>(bins), 0.0);
+  out.backward.assign(static_cast<size_t>(bins), 0.0);
+
+  // Top-down two-pointer matching over remaining counts.
+  std::vector<double> remaining_fwd(forward.counts.begin(),
+                                    forward.counts.end());
+  std::vector<double> remaining_bwd(backward.counts.begin(),
+                                    backward.counts.end());
+  int a = bins - 1;  // forward cursor
+  int b = bins - 1;  // backward cursor
+  auto skip_empty = [](const std::vector<double>& counts, int* cursor) {
+    while (*cursor >= 0 && counts[static_cast<size_t>(*cursor)] <= 0.0) {
+      --(*cursor);
+    }
+  };
+  for (;;) {
+    skip_empty(remaining_fwd, &a);
+    skip_empty(remaining_bwd, &b);
+    if (a < 0 || b < 0) break;
+    // Swap only while the expected pair gain is positive.
+    if (binning.Representative(a) + binning.Representative(b) <= 0.0) break;
+    const double matched = std::min(remaining_fwd[static_cast<size_t>(a)],
+                                    remaining_bwd[static_cast<size_t>(b)]);
+    remaining_fwd[static_cast<size_t>(a)] -= matched;
+    remaining_bwd[static_cast<size_t>(b)] -= matched;
+    out.forward[static_cast<size_t>(a)] += matched;
+    out.backward[static_cast<size_t>(b)] += matched;
+    out.expected_swaps += matched;
+  }
+
+  // Convert matched counts to probabilities.
+  for (int bin = 0; bin < bins; ++bin) {
+    const uint64_t total_fwd = forward.counts[static_cast<size_t>(bin)];
+    const uint64_t total_bwd = backward.counts[static_cast<size_t>(bin)];
+    out.forward[static_cast<size_t>(bin)] =
+        total_fwd == 0 ? 0.0
+                       : std::min(1.0, out.forward[static_cast<size_t>(bin)] /
+                                           static_cast<double>(total_fwd));
+    out.backward[static_cast<size_t>(bin)] =
+        total_bwd == 0 ? 0.0
+                       : std::min(1.0, out.backward[static_cast<size_t>(bin)] /
+                                           static_cast<double>(total_bwd));
+  }
+  return out;
+}
+
+}  // namespace shp

@@ -1,0 +1,82 @@
+// Signed exponential gain histograms and the bin-matching scheme of paper
+// §3.4: "Instead of maintaining two queues for each pair of buckets, we
+// maintain two histograms that contain the number of vertices with move
+// gains in exponentially sized bins. We then match bins in the two
+// histograms for maximal swapping with probability one, and then
+// probabilistically pair the remaining vertices in the final matched bins."
+//
+// Bin layout (num_levels = L): index 0..L-1 are negative gains from most to
+// least negative, index L is the near-zero bin (|g| ≤ min_gain), and
+// L+1..2L are positive gains from least to most positive. Higher index =
+// higher gain, so matching proceeds from the top down. A negative bin can be
+// matched against a positive one when the representative gain sum stays
+// positive ("a pair of positive and negative histogram bins can swap if the
+// sum of the gains is expected to be positive").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace shp {
+
+class GainBinning {
+ public:
+  /// min_gain: width of the zero bin; growth: bin size ratio; num_levels:
+  /// bins per sign.
+  GainBinning(double min_gain = 1e-8, double growth = 2.0,
+              int num_levels = 40);
+
+  int num_bins() const { return 2 * num_levels_ + 1; }
+  int zero_bin() const { return num_levels_; }
+
+  /// Bin index of a gain value.
+  int BinFor(double gain) const;
+
+  /// Representative (geometric-midpoint) gain of a bin; 0 for the zero bin.
+  double Representative(int bin) const;
+
+ private:
+  double min_gain_;
+  double log_growth_;
+  double growth_;
+  int num_levels_;
+};
+
+/// Histogram of proposal gains for one direction (bucket i -> bucket j).
+struct DirectedGainHistogram {
+  std::vector<uint64_t> counts;  // size = binning.num_bins()
+
+  void Init(const GainBinning& binning) {
+    counts.assign(static_cast<size_t>(binning.num_bins()), 0);
+  }
+  void Add(const GainBinning& binning, double gain) {
+    ++counts[static_cast<size_t>(binning.BinFor(gain))];
+  }
+  uint64_t Total() const {
+    uint64_t t = 0;
+    for (uint64_t c : counts) t += c;
+    return t;
+  }
+};
+
+/// Per-bin move probabilities for both directions of one bucket pair,
+/// computed by MatchHistograms. probability[bin] ∈ [0, 1].
+struct PairMoveProbabilities {
+  std::vector<double> forward;   // direction i -> j
+  std::vector<double> backward;  // direction j -> i
+  /// Expected number of swapped pairs (diagnostic).
+  double expected_swaps = 0.0;
+};
+
+/// Matches the two directed histograms of a bucket pair top-down. Bins are
+/// matched while the representative gain sum is positive; fully matched bins
+/// get probability 1, the final partially matched bin gets a fractional
+/// probability, everything else 0. This focuses movement on the highest
+/// gains first (the paper's motivation) while keeping expected flow
+/// symmetric, preserving balance in expectation.
+PairMoveProbabilities MatchHistograms(const GainBinning& binning,
+                                      const DirectedGainHistogram& forward,
+                                      const DirectedGainHistogram& backward);
+
+}  // namespace shp

@@ -1,0 +1,64 @@
+#include "core/incremental.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+
+namespace shp {
+
+IncrementalRepartitioner::IncrementalRepartitioner(
+    const IncrementalOptions& options)
+    : options_(options) {
+  SHP_CHECK_GE(options.move_penalty, 0.0);
+  SHP_CHECK_GT(options.probability_damping, 0.0);
+  SHP_CHECK_LE(options.probability_damping, 1.0);
+}
+
+IncrementalResult IncrementalRepartitioner::Repartition(
+    const BipartiteGraph& graph, const std::vector<BucketId>& previous,
+    ThreadPool* pool) const {
+  const VertexId n = graph.num_data();
+  const BucketId k = options_.base.k;
+
+  IncrementalResult result;
+
+  // Warm start: keep valid previous assignments; place new vertices into the
+  // least-loaded bucket as they appear (deterministic, keeps balance).
+  std::vector<BucketId> warm(n, -1);
+  std::vector<uint64_t> sizes(static_cast<size_t>(k), 0);
+  std::vector<BucketId> anchor(n, -1);
+  for (VertexId v = 0; v < n; ++v) {
+    if (v < previous.size() && previous[v] >= 0 && previous[v] < k) {
+      warm[v] = previous[v];
+      anchor[v] = previous[v];
+      ++sizes[static_cast<size_t>(previous[v])];
+    }
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    if (warm[v] >= 0) continue;
+    ++result.vertices_new;
+    const auto it = std::min_element(sizes.begin(), sizes.end());
+    const BucketId b = static_cast<BucketId>(it - sizes.begin());
+    warm[v] = b;
+    anchor[v] = b;  // a new vertex's "home" is its placement bucket
+    ++sizes[static_cast<size_t>(b)];
+  }
+
+  ShpKOptions shp_options = options_.base;
+  shp_options.refiner.broker.probability_damping =
+      options_.probability_damping;
+  ShpKPartitioner partitioner(shp_options);
+  result.shp = partitioner.RunFrom(graph, warm, pool, nullptr, &anchor,
+                                   options_.move_penalty);
+
+  for (VertexId v = 0; v < n; ++v) {
+    if (v < previous.size() && previous[v] >= 0 && previous[v] < k &&
+        result.shp.assignment[v] != previous[v]) {
+      ++result.vertices_relocated;
+    }
+  }
+  return result;
+}
+
+}  // namespace shp

@@ -1,0 +1,52 @@
+// Incremental re-partitioning (paper §5(i)): "Our algorithm simply adapts to
+// incremental updates by initializing with a previous partition and running
+// a local search. If a limited search moves too many data vertices, we can
+// modify the move gain calculation to punish movement from the existing
+// partition or artificially lower the movement probabilities."
+//
+// Both mechanisms are implemented: `move_penalty` is charged against the
+// gain of any move that leaves the previous bucket (and credited to moves
+// returning home), and `probability_damping` scales every move probability.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/shp_k.h"
+#include "graph/bipartite_graph.h"
+
+namespace shp {
+
+struct IncrementalOptions {
+  ShpKOptions base;
+  /// Gain units charged for abandoning the previous bucket. 0 disables.
+  double move_penalty = 0.0;
+  /// Scales all move probabilities (1 = no damping).
+  double probability_damping = 1.0;
+};
+
+struct IncrementalResult {
+  ShpResult shp;
+  /// Vertices whose final bucket differs from the previous assignment
+  /// (excluding vertices that were new / unassigned).
+  uint64_t vertices_relocated = 0;
+  uint64_t vertices_new = 0;
+};
+
+class IncrementalRepartitioner {
+ public:
+  explicit IncrementalRepartitioner(const IncrementalOptions& options);
+
+  /// previous[v] is the old bucket of vertex v, or -1 for vertices that did
+  /// not exist before (previous may also be shorter than num_data when the
+  /// graph grew; missing tail entries are treated as new). New vertices are
+  /// placed in the currently least-loaded valid bucket before refinement.
+  IncrementalResult Repartition(const BipartiteGraph& graph,
+                                const std::vector<BucketId>& previous,
+                                ThreadPool* pool = nullptr) const;
+
+ private:
+  IncrementalOptions options_;
+};
+
+}  // namespace shp

@@ -1,0 +1,357 @@
+#include "core/move_broker.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/proposal_matrix.h"
+
+namespace shp {
+
+namespace {
+
+uint64_t PackPair(BucketId a, BucketId b) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+         static_cast<uint32_t>(b);
+}
+
+}  // namespace
+
+MoveOutcome MoveBroker::Apply(const MoveTopology& topo,
+                              const std::vector<BucketId>& targets,
+                              const std::vector<double>& gains, uint64_t seed,
+                              uint64_t iteration, Partition* partition,
+                              ThreadPool* pool) {
+  if (pool == nullptr) pool = &GlobalThreadPool();
+  switch (options_.strategy) {
+    case MoveBrokerOptions::Strategy::kPlainProbability:
+      return ApplyPlain(topo, targets, gains, seed, iteration, partition,
+                        pool);
+    case MoveBrokerOptions::Strategy::kHistogramMatching:
+      return ApplyHistogram(topo, targets, gains, seed, iteration, partition,
+                            pool);
+    case MoveBrokerOptions::Strategy::kExactPairing:
+      return ApplyExactPairing(topo, targets, gains, seed, iteration,
+                               partition);
+  }
+  SHP_CHECK(false) << "unknown strategy";
+  return {};
+}
+
+MoveOutcome MoveBroker::ApplyExactPairing(const MoveTopology& topo,
+                                          const std::vector<BucketId>& targets,
+                                          const std::vector<double>& gains,
+                                          uint64_t seed, uint64_t iteration,
+                                          Partition* partition) {
+  const VertexId n = partition->num_data();
+  SHP_CHECK_EQ(targets.size(), n);
+  MoveOutcome outcome;
+
+  // Two sorted queues per unordered bucket pair (§3.4 "ideal serial
+  // implementation"): queue[(i,j)] holds vertices of i targeting j.
+  std::unordered_map<uint64_t, std::vector<VertexId>> queues;
+  for (VertexId v = 0; v < n; ++v) {
+    if (targets[v] < 0) continue;
+    ++outcome.num_proposals;
+    queues[PackPair(partition->bucket_of(v), targets[v])].push_back(v);
+  }
+  std::vector<uint64_t> keys;
+  keys.reserve(queues.size());
+  for (auto& [key, queue] : queues) {
+    // Highest gain first; stable tie-break on a per-iteration hash so the
+    // same vertices are not perpetually preferred.
+    std::sort(queue.begin(), queue.end(), [&](VertexId a, VertexId b) {
+      if (gains[a] != gains[b]) return gains[a] > gains[b];
+      return HashCombine(seed, iteration, a) <
+             HashCombine(seed, iteration, b);
+    });
+    keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+
+  // Pair off the two queues of each pair while the summed gain is positive;
+  // each executed pair is one exact swap, so bucket sizes never change and
+  // no repair is needed. Leftover one-sided positive demand may still use
+  // capacity slack, highest gain first.
+  std::vector<int64_t> slack(static_cast<size_t>(topo.k), 0);
+  for (BucketId b = 0; b < topo.k; ++b) {
+    slack[static_cast<size_t>(b)] =
+        static_cast<int64_t>(topo.capacity[static_cast<size_t>(b)]) -
+        static_cast<int64_t>(partition->bucket_size(b));
+  }
+  auto execute = [&](VertexId v) {
+    partition->Move(v, targets[v]);
+    ++outcome.num_moved;
+    outcome.gain_moved += gains[v];
+  };
+  for (uint64_t key : keys) {
+    const BucketId i = static_cast<BucketId>(key >> 32);
+    const BucketId j = static_cast<BucketId>(key & 0xffffffffULL);
+    if (i > j && queues.count(PackPair(j, i)) > 0) continue;  // done as (j,i)
+    auto& forward = queues[key];
+    static const std::vector<VertexId> kEmpty;
+    const auto it_back = queues.find(PackPair(j, i));
+    const std::vector<VertexId>& backward =
+        it_back != queues.end() ? it_back->second : kEmpty;
+    // Cap the swapped fraction below 1 for the same reason as the
+    // probabilistic movers: swapping two whole buckets merely relabels them.
+    const size_t max_pairs = std::max<size_t>(
+        1, static_cast<size_t>(options_.max_move_probability *
+                               std::min(forward.size(), backward.size())));
+    size_t a = 0, b = 0;
+    while (a < forward.size() && b < backward.size() && a < max_pairs &&
+           gains[forward[a]] + gains[backward[b]] > 0.0) {
+      execute(forward[a++]);
+      execute(backward[b++]);
+    }
+    if (options_.use_capacity_slack) {
+      // One-sided extras into spare capacity (positive gains only).
+      while (a < forward.size() && gains[forward[a]] > 0.0 &&
+             slack[static_cast<size_t>(j)] > 0) {
+        --slack[static_cast<size_t>(j)];
+        ++slack[static_cast<size_t>(i)];
+        execute(forward[a++]);
+      }
+      while (b < backward.size() && gains[backward[b]] > 0.0 &&
+             slack[static_cast<size_t>(i)] > 0) {
+        --slack[static_cast<size_t>(i)];
+        ++slack[static_cast<size_t>(j)];
+        execute(backward[b++]);
+      }
+    }
+  }
+  return outcome;
+}
+
+MoveOutcome MoveBroker::ApplyPlain(const MoveTopology& topo,
+                                   const std::vector<BucketId>& targets,
+                                   const std::vector<double>& gains,
+                                   uint64_t seed, uint64_t iteration,
+                                   Partition* partition, ThreadPool* pool) {
+  const VertexId n = partition->num_data();
+  SHP_CHECK_EQ(targets.size(), n);
+  MoveOutcome outcome;
+
+  // "Update matrix": S[i][j] = #vertices in i proposing j with gain > 0.
+  // (Paper Algorithm 1 counts only strictly improving proposals.)
+  ProposalMatrix matrix;
+  for (VertexId v = 0; v < n; ++v) {
+    if (targets[v] < 0 || gains[v] <= 0.0) continue;
+    ++outcome.num_proposals;
+    matrix.Add(partition->bucket_of(v), targets[v]);
+  }
+
+  // "Change buckets": move with probability min(S_ij, S_ji)/S_ij. The random
+  // draw is a pure hash of (seed, iteration, v) so the outcome is
+  // independent of thread scheduling.
+  std::vector<uint8_t> decided(n, 0);
+  pool->ParallelFor(n, [&](size_t begin, size_t end, size_t) {
+    for (size_t v = begin; v < end; ++v) {
+      if (targets[v] < 0 || gains[v] <= 0.0) continue;
+      const double prob =
+          std::min(matrix.MoveProbability(
+                       partition->bucket_of(static_cast<VertexId>(v)),
+                       targets[v]),
+                   options_.max_move_probability) *
+          options_.probability_damping;
+      if (HashToUnitDouble(seed ^ 0xabcdef12, iteration, v) < prob) {
+        decided[v] = 1;
+      }
+    }
+  });
+
+  std::vector<VertexId> moved;
+  std::vector<BucketId> original(n, -1);
+  for (VertexId v = 0; v < n; ++v) {
+    if (!decided[v]) continue;
+    original[v] = partition->bucket_of(v);
+    partition->Move(v, targets[v]);
+    moved.push_back(v);
+    ++outcome.num_moved;
+    outcome.gain_moved += gains[v];
+  }
+  RepairBalance(topo, moved, original, gains, partition, &outcome);
+  return outcome;
+}
+
+double PairProbabilityTable::Lookup(const GainBinning& binning, BucketId from,
+                                    BucketId to, double gain) const {
+  const auto it = probabilities.find(PackPair(from, to));
+  if (it == probabilities.end()) return 0.0;
+  return it->second[static_cast<size_t>(binning.BinFor(gain))];
+}
+
+PairProbabilityTable ComputePairProbabilities(
+    const MoveTopology& topo, const GainBinning& binning,
+    const std::unordered_map<uint64_t, DirectedGainHistogram>& histograms,
+    const Partition& partition, bool use_capacity_slack) {
+  // Match each unordered pair once, in deterministic key order.
+  std::vector<uint64_t> keys;
+  keys.reserve(histograms.size());
+  for (const auto& [key, h] : histograms) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+
+  PairProbabilityTable table;
+  for (uint64_t key : keys) {
+    const BucketId i = static_cast<BucketId>(key >> 32);
+    const BucketId j = static_cast<BucketId>(key & 0xffffffffULL);
+    if (i > j && histograms.count(PackPair(j, i)) > 0) {
+      continue;  // handled from the (j, i) side
+    }
+    const auto it_fwd = histograms.find(PackPair(i, j));
+    const auto it_bwd = histograms.find(PackPair(j, i));
+    DirectedGainHistogram fwd;
+    DirectedGainHistogram bwd;
+    if (it_fwd != histograms.end()) fwd = it_fwd->second;
+    if (it_bwd != histograms.end()) bwd = it_bwd->second;
+    if (fwd.counts.empty()) fwd.Init(binning);
+    if (bwd.counts.empty()) bwd.Init(binning);
+    PairMoveProbabilities match = MatchHistograms(binning, fwd, bwd);
+    table.probabilities[PackPair(i, j)] = std::move(match.forward);
+    table.probabilities[PackPair(j, i)] = std::move(match.backward);
+  }
+
+  // §3.4 imbalanced swaps: spend spare capacity on unmatched positive bins,
+  // highest gain first. Expected inflow is tracked so slack is not
+  // oversubscribed in expectation.
+  if (use_capacity_slack) {
+    std::vector<double> slack(static_cast<size_t>(topo.k), 0.0);
+    for (BucketId b = 0; b < topo.k; ++b) {
+      slack[static_cast<size_t>(b)] =
+          static_cast<double>(topo.capacity[static_cast<size_t>(b)]) -
+          static_cast<double>(partition.bucket_size(b));
+    }
+    for (uint64_t key : keys) {
+      const BucketId to = static_cast<BucketId>(key & 0xffffffffULL);
+      auto& probs = table.probabilities[key];
+      const auto& counts = histograms.at(key).counts;
+      double& budget = slack[static_cast<size_t>(to)];
+      for (int bin = binning.num_bins() - 1; bin > binning.zero_bin();
+           --bin) {
+        if (budget <= 0.0) break;
+        const double unmatched =
+            static_cast<double>(counts[static_cast<size_t>(bin)]) *
+            (1.0 - probs[static_cast<size_t>(bin)]);
+        if (unmatched <= 0.0) continue;
+        const double extra = std::min(unmatched, budget);
+        probs[static_cast<size_t>(bin)] +=
+            extra / static_cast<double>(counts[static_cast<size_t>(bin)]);
+        probs[static_cast<size_t>(bin)] =
+            std::min(1.0, probs[static_cast<size_t>(bin)]);
+        budget -= extra;
+      }
+    }
+  }
+  return table;
+}
+
+MoveOutcome MoveBroker::ApplyHistogram(const MoveTopology& topo,
+                                       const std::vector<BucketId>& targets,
+                                       const std::vector<double>& gains,
+                                       uint64_t seed, uint64_t iteration,
+                                       Partition* partition,
+                                       ThreadPool* pool) {
+  const VertexId n = partition->num_data();
+  SHP_CHECK_EQ(targets.size(), n);
+  MoveOutcome outcome;
+  const GainBinning& binning = options_.binning;
+
+  // Directed gain histograms per ordered bucket pair (the master state;
+  // O(#occupied pairs × bins) memory, k²·bins worst case as in the paper).
+  std::unordered_map<uint64_t, DirectedGainHistogram> histograms;
+  for (VertexId v = 0; v < n; ++v) {
+    if (targets[v] < 0) continue;
+    ++outcome.num_proposals;
+    auto& h = histograms[PackPair(partition->bucket_of(v), targets[v])];
+    if (h.counts.empty()) h.Init(binning);
+    h.Add(binning, gains[v]);
+  }
+
+  const PairProbabilityTable table = ComputePairProbabilities(
+      topo, binning, histograms, *partition, options_.use_capacity_slack);
+
+  // Superstep 4: probabilistic simultaneous moves.
+  std::vector<uint8_t> decided(n, 0);
+  pool->ParallelFor(n, [&](size_t begin, size_t end, size_t) {
+    for (size_t v = begin; v < end; ++v) {
+      if (targets[v] < 0) continue;
+      const double prob =
+          std::min(table.Lookup(binning,
+                                partition->bucket_of(
+                                    static_cast<VertexId>(v)),
+                                targets[v], gains[v]),
+                   options_.max_move_probability) *
+          options_.probability_damping;
+      if (HashToUnitDouble(seed ^ 0x5108e77a, iteration, v) < prob) {
+        decided[v] = 1;
+      }
+    }
+  });
+
+  std::vector<VertexId> moved;
+  std::vector<BucketId> original(n, -1);
+  for (VertexId v = 0; v < n; ++v) {
+    if (!decided[v]) continue;
+    original[v] = partition->bucket_of(v);
+    partition->Move(v, targets[v]);
+    moved.push_back(v);
+    ++outcome.num_moved;
+    outcome.gain_moved += gains[v];
+  }
+  RepairBalance(topo, moved, original, gains, partition, &outcome);
+  return outcome;
+}
+
+void MoveBroker::RepairBalance(const MoveTopology& topo,
+                               const std::vector<VertexId>& moved,
+                               const std::vector<BucketId>& original_bucket,
+                               const std::vector<double>& gains,
+                               Partition* partition, MoveOutcome* outcome) {
+  // Group this round's inbound moves per destination bucket, lowest gain
+  // first (ties broken by vertex id) so reversions sacrifice the least.
+  std::unordered_map<BucketId, std::vector<VertexId>> inbound;
+  for (VertexId v : moved) inbound[partition->bucket_of(v)].push_back(v);
+  for (auto& [b, candidates] : inbound) {
+    std::sort(candidates.begin(), candidates.end(),
+              [&gains](VertexId a, VertexId c) {
+                if (gains[a] != gains[c]) return gains[a] < gains[c];
+                return a < c;
+              });
+  }
+
+  // Iterate to a fixpoint: a reversion returns a vertex to its original
+  // bucket, which may push *that* bucket over capacity, whose own arrivals
+  // are then revertible. Reverting every arrival restores the pre-round
+  // state, which satisfied all capacities, so the loop terminates with all
+  // buckets within capacity (or with nothing left to revert, if the caller
+  // handed us an infeasible pre-round state).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<BucketId> buckets;
+    buckets.reserve(inbound.size());
+    for (const auto& [b, vs] : inbound) {
+      if (!vs.empty()) buckets.push_back(b);
+    }
+    std::sort(buckets.begin(), buckets.end());
+    for (BucketId b : buckets) {
+      const uint64_t cap = topo.capacity[static_cast<size_t>(b)];
+      auto& candidates = inbound[b];
+      size_t next = 0;
+      while (partition->bucket_size(b) > cap && next < candidates.size()) {
+        const VertexId v = candidates[next++];
+        partition->Move(v, original_bucket[v]);
+        ++outcome->num_reverted;
+        --outcome->num_moved;
+        outcome->gain_moved -= gains[v];
+        changed = true;
+      }
+      candidates.erase(candidates.begin(),
+                       candidates.begin() + static_cast<int64_t>(next));
+    }
+  }
+}
+
+}  // namespace shp

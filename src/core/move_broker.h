@@ -1,0 +1,130 @@
+// The move broker is the "master" of paper Fig. 3 supersteps 3-4: it
+// aggregates per-vertex move proposals, computes per-pair move
+// probabilities, and executes the simultaneous probabilistic moves.
+//
+// Two strategies:
+//  * kPlainProbability — Algorithm 1 verbatim: only positive-gain proposals
+//    count; probability for direction (i→j) is min(S_ij, S_ji)/S_ij.
+//  * kHistogramMatching — the §3.4 production scheme: per-pair signed gain
+//    histograms matched top-down, so the highest gains move first and
+//    positive/negative bins can pair when their sum is positive.
+//
+// Both preserve balance in expectation; a deterministic post-move repair
+// pass reverts the lowest-gain surplus moves of any bucket that exceeded
+// its hard capacity, so the ε constraint is never violated (the paper runs
+// with ε = 0.05 slack absorbing stochastic fluctuations; we enforce it).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/gain_histogram.h"
+#include "core/move_topology.h"
+#include "core/partition.h"
+#include "graph/bipartite_graph.h"
+
+namespace shp {
+
+class ThreadPool;
+
+struct MoveBrokerOptions {
+  enum class Strategy {
+    kPlainProbability,   ///< Algorithm 1 verbatim
+    kHistogramMatching,  ///< §3.4 distributed scheme (default)
+    /// §3.4's "ideal serial implementation": per bucket pair, two queues of
+    /// vertices sorted by gain, paired off highest-to-lowest while the pair
+    /// sum stays positive. Exact (no binning loss) and exactly
+    /// balance-preserving, but inherently centralized — usable only
+    /// single-machine; kept as the quality reference the histogram scheme
+    /// approximates.
+    kExactPairing,
+  };
+  Strategy strategy = Strategy::kHistogramMatching;
+  GainBinning binning;
+  /// Multiplies every move probability; <1 damps movement (used by
+  /// incremental repartitioning, paper §5(i)).
+  double probability_damping = 1.0;
+  /// Ceiling on any per-vertex move probability. Strictly below 1 so that
+  /// fully matched symmetric demands do not all execute simultaneously —
+  /// with probability exactly 1 a matched bucket pair swaps its entire
+  /// populations, which merely relabels the buckets and oscillates forever
+  /// (visible on the paper's Fig. 2 example). A 0.9 cap breaks the symmetry
+  /// while keeping expected flow balanced.
+  double max_move_probability = 0.9;
+  /// §3.4 "imbalanced swaps": also move unmatched positive-gain vertices
+  /// into buckets with spare capacity (histogram strategy only).
+  bool use_capacity_slack = true;
+};
+
+struct MoveOutcome {
+  uint64_t num_proposals = 0;  ///< vertices with a valid target
+  uint64_t num_moved = 0;      ///< moves that stuck (after repair)
+  uint64_t num_reverted = 0;   ///< repair reversions
+  double gain_moved = 0.0;     ///< Σ gains of surviving moves
+};
+
+/// Master-side state: per directed bucket pair (packed (from << 32) | to),
+/// per-gain-bin move probabilities.
+struct PairProbabilityTable {
+  std::unordered_map<uint64_t, std::vector<double>> probabilities;
+
+  /// Probability for a proposal (from, to, gain); 0 if the pair is unknown.
+  double Lookup(const GainBinning& binning, BucketId from, BucketId to,
+                double gain) const;
+};
+
+/// The master computation of supersteps 3-4 under histogram matching:
+/// matches the two directed histograms of every bucket pair and (optionally)
+/// spends spare capacity on unmatched positive bins (§3.4 imbalanced swaps).
+/// Shared between the threaded MoveBroker and the BSP master.
+PairProbabilityTable ComputePairProbabilities(
+    const MoveTopology& topo, const GainBinning& binning,
+    const std::unordered_map<uint64_t, DirectedGainHistogram>& histograms,
+    const Partition& partition, bool use_capacity_slack);
+
+class MoveBroker {
+ public:
+  explicit MoveBroker(MoveBrokerOptions options) : options_(options) {}
+
+  const MoveBrokerOptions& options() const { return options_; }
+
+  /// Executes one move round. targets[v] = proposed bucket (or -1);
+  /// gains[v] = proposal gain (improvement; may be ≤ 0 under histogram
+  /// matching). Deterministic in (seed, iteration) for a fixed thread count.
+  MoveOutcome Apply(const MoveTopology& topo,
+                    const std::vector<BucketId>& targets,
+                    const std::vector<double>& gains, uint64_t seed,
+                    uint64_t iteration, Partition* partition,
+                    ThreadPool* pool = nullptr);
+
+  /// Reverts lowest-gain surplus moves of over-capacity buckets until every
+  /// bucket fits its capacity (or nothing is left to revert). Public so the
+  /// BSP master can apply the identical repair.
+  static void RepairBalance(const MoveTopology& topo,
+                            const std::vector<VertexId>& moved,
+                            const std::vector<BucketId>& original_bucket,
+                            const std::vector<double>& gains,
+                            Partition* partition, MoveOutcome* outcome);
+
+ private:
+  MoveOutcome ApplyPlain(const MoveTopology& topo,
+                         const std::vector<BucketId>& targets,
+                         const std::vector<double>& gains, uint64_t seed,
+                         uint64_t iteration, Partition* partition,
+                         ThreadPool* pool);
+  MoveOutcome ApplyHistogram(const MoveTopology& topo,
+                             const std::vector<BucketId>& targets,
+                             const std::vector<double>& gains, uint64_t seed,
+                             uint64_t iteration, Partition* partition,
+                             ThreadPool* pool);
+  MoveOutcome ApplyExactPairing(const MoveTopology& topo,
+                                const std::vector<BucketId>& targets,
+                                const std::vector<double>& gains,
+                                uint64_t seed, uint64_t iteration,
+                                Partition* partition);
+
+  MoveBrokerOptions options_;
+};
+
+}  // namespace shp

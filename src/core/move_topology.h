@@ -1,0 +1,65 @@
+// Move topology: which buckets a vertex may move to, and each bucket's
+// capacity.
+//
+// Direct k-way SHP uses one group containing all k buckets. Recursive
+// partitioning constrains each vertex to the children of its current
+// subtree node (paper §3.3: "data vertices are constrained as to which
+// buckets they are allowed to be moved to"); every subtree being split
+// contributes one group whose members are its child bucket ids.
+//
+// Bucket ids are final-leaf ids (see core/partition.h), so they are sparse
+// within [0, k) during recursion; group membership is resolved through
+// group_of_bucket.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "objective/neighbor_data.h"
+
+namespace shp {
+
+struct MoveTopology {
+  BucketId k = 0;
+  /// Fast path: a single group over the contiguous bucket range [0, k).
+  bool full_k = false;
+  /// Per group: the bucket ids a member vertex may occupy (size ≥ 2).
+  std::vector<std::vector<BucketId>> group_children;
+  /// bucket id -> group index, or -1 if the bucket is not being refined.
+  std::vector<int32_t> group_of_bucket;
+  /// Hard size cap per bucket id ( (1+ε)·n·leaves(bucket)/k ).
+  std::vector<uint64_t> capacity;
+
+  /// Topology for direct k-way partitioning of n vertices.
+  static MoveTopology FullK(BucketId k, uint64_t n, double epsilon) {
+    MoveTopology topo;
+    topo.k = k;
+    topo.full_k = true;
+    topo.group_children.resize(1);
+    topo.group_children[0].reserve(static_cast<size_t>(k));
+    for (BucketId b = 0; b < k; ++b) topo.group_children[0].push_back(b);
+    topo.group_of_bucket.assign(static_cast<size_t>(k), 0);
+    topo.capacity.assign(static_cast<size_t>(k),
+                         BucketCapacity(n, k, /*leaves=*/1, epsilon));
+    return topo;
+  }
+
+  /// Hard capacity of a bucket owning `leaves` of the k final leaves:
+  /// floor((1+ε)·n·leaves/k), clamped below by ceil(n·leaves/k) so a
+  /// perfectly even split always fits (tiny instances may then exceed ε —
+  /// the paper's constraint is likewise infeasible at ε = 0 there).
+  static uint64_t BucketCapacity(uint64_t n, BucketId k, BucketId leaves,
+                                 double epsilon) {
+    const double share =
+        static_cast<double>(n) * static_cast<double>(leaves) /
+        static_cast<double>(k);
+    const uint64_t cap =
+        static_cast<uint64_t>(std::floor((1.0 + epsilon) * share + 1e-9));
+    const uint64_t feasible =
+        static_cast<uint64_t>(std::ceil(share - 1e-9));
+    return std::max(cap, feasible);
+  }
+};
+
+}  // namespace shp

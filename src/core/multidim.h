@@ -1,0 +1,58 @@
+// Multi-dimensional balance (paper §5(ii)): "we favor a simple heuristic
+// that produces c·k buckets for some c > 1 that have loose balance
+// requirements on all but one dimension, and merges them into k buckets to
+// satisfy load balance across all dimensions."
+//
+// The merge assigns exactly c sub-buckets to each final bucket (preserving
+// the primary vertex-count balance) while greedily minimizing the maximum
+// normalized load over all dimensions (LPT-style makespan heuristic).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/recursive.h"
+#include "graph/bipartite_graph.h"
+
+namespace shp {
+
+struct MultiDimOptions {
+  BucketId k = 2;
+  /// Oversampling factor c > 1; the SHP stage produces c·k buckets.
+  int oversample = 4;
+  /// Options for the c·k-bucket SHP stage (k is overwritten internally).
+  RecursiveOptions partition;
+};
+
+struct MultiDimResult {
+  std::vector<BucketId> assignment;  ///< final buckets in [0, k)
+  /// loads[b][d] = Σ weight of dimension d in final bucket b.
+  std::vector<std::vector<double>> loads;
+  /// Per-dimension imbalance: max_b loads[b][d] / (total_d / k) − 1.
+  std::vector<double> imbalance;
+  /// The intermediate c·k-bucket assignment (diagnostics).
+  std::vector<BucketId> fine_assignment;
+};
+
+class MultiDimBalancer {
+ public:
+  explicit MultiDimBalancer(const MultiDimOptions& options);
+
+  /// weights[v * num_dims + d] = load of vertex v in dimension d. All
+  /// weights must be ≥ 0 and each dimension must have positive total.
+  MultiDimResult Run(const BipartiteGraph& graph,
+                     const std::vector<double>& weights, int num_dims,
+                     ThreadPool* pool = nullptr) const;
+
+  /// Exposed for tests: merges c·k sub-bucket loads into k buckets, exactly
+  /// `oversample` sub-buckets per final bucket, minimizing max normalized
+  /// load. Returns sub-bucket -> final bucket.
+  static std::vector<BucketId> MergeSubBuckets(
+      const std::vector<std::vector<double>>& sub_loads, BucketId k,
+      int oversample);
+
+ private:
+  MultiDimOptions options_;
+};
+
+}  // namespace shp

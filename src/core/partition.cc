@@ -1,0 +1,99 @@
+#include "core/partition.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace shp {
+
+Partition::Partition(VertexId num_data, BucketId k) : k_(k) {
+  SHP_CHECK_GT(k, 0);
+  assignment_.assign(num_data, 0);
+  sizes_.assign(static_cast<size_t>(k), 0);
+  sizes_[0] = num_data;
+}
+
+Partition Partition::Random(VertexId num_data, BucketId k, uint64_t seed) {
+  SHP_CHECK_GT(k, 0);
+  Partition p;
+  p.k_ = k;
+  p.assignment_.resize(num_data);
+  p.sizes_.assign(static_cast<size_t>(k), 0);
+  for (VertexId v = 0; v < num_data; ++v) {
+    const BucketId b = static_cast<BucketId>(
+        HashToBounded(seed, v, 0x1417, static_cast<uint64_t>(k)));
+    p.assignment_[v] = b;
+    ++p.sizes_[static_cast<size_t>(b)];
+  }
+  return p;
+}
+
+Partition Partition::BalancedRandom(VertexId num_data, BucketId k,
+                                    uint64_t seed) {
+  SHP_CHECK_GT(k, 0);
+  std::vector<VertexId> order(num_data);
+  for (VertexId v = 0; v < num_data; ++v) order[v] = v;
+  std::sort(order.begin(), order.end(), [seed](VertexId a, VertexId b) {
+    const uint64_t ha = HashCombine(seed, a, 0xba1a);
+    const uint64_t hb = HashCombine(seed, b, 0xba1a);
+    if (ha != hb) return ha < hb;
+    return a < b;
+  });
+  Partition p;
+  p.k_ = k;
+  p.assignment_.resize(num_data);
+  p.sizes_.assign(static_cast<size_t>(k), 0);
+  for (VertexId rank = 0; rank < num_data; ++rank) {
+    const BucketId b = static_cast<BucketId>(rank % static_cast<VertexId>(k));
+    p.assignment_[order[rank]] = b;
+    ++p.sizes_[static_cast<size_t>(b)];
+  }
+  return p;
+}
+
+Partition Partition::FromAssignment(std::vector<BucketId> assignment,
+                                    BucketId k) {
+  SHP_CHECK_GT(k, 0);
+  Partition p;
+  p.k_ = k;
+  p.assignment_ = std::move(assignment);
+  p.sizes_.assign(static_cast<size_t>(k), 0);
+  for (BucketId b : p.assignment_) {
+    SHP_CHECK(b >= 0 && b < k) << "assignment value out of range";
+    ++p.sizes_[static_cast<size_t>(b)];
+  }
+  return p;
+}
+
+void Partition::Move(VertexId v, BucketId to) {
+  const BucketId from = assignment_[v];
+  if (from == to) return;
+  SHP_DCHECK(to >= 0 && to < k_);
+  --sizes_[static_cast<size_t>(from)];
+  ++sizes_[static_cast<size_t>(to)];
+  assignment_[v] = to;
+}
+
+double Partition::ImbalanceRatio() const {
+  if (assignment_.empty() || k_ == 0) return 0.0;
+  const double ideal =
+      static_cast<double>(assignment_.size()) / static_cast<double>(k_);
+  const uint64_t biggest = *std::max_element(sizes_.begin(), sizes_.end());
+  return static_cast<double>(biggest) / ideal - 1.0;
+}
+
+bool Partition::IsBalanced(double epsilon) const {
+  return ImbalanceRatio() <= epsilon + 1e-9;
+}
+
+void Partition::CheckInvariants() const {
+  std::vector<uint64_t> recount(static_cast<size_t>(k_), 0);
+  for (BucketId b : assignment_) {
+    SHP_CHECK(b >= 0 && b < k_) << "bucket id out of range";
+    ++recount[static_cast<size_t>(b)];
+  }
+  SHP_CHECK(recount == sizes_) << "bucket sizes out of sync with assignment";
+}
+
+}  // namespace shp

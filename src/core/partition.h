@@ -1,0 +1,74 @@
+// Partition state: the bucket assignment of every data vertex plus
+// materialized bucket sizes and balance checks.
+//
+// Bucket ids are final-leaf ids in [0, k). During recursive partitioning a
+// vertex's bucket is the *first leaf* of its current subtree (so ids remain
+// a subset of [0, k) at every level and converge to all of [0, k) at the
+// last level); see core/recursive.h.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "objective/neighbor_data.h"
+
+namespace shp {
+
+class Partition {
+ public:
+  Partition() = default;
+
+  /// All vertices in bucket 0 (recursive partitioning starts here).
+  Partition(VertexId num_data, BucketId k);
+
+  /// Uniform random assignment: "for every vertex, we independently pick a
+  /// random bucket, which for large graphs guarantees an initial perfect
+  /// balance" (paper §3.1). Deterministic in seed.
+  static Partition Random(VertexId num_data, BucketId k, uint64_t seed);
+
+  /// Random assignment with *exact* balance (sizes differ by ≤ 1): vertices
+  /// are ranked by a hash and dealt round-robin. Equivalent to Random in
+  /// distribution at large n, but feasible even for tiny instances where
+  /// independent draws can exceed (1+ε)·n/k; drivers use this for their
+  /// initial state.
+  static Partition BalancedRandom(VertexId num_data, BucketId k,
+                                  uint64_t seed);
+
+  /// Adopts an existing assignment (values must lie in [0, k)).
+  static Partition FromAssignment(std::vector<BucketId> assignment,
+                                  BucketId k);
+
+  BucketId k() const { return k_; }
+  VertexId num_data() const {
+    return static_cast<VertexId>(assignment_.size());
+  }
+
+  BucketId bucket_of(VertexId v) const { return assignment_[v]; }
+  uint64_t bucket_size(BucketId b) const {
+    return sizes_[static_cast<size_t>(b)];
+  }
+  const std::vector<BucketId>& assignment() const { return assignment_; }
+  const std::vector<uint64_t>& sizes() const { return sizes_; }
+
+  /// Moves v to bucket `to`, updating sizes. No-op when already there.
+  void Move(VertexId v, BucketId to);
+
+  /// max_i |V_i| / (n/k) − 1: the ε the current assignment realizes,
+  /// measured against perfectly equal buckets.
+  double ImbalanceRatio() const;
+
+  /// True iff every bucket satisfies |V_i| ≤ (1+ε)·n/k.
+  bool IsBalanced(double epsilon) const;
+
+  /// Recomputes sizes from the assignment and verifies ranges; aborts on
+  /// corruption. Used by tests and after bulk edits.
+  void CheckInvariants() const;
+
+ private:
+  std::vector<BucketId> assignment_;
+  std::vector<uint64_t> sizes_;
+  BucketId k_ = 0;
+};
+
+}  // namespace shp

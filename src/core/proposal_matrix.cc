@@ -1,0 +1,31 @@
+#include "core/proposal_matrix.h"
+
+#include <algorithm>
+
+namespace shp {
+
+double ProposalMatrix::MoveProbability(BucketId from, BucketId to) const {
+  const uint64_t forward = Count(from, to);
+  if (forward == 0) return 0.0;
+  const uint64_t backward = Count(to, from);
+  return static_cast<double>(std::min(forward, backward)) /
+         static_cast<double>(forward);
+}
+
+void ProposalMatrix::Merge(const ProposalMatrix& other) {
+  for (const auto& [key, count] : other.counts_) counts_[key] += count;
+}
+
+std::vector<std::pair<BucketId, BucketId>> ProposalMatrix::SortedPairs()
+    const {
+  std::vector<std::pair<BucketId, BucketId>> pairs;
+  pairs.reserve(counts_.size());
+  for (const auto& [key, count] : counts_) {
+    pairs.emplace_back(static_cast<BucketId>(key >> 32),
+                       static_cast<BucketId>(key & 0xffffffffULL));
+  }
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+}  // namespace shp

@@ -1,0 +1,110 @@
+#include "core/refiner.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+
+namespace shp {
+
+Refiner::Refiner(const BipartiteGraph& graph, const RefinerOptions& options)
+    : graph_(graph),
+      options_(options),
+      gain_(options.p, static_cast<uint32_t>(graph.MaxQueryDegree()),
+            options.future_splits),
+      broker_(options.broker) {}
+
+IterationStats Refiner::RunIteration(const MoveTopology& topo,
+                                     Partition* partition, uint64_t seed,
+                                     uint64_t iteration, ThreadPool* pool,
+                                     const std::vector<BucketId>* anchor,
+                                     double anchor_penalty) {
+  SHP_CHECK_EQ(partition->num_data(), graph_.num_data());
+  if (pool == nullptr) pool = &GlobalThreadPool();
+  const VertexId n = graph_.num_data();
+
+  // Supersteps 1-2: collect neighbor data, compute move gains.
+  ndata_.Build(graph_, partition->assignment(), pool);
+  targets_.assign(n, -1);
+  gains_.assign(n, 0.0);
+
+  pool->ParallelFor(n, [&](size_t begin, size_t end, size_t) {
+    // Per-chunk scratch for the k-way affinity scan.
+    std::vector<double> affinity;
+    std::vector<BucketId> touched;
+    if (topo.full_k) {
+      affinity.assign(static_cast<size_t>(topo.k), 0.0);
+    }
+    for (size_t vi = begin; vi < end; ++vi) {
+      const VertexId v = static_cast<VertexId>(vi);
+      if (graph_.DataDegree(v) == 0) continue;  // isolated: nothing to gain
+      const BucketId from = partition->bucket_of(v);
+      const int32_t group = topo.group_of_bucket[static_cast<size_t>(from)];
+      if (group < 0) continue;  // bucket not refined at this level
+
+      BucketId best_target = -1;
+      double best_gain = 0.0;
+      if (topo.full_k) {
+        if (options_.exploration_probability > 0.0 &&
+            HashToUnitDouble(seed ^ 0xe791, iteration * 0x10001 + 1, v) <
+                options_.exploration_probability) {
+          // Exploration proposal: random target with its true gain.
+          const BucketId candidate = static_cast<BucketId>(HashToBounded(
+              seed ^ 0x77aa, iteration, v, static_cast<uint64_t>(topo.k)));
+          if (candidate != from) {
+            best_target = candidate;
+            best_gain = gain_.MoveGain(graph_, ndata_, v, from, candidate);
+          }
+        }
+        if (best_target < 0) {
+          auto best = gain_.FindBestTarget(graph_, ndata_, v, from, 0,
+                                           topo.k, &affinity, &touched);
+          best_target = best.bucket;
+          best_gain = best.gain;
+        }
+      } else {
+        const auto& children =
+            topo.group_children[static_cast<size_t>(group)];
+        bool first = true;
+        for (BucketId candidate : children) {
+          if (candidate == from) continue;
+          const double g = gain_.MoveGain(graph_, ndata_, v, from, candidate);
+          if (first || g > best_gain) {
+            best_gain = g;
+            best_target = candidate;
+            first = false;
+          }
+        }
+      }
+      if (best_target < 0) continue;
+
+      // Incremental-update penalty (paper §5(i)).
+      if (anchor != nullptr && anchor_penalty != 0.0) {
+        const BucketId home = (*anchor)[v];
+        if (from == home && best_target != home) best_gain -= anchor_penalty;
+        if (from != home && best_target == home) best_gain += anchor_penalty;
+      }
+
+      if (!options_.propose_nonpositive && best_gain <= 0.0) continue;
+      targets_[v] = best_target;
+      gains_[v] = best_gain;
+    }
+  });
+
+  // Supersteps 3-4: master aggregation, probabilistic moves, repair.
+  const MoveOutcome outcome =
+      broker_.Apply(topo, targets_, gains_, seed, iteration, partition, pool);
+
+  IterationStats stats;
+  stats.num_proposals = outcome.num_proposals;
+  stats.num_moved = outcome.num_moved;
+  stats.num_reverted = outcome.num_reverted;
+  stats.gain_moved = outcome.gain_moved;
+  stats.moved_fraction =
+      n == 0 ? 0.0
+             : static_cast<double>(outcome.num_moved) / static_cast<double>(n);
+  return stats;
+}
+
+}  // namespace shp

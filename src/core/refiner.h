@@ -1,0 +1,107 @@
+// One local-refinement iteration of Algorithm 1, threaded.
+//
+// The iteration mirrors the four supersteps of paper Fig. 3:
+//   1-2. rebuild query neighbor data and compute per-vertex move gains
+//        (parallel over queries, then over data vertices),
+//   3.   aggregate proposals at the "master" (MoveBroker),
+//   4.   execute probabilistic moves and repair balance.
+//
+// Gains honor the MoveTopology constraint: direct k-way search uses the
+// sparse-affinity best-target scan (k-independent per-vertex cost); grouped
+// recursion evaluates each sibling candidate directly (O(r · deg(v))).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/move_broker.h"
+#include "core/move_topology.h"
+#include "core/partition.h"
+#include "graph/bipartite_graph.h"
+#include "objective/gain.h"
+#include "objective/neighbor_data.h"
+
+namespace shp {
+
+class ThreadPool;
+
+struct RefinerOptions {
+  /// Fanout probability p ∈ (0, 1]; p = 1 optimizes fanout directly,
+  /// p → 0 optimizes the clique-net objective (Lemmas 1-2).
+  double p = 0.5;
+  /// §3.4 future-split objective: optimize the projected p-fanout after the
+  /// bucket splits into this many leaves (1 = plain p-fanout).
+  uint32_t future_splits = 1;
+  /// Propose the best target even when its gain is ≤ 0 (the histogram
+  /// matcher can still pair it profitably). Plain strategy ignores them.
+  bool propose_nonpositive = true;
+  /// With this probability a vertex proposes a uniformly random bucket
+  /// (with its true gain) instead of the argmax target. Deterministic
+  /// argmax proposals herd onto few buckets, which starves the pairwise
+  /// min(S_ij, S_ji) matching when buckets hold few vertices; a small
+  /// exploration rate diversifies the proposal matrix. 0 disables
+  /// (Algorithm 1 verbatim); the k-way driver defaults to a small value.
+  double exploration_probability = 0.0;
+  MoveBrokerOptions broker;
+};
+
+struct IterationStats {
+  uint64_t num_proposals = 0;
+  uint64_t num_moved = 0;
+  uint64_t num_reverted = 0;
+  double gain_moved = 0.0;
+  /// num_moved / num_data — the convergence signal (paper Fig. 7b).
+  double moved_fraction = 0.0;
+};
+
+/// Interface over refinement iteration engines. The threaded in-memory
+/// Refiner below is the default; the BSP message-passing implementation in
+/// engine/shp_bsp.h is a drop-in replacement used for the distributed
+/// experiments.
+class RefinerInterface {
+ public:
+  virtual ~RefinerInterface() = default;
+
+  /// Runs one iteration of Algorithm 1. `anchor`/`anchor_penalty` implement
+  /// incremental repartitioning (paper §5(i)): a move away from anchor[v] is
+  /// charged `anchor_penalty`, a move back is credited the same amount.
+  virtual IterationStats RunIteration(const MoveTopology& topo,
+                                      Partition* partition, uint64_t seed,
+                                      uint64_t iteration,
+                                      ThreadPool* pool = nullptr,
+                                      const std::vector<BucketId>* anchor =
+                                          nullptr,
+                                      double anchor_penalty = 0.0) = 0;
+};
+
+/// Factory installed into driver options to swap the iteration engine.
+using RefinerFactory = std::function<std::unique_ptr<RefinerInterface>(
+    const BipartiteGraph& graph, const RefinerOptions& options)>;
+
+class Refiner : public RefinerInterface {
+ public:
+  /// The graph must outlive the refiner.
+  Refiner(const BipartiteGraph& graph, const RefinerOptions& options);
+
+  IterationStats RunIteration(const MoveTopology& topo, Partition* partition,
+                              uint64_t seed, uint64_t iteration,
+                              ThreadPool* pool = nullptr,
+                              const std::vector<BucketId>* anchor = nullptr,
+                              double anchor_penalty = 0.0) override;
+
+  /// Neighbor data from the most recent iteration (for diagnostics/tests).
+  const QueryNeighborData& neighbor_data() const { return ndata_; }
+
+ private:
+  const BipartiteGraph& graph_;
+  RefinerOptions options_;
+  GainComputer gain_;
+  MoveBroker broker_;
+  QueryNeighborData ndata_;
+  std::vector<BucketId> targets_;
+  std::vector<double> gains_;
+};
+
+}  // namespace shp

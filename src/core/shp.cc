@@ -1,0 +1,82 @@
+#include "core/shp.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "core/partition.h"
+
+namespace shp {
+
+namespace {
+
+class ShpKAdapter : public Partitioner {
+ public:
+  explicit ShpKAdapter(const ShpKOptions& options) : options_(options) {}
+
+  std::string name() const override { return "SHP-k"; }
+
+  Result<std::vector<BucketId>> Partition(const BipartiteGraph& graph,
+                                          BucketId k,
+                                          ThreadPool* pool) override {
+    if (k < 2) return Status::InvalidArgument("k must be ≥ 2");
+    ShpKOptions options = options_;
+    options.k = k;
+    ShpKPartitioner partitioner(options);
+    return partitioner.Run(graph, pool).assignment;
+  }
+
+ private:
+  ShpKOptions options_;
+};
+
+class ShpRecursiveAdapter : public Partitioner {
+ public:
+  explicit ShpRecursiveAdapter(const RecursiveOptions& options)
+      : options_(options) {}
+
+  std::string name() const override {
+    return options_.branching == 2
+               ? "SHP-2"
+               : "SHP-r" + std::to_string(options_.branching);
+  }
+
+  Result<std::vector<BucketId>> Partition(const BipartiteGraph& graph,
+                                          BucketId k,
+                                          ThreadPool* pool) override {
+    if (k < 2) return Status::InvalidArgument("k must be ≥ 2");
+    RecursiveOptions options = options_;
+    options.k = k;
+    RecursivePartitioner partitioner(options);
+    return partitioner.Run(graph, pool).assignment;
+  }
+
+ private:
+  RecursiveOptions options_;
+};
+
+}  // namespace
+
+std::unique_ptr<Partitioner> MakeShpK(const ShpKOptions& options) {
+  return std::make_unique<ShpKAdapter>(options);
+}
+
+std::unique_ptr<Partitioner> MakeShpRecursive(
+    const RecursiveOptions& options) {
+  return std::make_unique<ShpRecursiveAdapter>(options);
+}
+
+PartitionSummary SummarizePartition(const BipartiteGraph& graph,
+                                    const std::vector<BucketId>& assignment,
+                                    BucketId k, double p, ThreadPool* pool) {
+  PartitionSummary summary;
+  summary.k = k;
+  summary.fanout = AverageFanout(graph, assignment, pool);
+  summary.p_fanout = AveragePFanout(graph, assignment, p, pool);
+  summary.hyperedge_cut = HyperedgeCut(graph, assignment, pool);
+  summary.clique_net_cut = CliqueNetCut(graph, assignment, pool);
+  summary.imbalance =
+      Partition::FromAssignment(assignment, k).ImbalanceRatio();
+  return summary;
+}
+
+}  // namespace shp

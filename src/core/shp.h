@@ -1,0 +1,67 @@
+// Public facade of the Social Hash Partitioner library.
+//
+// Quick use:
+//
+//   #include "core/shp.h"
+//   shp::RecursiveOptions options;
+//   options.k = 32;
+//   auto result = shp::RecursivePartitioner(options).Run(graph);
+//   double fanout = shp::AverageFanout(graph, result.assignment);
+//
+// The `Partitioner` interface gives all algorithms in this repository (SHP-k,
+// SHP-2/r, the multilevel/random/label-propagation baselines) a common shape
+// for the bench harnesses and examples.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/incremental.h"
+#include "core/multidim.h"
+#include "core/recursive.h"
+#include "core/shp_k.h"
+#include "graph/bipartite_graph.h"
+#include "objective/objective.h"
+
+namespace shp {
+
+class ThreadPool;
+
+/// Uniform interface over every partitioning algorithm in the repository.
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  /// Short display name ("SHP-2", "SHP-k", "Multilevel", ...).
+  virtual std::string name() const = 0;
+
+  /// Partitions the data vertices of `graph` into k buckets.
+  virtual Result<std::vector<BucketId>> Partition(const BipartiteGraph& graph,
+                                                  BucketId k,
+                                                  ThreadPool* pool) = 0;
+};
+
+/// SHP-k (direct k-way) as a Partitioner. `options.k` is overridden per call.
+std::unique_ptr<Partitioner> MakeShpK(const ShpKOptions& options);
+
+/// SHP-r recursive (r = 2 → SHP-2) as a Partitioner.
+std::unique_ptr<Partitioner> MakeShpRecursive(const RecursiveOptions& options);
+
+/// Quality summary of a finished partition.
+struct PartitionSummary {
+  double fanout = 0.0;       ///< average query fanout
+  double p_fanout = 0.0;     ///< p-fanout at the given p
+  uint64_t hyperedge_cut = 0;
+  uint64_t clique_net_cut = 0;
+  double imbalance = 0.0;    ///< realized ε
+  BucketId k = 0;
+};
+
+PartitionSummary SummarizePartition(const BipartiteGraph& graph,
+                                    const std::vector<BucketId>& assignment,
+                                    BucketId k, double p = 0.5,
+                                    ThreadPool* pool = nullptr);
+
+}  // namespace shp

@@ -1,0 +1,64 @@
+#include "core/shp_k.h"
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "core/move_topology.h"
+#include "core/partition.h"
+
+namespace shp {
+
+ShpKPartitioner::ShpKPartitioner(const ShpKOptions& options)
+    : options_(options) {
+  SHP_CHECK_GT(options.k, 1);
+  SHP_CHECK_GT(options.p, 0.0);
+  SHP_CHECK_LE(options.p, 1.0);
+  SHP_CHECK_GE(options.epsilon, 0.0);
+}
+
+ShpResult ShpKPartitioner::Run(const BipartiteGraph& graph, ThreadPool* pool,
+                               const IterationCallback& callback) const {
+  Partition initial =
+      Partition::BalancedRandom(graph.num_data(), options_.k, options_.seed);
+  return RunFrom(graph, initial.assignment(), pool, callback);
+}
+
+ShpResult ShpKPartitioner::RunFrom(const BipartiteGraph& graph,
+                                   std::vector<BucketId> warm_start,
+                                   ThreadPool* pool,
+                                   const IterationCallback& callback,
+                                   const std::vector<BucketId>* anchor,
+                                   double anchor_penalty) const {
+  if (pool == nullptr) pool = &GlobalThreadPool();
+  SHP_CHECK_EQ(warm_start.size(), graph.num_data());
+
+  Partition partition =
+      Partition::FromAssignment(std::move(warm_start), options_.k);
+  const MoveTopology topo =
+      MoveTopology::FullK(options_.k, graph.num_data(), options_.epsilon);
+
+  RefinerOptions refiner_options = options_.refiner;
+  refiner_options.p = options_.p;
+  refiner_options.future_splits = 1;
+  std::unique_ptr<RefinerInterface> refiner =
+      options_.refiner_factory
+          ? options_.refiner_factory(graph, refiner_options)
+          : std::make_unique<Refiner>(graph, refiner_options);
+
+  ShpResult result;
+  result.k = options_.k;
+  for (uint32_t iter = 0; iter < options_.max_iterations; ++iter) {
+    const IterationStats stats = refiner->RunIteration(
+        topo, &partition, options_.seed, iter, pool, anchor, anchor_penalty);
+    result.history.push_back({iter, stats});
+    ++result.iterations_run;
+    if (callback && !callback(iter, stats, partition)) break;
+    if (stats.moved_fraction < options_.min_move_fraction) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.assignment = partition.assignment();
+  return result;
+}
+
+}  // namespace shp

@@ -1,0 +1,75 @@
+// SHP-k: direct k-way fanout optimization (paper Algorithm 1 + §3.4).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/refiner.h"
+#include "graph/bipartite_graph.h"
+
+namespace shp {
+
+class ThreadPool;
+
+struct ShpKOptions {
+  ShpKOptions() {
+    // Direct k-way proposals herd onto few buckets when buckets hold few
+    // vertices (scaled-down instances); a small exploration rate keeps the
+    // pairwise swap matching fed. See RefinerOptions::exploration_probability.
+    refiner.exploration_probability = 0.05;
+  }
+
+  BucketId k = 2;
+  double p = 0.5;          ///< fanout probability (paper default)
+  double epsilon = 0.05;   ///< allowed imbalance (paper default)
+  uint32_t max_iterations = 60;  ///< paper default for SHP-k
+  /// Converged when moved fraction drops below this (paper reports <0.1%
+  /// after iteration 35 on soc-LJ).
+  double min_move_fraction = 1e-3;
+  uint64_t seed = 1;
+  RefinerOptions refiner;  ///< p/future_splits here are overwritten from above
+  /// Swaps the iteration engine (default: threaded in-memory Refiner).
+  RefinerFactory refiner_factory;
+};
+
+struct ShpIterationRecord {
+  uint32_t iteration = 0;
+  IterationStats stats;
+};
+
+struct ShpResult {
+  std::vector<BucketId> assignment;
+  BucketId k = 0;
+  uint32_t iterations_run = 0;
+  bool converged = false;
+  std::vector<ShpIterationRecord> history;
+};
+
+/// Per-iteration observer: called after each iteration with the live
+/// partition (used by the Fig. 7 convergence bench). Return false to stop.
+using IterationCallback = std::function<bool(
+    uint32_t iteration, const IterationStats&, const Partition&)>;
+
+class ShpKPartitioner {
+ public:
+  explicit ShpKPartitioner(const ShpKOptions& options);
+
+  /// Runs from a random initial assignment.
+  ShpResult Run(const BipartiteGraph& graph, ThreadPool* pool = nullptr,
+                const IterationCallback& callback = nullptr) const;
+
+  /// Runs from a caller-provided warm start (incremental repartitioning
+  /// passes the previous assignment here).
+  ShpResult RunFrom(const BipartiteGraph& graph,
+                    std::vector<BucketId> warm_start,
+                    ThreadPool* pool = nullptr,
+                    const IterationCallback& callback = nullptr,
+                    const std::vector<BucketId>* anchor = nullptr,
+                    double anchor_penalty = 0.0) const;
+
+ private:
+  ShpKOptions options_;
+};
+
+}  // namespace shp

@@ -1,0 +1,51 @@
+#include "engine/bsp_engine.h"
+
+#include <atomic>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+
+namespace shp {
+
+int VertexSharding::DataWorker(VertexId v) const {
+  return static_cast<int>(
+      HashToBounded(seed_, v, 0xda7a, static_cast<uint64_t>(num_workers_)));
+}
+
+int VertexSharding::QueryWorker(VertexId q) const {
+  return static_cast<int>(
+      HashToBounded(seed_, q, 0x9e12, static_cast<uint64_t>(num_workers_)));
+}
+
+std::vector<std::vector<VertexId>> VertexSharding::BuildDataShards(
+    const VertexSharding& sharding, VertexId num_data) {
+  std::vector<std::vector<VertexId>> shards(
+      static_cast<size_t>(sharding.num_workers()));
+  for (VertexId v = 0; v < num_data; ++v) {
+    shards[static_cast<size_t>(sharding.DataWorker(v))].push_back(v);
+  }
+  return shards;
+}
+
+std::vector<std::vector<VertexId>> VertexSharding::BuildQueryShards(
+    const VertexSharding& sharding, VertexId num_queries) {
+  std::vector<std::vector<VertexId>> shards(
+      static_cast<size_t>(sharding.num_workers()));
+  for (VertexId q = 0; q < num_queries; ++q) {
+    shards[static_cast<size_t>(sharding.QueryWorker(q))].push_back(q);
+  }
+  return shards;
+}
+
+std::vector<uint64_t> RunPhase(
+    int num_workers, ThreadPool* pool,
+    const std::function<uint64_t(int worker)>& phase) {
+  if (pool == nullptr) pool = &GlobalThreadPool();
+  std::vector<uint64_t> work(static_cast<size_t>(num_workers), 0);
+  pool->ParallelForEach(static_cast<size_t>(num_workers), [&](size_t w) {
+    work[w] = phase(static_cast<int>(w));
+  });
+  return work;
+}
+
+}  // namespace shp

@@ -1,0 +1,79 @@
+// Minimal BSP (Pregel/Giraph-style) execution scaffolding for the simulated
+// cluster: worker sharding, superstep phases with barriers, and per-superstep
+// accounting (paper §3.2 Fig. 3).
+//
+// A "phase" is a function executed once per worker, in parallel; the call
+// returns when all workers finish — that return is the synchronization
+// barrier. Phases also report abstract work units (loop operations), which
+// the CostModel converts into simulated machine time independently of host
+// scheduling noise.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "engine/message_router.h"
+#include "graph/bipartite_graph.h"
+
+namespace shp {
+
+class ThreadPool;
+
+struct BspConfig {
+  int num_workers = 4;  ///< simulated machines (paper's experiments use 4-16)
+  uint64_t shard_seed = 0x5ca1ab1e;  ///< vertex -> worker hashing seed
+};
+
+/// Accounting for one executed superstep.
+struct SuperstepStats {
+  std::string label;      ///< e.g. "collect-neighbor-data"
+  uint64_t superstep = 0;
+  RouteStats traffic;
+  /// Work units per worker (max over workers drives simulated time).
+  std::vector<uint64_t> work_units;
+
+  uint64_t MaxWork() const {
+    uint64_t best = 0;
+    for (uint64_t w : work_units) best = std::max(best, w);
+    return best;
+  }
+  uint64_t TotalWork() const {
+    uint64_t total = 0;
+    for (uint64_t w : work_units) total += w;
+    return total;
+  }
+};
+
+/// Hash-sharding of vertices over workers (Giraph random distribution).
+class VertexSharding {
+ public:
+  VertexSharding(int num_workers, uint64_t seed)
+      : num_workers_(num_workers), seed_(seed) {}
+
+  int num_workers() const { return num_workers_; }
+
+  /// Worker owning data vertex v. Data and query id spaces are disjoint
+  /// sides of the bipartite graph, so they use distinct salts.
+  int DataWorker(VertexId v) const;
+  int QueryWorker(VertexId q) const;
+
+  /// Local data/query vertex lists per worker, built once per graph.
+  static std::vector<std::vector<VertexId>> BuildDataShards(
+      const VertexSharding& sharding, VertexId num_data);
+  static std::vector<std::vector<VertexId>> BuildQueryShards(
+      const VertexSharding& sharding, VertexId num_queries);
+
+ private:
+  int num_workers_;
+  uint64_t seed_;
+};
+
+/// Runs `phase(worker)` once per worker in parallel and blocks (= barrier).
+/// Returns per-worker work units as reported by the phase's return value.
+std::vector<uint64_t> RunPhase(
+    int num_workers, ThreadPool* pool,
+    const std::function<uint64_t(int worker)>& phase);
+
+}  // namespace shp

@@ -1,0 +1,3 @@
+// MessageRouter is header-only (templated); this translation unit exists to
+// anchor the library target and hold non-template helpers if they appear.
+#include "engine/message_router.h"

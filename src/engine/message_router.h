@@ -1,0 +1,111 @@
+// Typed message routing between simulated BSP workers.
+//
+// Workers are threads standing in for Giraph machines; vertices are
+// hash-distributed over workers ("Giraph distributes vertices among machines
+// in a Giraph cluster randomly", paper §3.3). During a superstep each worker
+// appends messages into its own row of a W×W buffer matrix — single-writer
+// per row, so no locks — and after the barrier each destination worker
+// drains its column.
+//
+// The router counts messages and bytes, separating worker-local deliveries
+// (free in Giraph: "replaced with a read from the local memory") from remote
+// ones, which is exactly the quantity the paper's communication-complexity
+// analysis bounds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace shp {
+
+/// Aggregated traffic counts of one superstep.
+struct RouteStats {
+  uint64_t local_messages = 0;
+  uint64_t remote_messages = 0;
+  uint64_t remote_bytes = 0;
+
+  RouteStats& operator+=(const RouteStats& other) {
+    local_messages += other.local_messages;
+    remote_messages += other.remote_messages;
+    remote_bytes += other.remote_bytes;
+    return *this;
+  }
+};
+
+template <typename Message>
+class MessageRouter {
+ public:
+  explicit MessageRouter(int num_workers) : num_workers_(num_workers) {
+    SHP_CHECK_GT(num_workers, 0);
+    buffers_.resize(static_cast<size_t>(num_workers) * num_workers);
+    out_bytes_.assign(static_cast<size_t>(num_workers), 0);
+    in_bytes_.assign(static_cast<size_t>(num_workers), 0);
+  }
+
+  int num_workers() const { return num_workers_; }
+
+  /// Called by worker `src` only (single-writer row).
+  void Send(int src, int dst, Message message) {
+    buffers_[Index(src, dst)].push_back(std::move(message));
+  }
+
+  /// Messages addressed to `dst` from `src` (drained after the barrier).
+  const std::vector<Message>& Incoming(int src, int dst) const {
+    return buffers_[Index(src, dst)];
+  }
+
+  /// Tallies traffic (counting `bytes_per_message` for remote ones), then
+  /// clears all buffers. Call once per superstep after consumption.
+  RouteStats CollectAndClear(size_t bytes_per_message) {
+    return CollectAndClearSized(
+        [bytes_per_message](const Message&) { return bytes_per_message; });
+  }
+
+  /// Variable-size variant: `size_of(msg)` gives each message's wire bytes.
+  template <typename SizeFn>
+  RouteStats CollectAndClearSized(const SizeFn& size_of) {
+    RouteStats stats;
+    for (int src = 0; src < num_workers_; ++src) {
+      for (int dst = 0; dst < num_workers_; ++dst) {
+        const auto& buffer = buffers_[Index(src, dst)];
+        if (src == dst) {
+          stats.local_messages += buffer.size();
+          continue;
+        }
+        stats.remote_messages += buffer.size();
+        uint64_t bytes = 0;
+        for (const Message& m : buffer) bytes += size_of(m);
+        stats.remote_bytes += bytes;
+        out_bytes_[static_cast<size_t>(src)] += bytes;
+        in_bytes_[static_cast<size_t>(dst)] += bytes;
+      }
+    }
+    for (auto& buffer : buffers_) buffer.clear();
+    return stats;
+  }
+
+  /// Per-worker remote byte counters accumulated across supersteps (used by
+  /// the cost model's max-over-workers term); reset with ResetByteCounters.
+  const std::vector<uint64_t>& out_bytes() const { return out_bytes_; }
+  const std::vector<uint64_t>& in_bytes() const { return in_bytes_; }
+  void ResetByteCounters() {
+    std::fill(out_bytes_.begin(), out_bytes_.end(), 0);
+    std::fill(in_bytes_.begin(), in_bytes_.end(), 0);
+  }
+
+ private:
+  size_t Index(int src, int dst) const {
+    SHP_DCHECK(src >= 0 && src < num_workers_);
+    SHP_DCHECK(dst >= 0 && dst < num_workers_);
+    return static_cast<size_t>(src) * num_workers_ + dst;
+  }
+
+  int num_workers_;
+  std::vector<std::vector<Message>> buffers_;
+  std::vector<uint64_t> out_bytes_;
+  std::vector<uint64_t> in_bytes_;
+};
+
+}  // namespace shp

@@ -1,0 +1,462 @@
+#include "engine/shp_bsp.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/move_broker.h"
+
+namespace shp {
+
+namespace {
+
+/// Superstep-1 payload: bucket-count delta of one query's neighbor data.
+/// Combined per (source worker, query, bucket): Giraph's combiner merges
+/// same-destination messages before the wire.
+struct BucketDeltaMsg {
+  VertexId query;
+  BucketId bucket;
+  int32_t delta;
+};
+
+/// Superstep-2 payload: one query's (restricted) neighbor data, shipped once
+/// per destination worker and fanned out locally.
+struct NeighborDataMsg {
+  VertexId query;
+  std::vector<BucketCount> entries;
+};
+
+uint64_t PackPair(BucketId a, BucketId b) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+         static_cast<uint32_t>(b);
+}
+
+uint32_t CountFor(const std::vector<BucketCount>& entries, BucketId b) {
+  const auto it = std::lower_bound(
+      entries.begin(), entries.end(), b,
+      [](const BucketCount& e, BucketId bucket) { return e.bucket < bucket; });
+  if (it != entries.end() && it->bucket == b) return it->count;
+  return 0;
+}
+
+}  // namespace
+
+BspRefiner::BspRefiner(const BipartiteGraph& graph,
+                       const RefinerOptions& options, const BspConfig& config,
+                       std::vector<SuperstepStats>* log)
+    : graph_(graph),
+      options_(options),
+      config_(config),
+      pow_table_(1.0 - options.p / std::max<uint32_t>(1, options.future_splits),
+                 static_cast<uint32_t>(graph.MaxQueryDegree()) + 2),
+      sharding_(config.num_workers, config.shard_seed),
+      log_(log) {
+  SHP_CHECK_GT(config.num_workers, 0);
+  data_shards_ = VertexSharding::BuildDataShards(sharding_, graph.num_data());
+  query_shards_ =
+      VertexSharding::BuildQueryShards(sharding_, graph.num_queries());
+  query_ndata_.resize(graph.num_queries());
+  query_dirty_.assign(graph.num_queries(), 1);
+  known_assignment_.assign(graph.num_data(), -1);
+  cached_target_.assign(graph.num_data(), -1);
+  cached_gain_.assign(graph.num_data(), 0.0);
+}
+
+uint64_t BspRefiner::MaxWorkerStateBytes() const {
+  uint64_t worst = 0;
+  for (int w = 0; w < config_.num_workers; ++w) {
+    uint64_t bytes = 0;
+    for (VertexId v : data_shards_[static_cast<size_t>(w)]) {
+      bytes += graph_.DataDegree(v) * sizeof(VertexId) + 16;
+    }
+    for (VertexId q : query_shards_[static_cast<size_t>(w)]) {
+      bytes += graph_.QueryDegree(q) * sizeof(VertexId) +
+               query_ndata_[q].size() * sizeof(BucketCount) + 16;
+    }
+    worst = std::max(worst, bytes);
+  }
+  return worst;
+}
+
+IterationStats BspRefiner::RunIteration(const MoveTopology& topo,
+                                        Partition* partition, uint64_t seed,
+                                        uint64_t iteration, ThreadPool* pool,
+                                        const std::vector<BucketId>* anchor,
+                                        double anchor_penalty) {
+  if (pool == nullptr) pool = &GlobalThreadPool();
+  const int W = config_.num_workers;
+  const uint64_t base_superstep =
+      log_ == nullptr ? 0 : static_cast<uint64_t>(log_->size());
+
+  // ---------------------------------------------------------------- S1 ---
+  // data -> query: bucket deltas from vertices whose bucket differs from
+  // what their queries last saw. First iteration: everyone announces.
+  MessageRouter<BucketDeltaMsg> router1(W);
+  std::vector<uint64_t> s1_send_work =
+      RunPhase(W, pool, [&](int w) -> uint64_t {
+        uint64_t work = 0;
+        // Combine deltas per (dst worker, query, bucket) before "sending".
+        std::vector<std::unordered_map<uint64_t, int32_t>> combined(
+            static_cast<size_t>(W));
+        for (VertexId v : data_shards_[static_cast<size_t>(w)]) {
+          const BucketId now = partition->bucket_of(v);
+          const BucketId before = known_assignment_[v];
+          if (now == before) continue;
+          for (VertexId q : graph_.DataNeighbors(v)) {
+            const int dst = sharding_.QueryWorker(q);
+            auto& slot = combined[static_cast<size_t>(dst)];
+            if (before >= 0) {
+              --slot[PackPair(static_cast<BucketId>(q), before)];
+            }
+            ++slot[PackPair(static_cast<BucketId>(q), now)];
+            work += 2;
+          }
+          known_assignment_[v] = now;
+        }
+        for (int dst = 0; dst < W; ++dst) {
+          for (const auto& [key, delta] : combined[static_cast<size_t>(dst)]) {
+            if (delta == 0) continue;
+            router1.Send(w, dst,
+                         BucketDeltaMsg{static_cast<VertexId>(key >> 32),
+                                        static_cast<BucketId>(key &
+                                                              0xffffffffULL),
+                                        delta});
+          }
+        }
+        return work;
+      });
+
+  // Receive: owner workers fold deltas into their queries' neighbor data.
+  std::vector<uint64_t> s1_recv_work =
+      RunPhase(W, pool, [&](int w) -> uint64_t {
+        uint64_t work = 0;
+        for (int src = 0; src < W; ++src) {
+          for (const BucketDeltaMsg& m : router1.Incoming(src, w)) {
+            auto& entries = query_ndata_[m.query];
+            auto it = std::lower_bound(
+                entries.begin(), entries.end(), m.bucket,
+                [](const BucketCount& e, BucketId b) { return e.bucket < b; });
+            if (it != entries.end() && it->bucket == m.bucket) {
+              const int64_t next =
+                  static_cast<int64_t>(it->count) + m.delta;
+              SHP_DCHECK(next >= 0);
+              if (next == 0) {
+                entries.erase(it);
+              } else {
+                it->count = static_cast<uint32_t>(next);
+              }
+            } else {
+              SHP_DCHECK(m.delta > 0);
+              entries.insert(it,
+                             {m.bucket, static_cast<uint32_t>(m.delta)});
+            }
+            query_dirty_[m.query] = 1;
+            ++work;
+          }
+        }
+        return work;
+      });
+
+  SuperstepStats s1;
+  s1.label = "1:collect-neighbor-data";
+  s1.superstep = base_superstep;
+  s1.traffic = router1.CollectAndClear(sizeof(BucketDeltaMsg));
+  s1.work_units.resize(static_cast<size_t>(W));
+  for (int w = 0; w < W; ++w) {
+    s1.work_units[static_cast<size_t>(w)] =
+        s1_send_work[static_cast<size_t>(w)] +
+        s1_recv_work[static_cast<size_t>(w)];
+  }
+
+  // ---------------------------------------------------------------- S2 ---
+  // query -> data: dirty queries ship their topology-relevant neighbor data,
+  // one combined message per destination worker.
+  MessageRouter<NeighborDataMsg> router2(W);
+  std::vector<uint64_t> s2_send_work =
+      RunPhase(W, pool, [&](int w) -> uint64_t {
+        uint64_t work = 0;
+        std::vector<uint8_t> dst_mask(static_cast<size_t>(W));
+        for (VertexId q : query_shards_[static_cast<size_t>(w)]) {
+          if (!query_dirty_[q]) continue;
+          // Restrict to buckets active in this topology (recursion sends
+          // "at most r values" per §3.3).
+          std::vector<BucketCount> restricted;
+          restricted.reserve(query_ndata_[q].size());
+          for (const BucketCount& e : query_ndata_[q]) {
+            if (topo.group_of_bucket[static_cast<size_t>(e.bucket)] >= 0) {
+              restricted.push_back(e);
+            }
+          }
+          if (restricted.empty()) continue;
+          std::fill(dst_mask.begin(), dst_mask.end(), 0);
+          for (VertexId v : graph_.QueryNeighbors(q)) {
+            dst_mask[static_cast<size_t>(sharding_.DataWorker(v))] = 1;
+          }
+          for (int dst = 0; dst < W; ++dst) {
+            if (!dst_mask[static_cast<size_t>(dst)]) continue;
+            router2.Send(w, dst, NeighborDataMsg{q, restricted});
+            work += restricted.size();
+          }
+        }
+        return work;
+      });
+
+  // Receive: mark data vertices adjacent to dirty queries for gain
+  // recomputation, then recompute their proposals.
+  std::vector<uint8_t> recompute(graph_.num_data(), 0);
+  RunPhase(W, pool, [&](int w) -> uint64_t {
+    uint64_t work = 0;
+    for (int src = 0; src < W; ++src) {
+      for (const NeighborDataMsg& m : router2.Incoming(src, w)) {
+        for (VertexId v : graph_.QueryNeighbors(m.query)) {
+          if (sharding_.DataWorker(v) == w) recompute[v] = 1;
+        }
+        work += m.entries.size();
+      }
+    }
+    return work;
+  });
+
+  std::vector<uint64_t> s2_gain_work =
+      RunPhase(W, pool, [&](int w) -> uint64_t {
+        uint64_t work = 0;
+        std::vector<double> affinity;
+        std::vector<BucketId> touched;
+        if (topo.full_k) {
+          affinity.assign(static_cast<size_t>(topo.k), 0.0);
+        }
+        const double p = options_.p;
+        for (VertexId v : data_shards_[static_cast<size_t>(w)]) {
+          const BucketId from = partition->bucket_of(v);
+          const int32_t group =
+              topo.group_of_bucket[static_cast<size_t>(from)];
+          if (group < 0) {
+            cached_target_[v] = -1;
+            continue;
+          }
+          if (!recompute[v] && cached_target_[v] >= 0) continue;  // clean
+          if (graph_.DataDegree(v) == 0) {
+            cached_target_[v] = -1;
+            continue;
+          }
+
+          BucketId best_target = -1;
+          double best_gain = 0.0;
+          if (topo.full_k) {
+            // Sparse affinity scan over the received neighbor data.
+            touched.clear();
+            double base = 0.0;
+            double degree = 0.0;
+            for (VertexId q : graph_.DataNeighbors(v)) {
+              degree += 1.0;
+              for (const BucketCount& e : query_ndata_[q]) {
+                work += 1;
+                if (e.bucket == from) {
+                  base += pow_table_.Pow(e.count - 1);
+                  continue;
+                }
+                if (affinity[static_cast<size_t>(e.bucket)] == 0.0) {
+                  touched.push_back(e.bucket);
+                }
+                affinity[static_cast<size_t>(e.bucket)] +=
+                    1.0 - pow_table_.Pow(e.count);
+              }
+            }
+            double best_affinity = 0.0;
+            for (BucketId b : touched) {
+              if (affinity[static_cast<size_t>(b)] > best_affinity + 1e-15) {
+                best_affinity = affinity[static_cast<size_t>(b)];
+                best_target = b;
+              }
+            }
+            if (best_target == -1) {
+              best_target = from == 0 ? 1 : 0;
+              if (best_target >= topo.k) best_target = -1;
+            }
+            for (BucketId b : touched) {
+              affinity[static_cast<size_t>(b)] = 0.0;
+            }
+            if (best_target >= 0) {
+              best_gain = p * (base - (degree - best_affinity));
+            }
+          } else {
+            const auto& children =
+                topo.group_children[static_cast<size_t>(group)];
+            bool first = true;
+            for (BucketId candidate : children) {
+              if (candidate == from) continue;
+              double gain = 0.0;
+              for (VertexId q : graph_.DataNeighbors(v)) {
+                const uint32_t n_from = CountFor(query_ndata_[q], from);
+                const uint32_t n_to = CountFor(query_ndata_[q], candidate);
+                SHP_DCHECK(n_from >= 1);
+                gain += pow_table_.Pow(n_from - 1) - pow_table_.Pow(n_to);
+                work += 2;
+              }
+              gain *= p;
+              if (first || gain > best_gain) {
+                best_gain = gain;
+                best_target = candidate;
+                first = false;
+              }
+            }
+          }
+
+          if (best_target >= 0 && anchor != nullptr &&
+              anchor_penalty != 0.0) {
+            const BucketId home = (*anchor)[v];
+            if (from == home && best_target != home) {
+              best_gain -= anchor_penalty;
+            }
+            if (from != home && best_target == home) {
+              best_gain += anchor_penalty;
+            }
+          }
+          if (best_target >= 0 && !options_.propose_nonpositive &&
+              best_gain <= 0.0) {
+            best_target = -1;
+          }
+          cached_target_[v] = best_target;
+          cached_gain_[v] = best_target >= 0 ? best_gain : 0.0;
+        }
+        return work;
+      });
+
+  // Queries consumed their dirty flag by sending.
+  RunPhase(W, pool, [&](int w) -> uint64_t {
+    for (VertexId q : query_shards_[static_cast<size_t>(w)]) {
+      query_dirty_[q] = 0;
+    }
+    return 0;
+  });
+
+  SuperstepStats s2;
+  s2.label = "2:ship-neighbor-data+gains";
+  s2.superstep = base_superstep + 1;
+  s2.traffic = router2.CollectAndClearSized([](const NeighborDataMsg& m) {
+    return sizeof(VertexId) + m.entries.size() * sizeof(BucketCount);
+  });
+  s2.work_units.resize(static_cast<size_t>(W));
+  for (int w = 0; w < W; ++w) {
+    s2.work_units[static_cast<size_t>(w)] =
+        s2_send_work[static_cast<size_t>(w)] +
+        s2_gain_work[static_cast<size_t>(w)];
+  }
+
+  // ---------------------------------------------------------------- S3 ---
+  // data -> master: per-worker histograms of (pair, bin) proposal counts.
+  const GainBinning& binning = options_.broker.binning;
+  std::vector<std::unordered_map<uint64_t, DirectedGainHistogram>>
+      worker_histograms(static_cast<size_t>(W));
+  std::vector<uint64_t> s3_work = RunPhase(W, pool, [&](int w) -> uint64_t {
+    uint64_t work = 0;
+    auto& local = worker_histograms[static_cast<size_t>(w)];
+    for (VertexId v : data_shards_[static_cast<size_t>(w)]) {
+      if (cached_target_[v] < 0) continue;
+      auto& h = local[PackPair(partition->bucket_of(v), cached_target_[v])];
+      if (h.counts.empty()) h.Init(binning);
+      h.Add(binning, cached_gain_[v]);
+      ++work;
+    }
+    return work;
+  });
+
+  // Master merge (the master is a distinct machine; every worker's
+  // histogram entries cross the wire).
+  std::unordered_map<uint64_t, DirectedGainHistogram> histograms;
+  uint64_t s3_remote_entries = 0;
+  uint64_t num_proposals = 0;
+  for (int w = 0; w < W; ++w) {
+    for (const auto& [key, h] : worker_histograms[static_cast<size_t>(w)]) {
+      s3_remote_entries += h.counts.size();
+      auto& merged = histograms[key];
+      if (merged.counts.empty()) merged.Init(binning);
+      for (size_t bin = 0; bin < h.counts.size(); ++bin) {
+        merged.counts[bin] += h.counts[bin];
+        num_proposals += h.counts[bin];
+      }
+    }
+  }
+
+  SuperstepStats s3;
+  s3.label = "3:propose-to-master";
+  s3.superstep = base_superstep + 2;
+  s3.traffic.remote_messages = s3_remote_entries;
+  s3.traffic.remote_bytes = s3_remote_entries * sizeof(uint64_t);
+  s3.work_units = s3_work;
+
+  // ---------------------------------------------------------------- S4 ---
+  // master -> data: probabilities; vertices draw and move; master repairs.
+  const PairProbabilityTable table =
+      ComputePairProbabilities(topo, binning, histograms, *partition,
+                               options_.broker.use_capacity_slack);
+
+  std::vector<uint8_t> decided(graph_.num_data(), 0);
+  std::vector<uint64_t> s4_work = RunPhase(W, pool, [&](int w) -> uint64_t {
+    uint64_t work = 0;
+    for (VertexId v : data_shards_[static_cast<size_t>(w)]) {
+      if (cached_target_[v] < 0) continue;
+      const double prob =
+          std::min(table.Lookup(binning, partition->bucket_of(v),
+                                cached_target_[v], cached_gain_[v]),
+                   options_.broker.max_move_probability) *
+          options_.broker.probability_damping;
+      if (HashToUnitDouble(seed ^ 0x5108e77a, iteration, v) < prob) {
+        decided[v] = 1;
+      }
+      ++work;
+    }
+    return work;
+  });
+
+  MoveOutcome outcome;
+  outcome.num_proposals = num_proposals;
+  std::vector<VertexId> moved;
+  std::vector<BucketId> original(graph_.num_data(), -1);
+  for (VertexId v = 0; v < graph_.num_data(); ++v) {
+    if (!decided[v]) continue;
+    original[v] = partition->bucket_of(v);
+    partition->Move(v, cached_target_[v]);
+    moved.push_back(v);
+    ++outcome.num_moved;
+    outcome.gain_moved += cached_gain_[v];
+  }
+  MoveBroker::RepairBalance(topo, moved, original, cached_gain_, partition,
+                            &outcome);
+
+  SuperstepStats s4;
+  s4.label = "4:probabilities+moves";
+  s4.superstep = base_superstep + 3;
+  // Broadcast: the probability table goes to every worker.
+  uint64_t table_bytes = 0;
+  for (const auto& [key, probs] : table.probabilities) {
+    table_bytes += sizeof(uint64_t) + probs.size() * sizeof(float);
+  }
+  s4.traffic.remote_messages = table.probabilities.size() *
+                               static_cast<uint64_t>(W);
+  s4.traffic.remote_bytes = table_bytes * static_cast<uint64_t>(W);
+  s4.work_units = s4_work;
+
+  if (log_ != nullptr) {
+    log_->push_back(std::move(s1));
+    log_->push_back(std::move(s2));
+    log_->push_back(std::move(s3));
+    log_->push_back(std::move(s4));
+  }
+
+  IterationStats stats;
+  stats.num_proposals = outcome.num_proposals;
+  stats.num_moved = outcome.num_moved;
+  stats.num_reverted = outcome.num_reverted;
+  stats.gain_moved = outcome.gain_moved;
+  stats.moved_fraction =
+      graph_.num_data() == 0
+          ? 0.0
+          : static_cast<double>(outcome.num_moved) /
+                static_cast<double>(graph_.num_data());
+  return stats;
+}
+
+}  // namespace shp

@@ -1,0 +1,75 @@
+// SHP as a vertex-centric BSP program — the faithful counterpart of the
+// paper's Giraph implementation (§3.2, Fig. 3). One refinement iteration is
+// four supersteps with synchronization barriers:
+//
+//   1. data → query : current bucket (delta messages; a vertex that did not
+//      move "does not send messages on superstep 1 for the next iteration").
+//      Queries fold the deltas into their sparse neighbor data.
+//   2. query → data : dirty queries send their neighbor data, restricted to
+//      buckets active in the current move topology, ONE combined message per
+//      destination worker (Giraph's machine-pair message combining);
+//      receiving data vertices recompute move gains. Clean vertices keep
+//      their cached proposal — their gains cannot have changed.
+//   3. data → master: per-worker (bucket-pair, gain-bin) histograms.
+//   4. master → data: per-pair-and-bin move probabilities; vertices draw and
+//      move; the master repairs any capacity overshoot.
+//
+// The implementation plugs into the SHP drivers through RefinerInterface, so
+// SHP-k and SHP-2/r run unmodified on top of it. All message and byte counts
+// are exact; engine/cost_model.h converts them into simulated cluster time.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/refiner.h"
+#include "engine/bsp_engine.h"
+#include "graph/bipartite_graph.h"
+#include "objective/pow_table.h"
+
+namespace shp {
+
+class BspRefiner : public RefinerInterface {
+ public:
+  /// `log`, if given, receives the SuperstepStats of every executed
+  /// superstep (appended in order) and must outlive the refiner.
+  BspRefiner(const BipartiteGraph& graph, const RefinerOptions& options,
+             const BspConfig& config,
+             std::vector<SuperstepStats>* log = nullptr);
+
+  IterationStats RunIteration(const MoveTopology& topo, Partition* partition,
+                              uint64_t seed, uint64_t iteration,
+                              ThreadPool* pool = nullptr,
+                              const std::vector<BucketId>* anchor = nullptr,
+                              double anchor_penalty = 0.0) override;
+
+  /// Estimated peak bytes of distributed state on the most loaded worker
+  /// (adjacency shard + neighbor-data cache + proposal vectors).
+  uint64_t MaxWorkerStateBytes() const;
+
+ private:
+  const BipartiteGraph& graph_;
+  RefinerOptions options_;
+  BspConfig config_;
+  PowTable pow_table_;
+  VertexSharding sharding_;
+  std::vector<std::vector<VertexId>> data_shards_;
+  std::vector<std::vector<VertexId>> query_shards_;
+
+  // Distributed state. Each query's neighbor data lives on its owner worker
+  // and is updated only by that worker (single-writer); the flat vectors
+  // below are the simulation's stand-in for that per-worker memory.
+  std::vector<std::vector<BucketCount>> query_ndata_;
+  std::vector<uint8_t> query_dirty_;
+  std::vector<BucketId> known_assignment_;  ///< last state sent upstream
+  bool initialized_ = false;
+
+  // Cached per-vertex proposals (clean vertices re-propose unchanged).
+  std::vector<BucketId> cached_target_;
+  std::vector<double> cached_gain_;
+
+  std::vector<SuperstepStats>* log_;
+};
+
+}  // namespace shp

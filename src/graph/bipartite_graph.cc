@@ -1,0 +1,112 @@
+#include "graph/bipartite_graph.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace shp {
+
+BipartiteGraph::BipartiteGraph(std::vector<EdgeIndex> query_offsets,
+                               std::vector<VertexId> query_adj,
+                               std::vector<EdgeIndex> data_offsets,
+                               std::vector<VertexId> data_adj)
+    : query_offsets_(std::move(query_offsets)),
+      query_adj_(std::move(query_adj)),
+      data_offsets_(std::move(data_offsets)),
+      data_adj_(std::move(data_adj)) {
+  SHP_CHECK(!query_offsets_.empty()) << "offsets must have at least one entry";
+  SHP_CHECK(!data_offsets_.empty()) << "offsets must have at least one entry";
+  SHP_CHECK_EQ(query_offsets_.back(), query_adj_.size());
+  SHP_CHECK_EQ(data_offsets_.back(), data_adj_.size());
+  SHP_CHECK_EQ(query_adj_.size(), data_adj_.size());
+}
+
+EdgeIndex BipartiteGraph::MaxQueryDegree() const {
+  EdgeIndex best = 0;
+  for (VertexId q = 0; q < num_queries(); ++q) {
+    best = std::max(best, QueryDegree(q));
+  }
+  return best;
+}
+
+EdgeIndex BipartiteGraph::MaxDataDegree() const {
+  EdgeIndex best = 0;
+  for (VertexId v = 0; v < num_data(); ++v) {
+    best = std::max(best, DataDegree(v));
+  }
+  return best;
+}
+
+bool BipartiteGraph::Validate(std::string* error) const {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  // Offsets monotone.
+  for (size_t i = 0; i + 1 < query_offsets_.size(); ++i) {
+    if (query_offsets_[i] > query_offsets_[i + 1]) {
+      return fail("query offsets not monotone at " + std::to_string(i));
+    }
+  }
+  for (size_t i = 0; i + 1 < data_offsets_.size(); ++i) {
+    if (data_offsets_[i] > data_offsets_[i + 1]) {
+      return fail("data offsets not monotone at " + std::to_string(i));
+    }
+  }
+  // Adjacency sorted, deduplicated, in range.
+  for (VertexId q = 0; q < num_queries(); ++q) {
+    auto nbrs = QueryNeighbors(q);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] >= num_data()) {
+        return fail("query " + std::to_string(q) + " references data " +
+                    std::to_string(nbrs[i]) + " out of range");
+      }
+      if (i > 0 && nbrs[i] <= nbrs[i - 1]) {
+        return fail("query " + std::to_string(q) +
+                    " adjacency not sorted/unique");
+      }
+    }
+  }
+  for (VertexId v = 0; v < num_data(); ++v) {
+    auto nbrs = DataNeighbors(v);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] >= num_queries()) {
+        return fail("data " + std::to_string(v) + " references query " +
+                    std::to_string(nbrs[i]) + " out of range");
+      }
+      if (i > 0 && nbrs[i] <= nbrs[i - 1]) {
+        return fail("data " + std::to_string(v) +
+                    " adjacency not sorted/unique");
+      }
+    }
+  }
+  // The two directions describe the same edge set: rebuild (q, v) pairs from
+  // the data side and compare against the query side.
+  std::vector<std::pair<VertexId, VertexId>> from_data;
+  from_data.reserve(data_adj_.size());
+  for (VertexId v = 0; v < num_data(); ++v) {
+    for (VertexId q : DataNeighbors(v)) from_data.emplace_back(q, v);
+  }
+  std::sort(from_data.begin(), from_data.end());
+  size_t idx = 0;
+  for (VertexId q = 0; q < num_queries(); ++q) {
+    for (VertexId v : QueryNeighbors(q)) {
+      if (idx >= from_data.size() || from_data[idx] != std::make_pair(q, v)) {
+        return fail("edge sets differ between directions near query " +
+                    std::to_string(q));
+      }
+      ++idx;
+    }
+  }
+  if (idx != from_data.size()) return fail("data side has extra edges");
+  return true;
+}
+
+size_t BipartiteGraph::MemoryBytes() const {
+  return query_offsets_.size() * sizeof(EdgeIndex) +
+         data_offsets_.size() * sizeof(EdgeIndex) +
+         query_adj_.size() * sizeof(VertexId) +
+         data_adj_.size() * sizeof(VertexId);
+}
+
+}  // namespace shp

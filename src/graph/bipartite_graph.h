@@ -1,0 +1,95 @@
+// Bipartite query-data graph: the paper's representation of a hypergraph.
+//
+// A hypergraph (V, H) is stored as the bipartite graph G = (Q ∪ D, E) where
+// each query vertex q ∈ Q is one hyperedge and its bipartite neighbors are
+// the data vertices the hyperedge spans (paper §1, Fig. 1). Both directions
+// are materialized as CSR so that the algorithm can iterate neighbors of a
+// query (superstep 1: collect neighbor data) and neighbors of a data vertex
+// (superstep 2: compute move gains) in O(degree).
+//
+// The structure is immutable after construction; all partitioner state lives
+// outside the graph, which lets multiple partitioners share one instance.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace shp {
+
+/// Vertex index within its side (query side or data side).
+using VertexId = uint32_t;
+/// Edge index / edge count.
+using EdgeIndex = uint64_t;
+
+constexpr VertexId kInvalidVertex = static_cast<VertexId>(-1);
+
+class BipartiteGraph {
+ public:
+  BipartiteGraph() = default;
+
+  /// Constructs from CSR arrays. query_offsets has num_queries+1 entries into
+  /// query_adj (data ids); data_offsets has num_data+1 entries into data_adj
+  /// (query ids). The two directions must describe the same edge set; this is
+  /// checked in debug builds (see Validate()).
+  BipartiteGraph(std::vector<EdgeIndex> query_offsets,
+                 std::vector<VertexId> query_adj,
+                 std::vector<EdgeIndex> data_offsets,
+                 std::vector<VertexId> data_adj);
+
+  VertexId num_queries() const {
+    return query_offsets_.empty()
+               ? 0
+               : static_cast<VertexId>(query_offsets_.size() - 1);
+  }
+  VertexId num_data() const {
+    return data_offsets_.empty()
+               ? 0
+               : static_cast<VertexId>(data_offsets_.size() - 1);
+  }
+  EdgeIndex num_edges() const { return query_adj_.size(); }
+
+  /// Data vertices of hyperedge q (sorted ascending).
+  std::span<const VertexId> QueryNeighbors(VertexId q) const {
+    return {query_adj_.data() + query_offsets_[q],
+            query_adj_.data() + query_offsets_[q + 1]};
+  }
+
+  /// Hyperedges incident to data vertex v (sorted ascending).
+  std::span<const VertexId> DataNeighbors(VertexId v) const {
+    return {data_adj_.data() + data_offsets_[v],
+            data_adj_.data() + data_offsets_[v + 1]};
+  }
+
+  EdgeIndex QueryDegree(VertexId q) const {
+    return query_offsets_[q + 1] - query_offsets_[q];
+  }
+  EdgeIndex DataDegree(VertexId v) const {
+    return data_offsets_[v + 1] - data_offsets_[v];
+  }
+
+  EdgeIndex MaxQueryDegree() const;
+  EdgeIndex MaxDataDegree() const;
+
+  /// Full consistency check (symmetric edge sets, sortedness, no duplicate
+  /// edges, ids in range). O(|E| log |E|); used by tests and after I/O.
+  bool Validate(std::string* error = nullptr) const;
+
+  /// Estimated resident memory of the CSR arrays in bytes.
+  size_t MemoryBytes() const;
+
+  // Raw access for serialization.
+  const std::vector<EdgeIndex>& query_offsets() const { return query_offsets_; }
+  const std::vector<VertexId>& query_adj() const { return query_adj_; }
+  const std::vector<EdgeIndex>& data_offsets() const { return data_offsets_; }
+  const std::vector<VertexId>& data_adj() const { return data_adj_; }
+
+ private:
+  std::vector<EdgeIndex> query_offsets_;
+  std::vector<VertexId> query_adj_;
+  std::vector<EdgeIndex> data_offsets_;
+  std::vector<VertexId> data_adj_;
+};
+
+}  // namespace shp

@@ -1,0 +1,44 @@
+#include "graph/gen_grid.h"
+
+#include "common/logging.h"
+#include "graph/graph_builder.h"
+
+namespace shp {
+
+BipartiteGraph GenerateGrid(const GridConfig& config) {
+  SHP_CHECK_GT(config.rows, 0u);
+  SHP_CHECK_GT(config.cols, 0u);
+  SHP_CHECK(config.stencil == 5 || config.stencil == 9)
+      << "stencil must be 5 or 9";
+  const uint32_t rows = config.rows;
+  const uint32_t cols = config.cols;
+  const VertexId n = rows * cols;
+  auto cell = [cols](uint32_t r, uint32_t c) -> VertexId {
+    return r * cols + c;
+  };
+
+  GraphBuilder builder(n, n);
+  for (uint32_t r = 0; r < rows; ++r) {
+    for (uint32_t c = 0; c < cols; ++c) {
+      const VertexId q = cell(r, c);
+      builder.AddEdge(q, q);
+      if (r > 0) builder.AddEdge(q, cell(r - 1, c));
+      if (r + 1 < rows) builder.AddEdge(q, cell(r + 1, c));
+      if (c > 0) builder.AddEdge(q, cell(r, c - 1));
+      if (c + 1 < cols) builder.AddEdge(q, cell(r, c + 1));
+      if (config.stencil == 9) {
+        if (r > 0 && c > 0) builder.AddEdge(q, cell(r - 1, c - 1));
+        if (r > 0 && c + 1 < cols) builder.AddEdge(q, cell(r - 1, c + 1));
+        if (r + 1 < rows && c > 0) builder.AddEdge(q, cell(r + 1, c - 1));
+        if (r + 1 < rows && c + 1 < cols) {
+          builder.AddEdge(q, cell(r + 1, c + 1));
+        }
+      }
+    }
+  }
+  GraphBuilder::Options options;
+  options.drop_trivial_queries = true;
+  return builder.Build(options);
+}
+
+}  // namespace shp

@@ -1,0 +1,24 @@
+// Mesh hypergraph generator: a rows × cols grid of cells where each query is
+// a stencil (cell plus its von Neumann neighbors). This is the "matrices
+// from scientific computing, planar networks or meshes" family the paper's
+// conclusion contrasts with social graphs — partitioners behave very
+// differently here (clean cuts exist), so tests and the ablation bench use
+// it as the structured extreme.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/bipartite_graph.h"
+
+namespace shp {
+
+struct GridConfig {
+  uint32_t rows = 64;
+  uint32_t cols = 64;
+  /// 5 = von Neumann stencil (cell + 4 neighbors), 9 = Moore (+ diagonals).
+  int stencil = 5;
+};
+
+BipartiteGraph GenerateGrid(const GridConfig& config);
+
+}  // namespace shp

@@ -1,0 +1,56 @@
+#include "graph/gen_planted.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "graph/graph_builder.h"
+
+namespace shp {
+
+PlantedPartition GeneratePlantedPartition(
+    const PlantedPartitionConfig& config) {
+  SHP_CHECK_GT(config.num_groups, 1);
+  SHP_CHECK_GE(config.num_data, static_cast<VertexId>(config.num_groups));
+  Rng rng(config.seed);
+
+  PlantedPartition out;
+  // Groups are round-robin over data ids so that all groups have size
+  // n/k ± 1 (exact balance is needed for the recovery tests).
+  out.truth.resize(config.num_data);
+  for (VertexId v = 0; v < config.num_data; ++v) {
+    out.truth[v] = static_cast<int32_t>(v % config.num_groups);
+  }
+  // Per-group member lists for uniform in-group sampling.
+  std::vector<std::vector<VertexId>> members(
+      static_cast<size_t>(config.num_groups));
+  for (VertexId v = 0; v < config.num_data; ++v) {
+    members[static_cast<size_t>(out.truth[v])].push_back(v);
+  }
+
+  GraphBuilder builder(config.num_queries, config.num_data);
+  for (VertexId q = 0; q < config.num_queries; ++q) {
+    const int32_t home =
+        static_cast<int32_t>(rng.NextBounded(config.num_groups));
+    const auto& home_members = members[static_cast<size_t>(home)];
+    uint32_t degree =
+        2 + static_cast<uint32_t>(rng.NextExponential() *
+                                  (config.avg_query_degree - 2.0));
+    for (uint32_t j = 0; j < degree; ++j) {
+      VertexId v;
+      if (rng.NextBernoulli(config.mixing)) {
+        v = static_cast<VertexId>(rng.NextBounded(config.num_data));
+      } else {
+        v = home_members[rng.NextBounded(home_members.size())];
+      }
+      builder.AddEdge(q, v);
+    }
+  }
+
+  GraphBuilder::Options options;
+  options.drop_trivial_queries = true;
+  out.graph = builder.Build(options);
+  return out;
+}
+
+}  // namespace shp

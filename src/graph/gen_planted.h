@@ -1,0 +1,38 @@
+// Planted-partition hypergraph generator for ground-truth experiments.
+//
+// Data vertices are split into `num_groups` equal groups; each query picks a
+// home group and draws each of its data endpoints from the home group with
+// probability 1 - mixing, and uniformly at random otherwise. At mixing = 0 a
+// perfect partitioner recovers the groups exactly (fanout → 1 for
+// k = num_groups); as mixing grows the planted structure fades. The paper's
+// future-work section mentions exactly this model ("an algorithm that
+// provably finds a correct solution ... generated with a planted partition
+// model") — we use it to test recovery.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+
+namespace shp {
+
+struct PlantedPartitionConfig {
+  VertexId num_data = 4000;
+  VertexId num_queries = 6000;
+  int32_t num_groups = 8;
+  double avg_query_degree = 6.0;
+  /// Probability an endpoint escapes the query's home group.
+  double mixing = 0.05;
+  uint64_t seed = 3;
+};
+
+struct PlantedPartition {
+  BipartiteGraph graph;
+  /// Ground-truth group of every data vertex (size num_data).
+  std::vector<int32_t> truth;
+};
+
+PlantedPartition GeneratePlantedPartition(const PlantedPartitionConfig& config);
+
+}  // namespace shp

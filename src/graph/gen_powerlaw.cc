@@ -1,0 +1,153 @@
+#include "graph/gen_powerlaw.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "graph/graph_builder.h"
+
+namespace shp {
+
+// --- ZipfSampler (Devroye's rejection method for the Zipf distribution) ---
+
+ZipfSampler::ZipfSampler(uint64_t n, double exponent)
+    : n_(n), exponent_(exponent) {
+  SHP_CHECK_GT(n, 0u);
+  SHP_CHECK_GT(exponent, 1.0);
+  inv_1_minus_e_ = 1.0 / (1.0 - exponent_);
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+}
+
+double ZipfSampler::H(double x) const {
+  // Integral of x^-e: H(x) = x^(1-e) / (1-e).
+  return std::pow(x, 1.0 - exponent_) * inv_1_minus_e_;
+}
+
+double ZipfSampler::HInverse(double x) const {
+  return std::pow(x * (1.0 - exponent_), inv_1_minus_e_);
+}
+
+uint64_t ZipfSampler::Sample(double u1, double u2) const {
+  // Rejection loop flattened: retry by re-mixing the uniforms. A couple of
+  // iterations suffice in practice; hard cap keeps it deterministic-time.
+  double a = u1, b = u2;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const double u = h_n_ + a * (h_x1_ - h_n_);
+    const double x = HInverse(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    k = std::max<uint64_t>(1, std::min(k, n_));
+    const double accept_bound =
+        k - x <= 0.5
+            ? 1.0
+            : std::pow(static_cast<double>(k) / x, -exponent_);
+    if (b < accept_bound) return k - 1;  // 0-based rank
+    // Remix for the next attempt.
+    a = static_cast<double>(SplitMix64(static_cast<uint64_t>(a * 1e18) +
+                                       attempt) >>
+                            11) *
+        0x1.0p-53;
+    b = static_cast<double>(SplitMix64(static_cast<uint64_t>(b * 1e18) +
+                                       attempt + 977) >>
+                            11) *
+        0x1.0p-53;
+  }
+  return 0;  // overwhelmingly popular head item as a safe fallback
+}
+
+// --- Power-law bipartite generator ---
+
+namespace {
+
+// Samples a query degree from a truncated power law with the given exponent,
+// scaled so the expected total pin count is close to target_edges.
+class DegreeSampler {
+ public:
+  DegreeSampler(double exponent, double mean_degree, uint64_t max_degree)
+      : zipf_(max_degree, exponent) {
+    // Expected value of (1 + Zipf(exponent, max)) — measure once numerically.
+    double expected = 0.0;
+    double norm = 0.0;
+    for (uint64_t d = 1; d <= max_degree; ++d) {
+      const double w = std::pow(static_cast<double>(d), -exponent);
+      expected += static_cast<double>(d) * w;
+      norm += w;
+    }
+    expected /= norm;
+    scale_ = mean_degree / expected;
+  }
+
+  uint64_t Sample(uint64_t seed, uint64_t query) const {
+    const double u1 = HashToUnitDouble(seed, query, 0x5eed);
+    const double u2 = HashToUnitDouble(seed, query, 0xface);
+    const uint64_t base = zipf_.Sample(u1, u2) + 1;
+    // Scale fractionally: floor + Bernoulli on the remainder.
+    const double scaled = static_cast<double>(base) * scale_;
+    uint64_t degree = static_cast<uint64_t>(scaled);
+    if (HashToUnitDouble(seed, query, 0xf00d) < scaled - std::floor(scaled)) {
+      ++degree;
+    }
+    return std::max<uint64_t>(1, degree);
+  }
+
+ private:
+  ZipfSampler zipf_;
+  double scale_ = 1.0;
+};
+
+}  // namespace
+
+BipartiteGraph GeneratePowerLaw(const PowerLawConfig& config) {
+  SHP_CHECK_GT(config.num_queries, 0u);
+  SHP_CHECK_GT(config.num_data, 0u);
+  const double mean_degree =
+      static_cast<double>(config.target_edges) / config.num_queries;
+  const uint64_t max_degree = std::max<uint64_t>(
+      8, std::min<uint64_t>(config.num_data,
+                            static_cast<uint64_t>(32 * mean_degree)));
+  DegreeSampler degrees(config.query_degree_exponent, mean_degree, max_degree);
+  ZipfSampler popularity(config.num_data, config.data_popularity_exponent);
+
+  // Popularity rank r maps to data vertex perm[r]: decorrelates popularity
+  // from vertex id so the id space carries no accidental structure.
+  std::vector<VertexId> perm(config.num_data);
+  for (VertexId v = 0; v < config.num_data; ++v) perm[v] = v;
+  Rng rng(config.seed ^ 0x9e3779b97f4a7c15ULL);
+  std::shuffle(perm.begin(), perm.end(), rng);
+
+  GraphBuilder builder(config.num_queries, config.num_data);
+  for (VertexId q = 0; q < config.num_queries; ++q) {
+    const uint64_t degree = degrees.Sample(config.seed, q);
+    // Home location: local endpoints cluster around it.
+    const uint64_t home = HashToBounded(config.seed, q, 0x401e, config.num_data);
+    for (uint64_t j = 0; j < degree; ++j) {
+      const uint64_t stream = q * 0x1000193ULL + j;
+      VertexId v;
+      if (HashToUnitDouble(config.seed, stream, 1) < config.locality) {
+        // Geometric jitter around home, wrapping around the id space.
+        const double u = HashToUnitDouble(config.seed, stream, 2);
+        const int64_t offset = static_cast<int64_t>(
+            std::floor(std::log(std::max(u, 1e-300)) /
+                       std::log(1.0 - 1.0 / config.locality_spread)));
+        const int64_t signbit =
+            HashToUnitDouble(config.seed, stream, 3) < 0.5 ? -1 : 1;
+        int64_t pos = static_cast<int64_t>(home) + signbit * offset;
+        const int64_t n = static_cast<int64_t>(config.num_data);
+        pos = ((pos % n) + n) % n;
+        v = static_cast<VertexId>(pos);
+      } else {
+        const double u1 = HashToUnitDouble(config.seed, stream, 4);
+        const double u2 = HashToUnitDouble(config.seed, stream, 5);
+        v = perm[popularity.Sample(u1, u2)];
+      }
+      builder.AddEdge(q, v);
+    }
+  }
+
+  GraphBuilder::Options options;
+  options.drop_trivial_queries = config.drop_trivial_queries;
+  return builder.Build(options);
+}
+
+}  // namespace shp

@@ -1,0 +1,60 @@
+// Power-law bipartite hypergraph generator.
+//
+// Stand-in for the smaller SNAP-derived hypergraphs (email-Enron,
+// soc-Epinions): query (hyperedge) degrees follow a truncated discrete power
+// law, and data endpoints are drawn from a Zipf popularity distribution with
+// an optional locality component so that related queries share data vertices
+// (without locality, random hypergraphs have essentially no partition
+// structure and every partitioner degenerates to fanout ≈ min(k, degree)).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/bipartite_graph.h"
+
+namespace shp {
+
+struct PowerLawConfig {
+  VertexId num_queries = 10000;
+  VertexId num_data = 20000;
+  /// Approximate total number of pins |E| (realized count varies slightly
+  /// because degrees are sampled).
+  EdgeIndex target_edges = 100000;
+  /// Exponent of the query-degree power law (larger = lighter tail).
+  double query_degree_exponent = 2.0;
+  /// Exponent of the data popularity Zipf distribution.
+  double data_popularity_exponent = 1.2;
+  /// Fraction of endpoints drawn near the query's "home" location instead of
+  /// by global popularity; higher = more clusterable structure.
+  double locality = 0.7;
+  /// Mean distance of a local endpoint from the query home (geometric).
+  double locality_spread = 200.0;
+  uint64_t seed = 42;
+  /// Drop queries that end up with fewer than two distinct data vertices.
+  bool drop_trivial_queries = true;
+};
+
+BipartiteGraph GeneratePowerLaw(const PowerLawConfig& config);
+
+/// Samples from a Zipf(exponent) distribution over {0, .., n-1} using the
+/// rejection method of Devroye; O(1) expected time per sample.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double exponent);
+
+  /// Draws a sample given uniform doubles u1, u2 in [0,1). Deterministic in
+  /// its inputs, which lets callers use counter-based RNG streams.
+  uint64_t Sample(double u1, double u2) const;
+
+ private:
+  uint64_t n_;
+  double exponent_;
+  double h_x1_;        // H(1.5) - 1
+  double h_n_;         // H(n + 0.5)
+  double inv_1_minus_e_;
+
+  double H(double x) const;
+  double HInverse(double x) const;
+};
+
+}  // namespace shp

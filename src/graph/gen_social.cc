@@ -1,0 +1,118 @@
+#include "graph/gen_social.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "graph/gen_powerlaw.h"
+#include "graph/graph_builder.h"
+
+namespace shp {
+
+BipartiteGraph GenerateSocialGraph(const SocialGraphConfig& config) {
+  SHP_CHECK_GT(config.num_users, 1u);
+  const VertexId n = config.num_users;
+  Rng rng(config.seed);
+
+  // 1. Target degree per user: truncated power law scaled to avg_degree.
+  const uint64_t max_degree =
+      config.max_degree > 0
+          ? config.max_degree
+          : std::min<uint64_t>(
+                n - 1, std::max<uint64_t>(
+                           8, static_cast<uint64_t>(32 * config.avg_degree)));
+  ZipfSampler degree_zipf(max_degree, config.degree_exponent);
+  std::vector<uint32_t> degree(n);
+  double raw_sum = 0.0;
+  for (VertexId u = 0; u < n; ++u) {
+    degree[u] = static_cast<uint32_t>(
+        degree_zipf.Sample(rng.NextDouble(), rng.NextDouble()) + 1);
+    raw_sum += degree[u];
+  }
+  // Rescale so the realized average matches avg_degree.
+  const double scale = config.avg_degree * n / raw_sum;
+  for (VertexId u = 0; u < n; ++u) {
+    const double scaled = degree[u] * scale;
+    uint32_t d = static_cast<uint32_t>(scaled);
+    if (rng.NextBernoulli(scaled - std::floor(scaled))) ++d;
+    degree[u] = std::max<uint32_t>(1, std::min<uint64_t>(d, n - 1));
+  }
+
+  // 2. Communities: contiguous runs of users with exponentially distributed
+  // sizes around avg_community_size. Contiguity is harmless (user ids are
+  // randomized by construction) and keeps membership O(1).
+  std::vector<VertexId> community_of(n);
+  std::vector<std::pair<VertexId, VertexId>> community_range;  // [begin,end)
+  {
+    VertexId begin = 0;
+    while (begin < n) {
+      const double raw = rng.NextExponential() * config.avg_community_size;
+      const VertexId size = std::max<VertexId>(
+          2, std::min<VertexId>(static_cast<VertexId>(raw) + 1, n - begin));
+      const VertexId end = begin + size;
+      const VertexId community_id =
+          static_cast<VertexId>(community_range.size());
+      for (VertexId u = begin; u < end; ++u) community_of[u] = community_id;
+      community_range.emplace_back(begin, end);
+      begin = end;
+    }
+  }
+
+  // 3. Friendship edges. Within-community endpoints are chosen uniformly in
+  // the community; global endpoints follow a Chung-Lu-style draw weighted by
+  // target degree (sample from the cumulative degree distribution).
+  std::vector<double> cumulative_degree(n);
+  {
+    double acc = 0.0;
+    for (VertexId u = 0; u < n; ++u) {
+      acc += degree[u];
+      cumulative_degree[u] = acc;
+    }
+  }
+  auto sample_global = [&](Rng& r) -> VertexId {
+    const double target = r.NextDouble() * cumulative_degree.back();
+    const auto it = std::lower_bound(cumulative_degree.begin(),
+                                     cumulative_degree.end(), target);
+    return static_cast<VertexId>(it - cumulative_degree.begin());
+  };
+
+  std::vector<std::pair<VertexId, VertexId>> friends;
+  friends.reserve(static_cast<size_t>(config.avg_degree * n / 2 * 1.1));
+  for (VertexId u = 0; u < n; ++u) {
+    // Each endpoint initiates half its target degree; symmetrization brings
+    // realized degree close to target.
+    const uint32_t initiated = (degree[u] + 1) / 2;
+    const auto [cb, ce] = community_range[community_of[u]];
+    for (uint32_t j = 0; j < initiated; ++j) {
+      VertexId w;
+      if (rng.NextBernoulli(config.community_mixing) && ce - cb >= 2) {
+        do {
+          w = cb + static_cast<VertexId>(rng.NextBounded(ce - cb));
+        } while (w == u);
+      } else {
+        do {
+          w = sample_global(rng);
+        } while (w == u);
+      }
+      friends.emplace_back(u, w);
+    }
+  }
+
+  // 4. Hypergraph conversion: hyperedge(u) = {u} ∪ friends(u).
+  GraphBuilder builder(n, n);
+  for (const auto& [u, w] : friends) {
+    builder.AddEdge(u, w);
+    builder.AddEdge(w, u);  // friendship is symmetric
+  }
+  if (config.self_in_hyperedge) {
+    for (VertexId u = 0; u < n; ++u) builder.AddEdge(u, u);
+  }
+
+  GraphBuilder::Options options;
+  options.drop_trivial_queries = config.drop_trivial_queries;
+  return builder.Build(options);
+}
+
+}  // namespace shp

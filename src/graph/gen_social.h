@@ -1,0 +1,37 @@
+// Darwini-like social graph generator (stand-in for soc-Pokec, soc-LJ and
+// the FB-10M .. FB-10B rows of Table 1, which the paper generated with
+// Darwini [Edunov et al. 2016]).
+//
+// Produces a friendship graph with (a) heavy-tailed degrees (discrete power
+// law), (b) community structure (users join power-law-sized communities and
+// wire a configurable fraction of their edges inside the community, yielding
+// high clustering), and then converts it to the storage-sharding hypergraph
+// the paper describes: "every user of a social network serves both as query
+// and as data" — hyperedge(u) = {u} ∪ friends(u).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/bipartite_graph.h"
+
+namespace shp {
+
+struct SocialGraphConfig {
+  VertexId num_users = 10000;
+  double avg_degree = 20.0;
+  /// Exponent of the user-degree power law (Facebook-like ≈ 2.2 .. 2.8).
+  double degree_exponent = 2.3;
+  uint64_t max_degree = 0;  ///< 0 = auto (32 × avg_degree)
+  /// Mean community size (communities are exponentially sized around this).
+  double avg_community_size = 60.0;
+  /// Fraction of each user's edges wired within their community.
+  double community_mixing = 0.75;
+  /// Include the user itself in its own hyperedge (profile fetches own data).
+  bool self_in_hyperedge = true;
+  uint64_t seed = 7;
+  bool drop_trivial_queries = true;
+};
+
+BipartiteGraph GenerateSocialGraph(const SocialGraphConfig& config);
+
+}  // namespace shp

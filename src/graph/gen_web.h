@@ -1,0 +1,37 @@
+// Web-graph generator (stand-in for web-Stanford / web-BerkStan).
+//
+// Pages are grouped into power-law-sized hosts; a page's out-links stay
+// within its host with high probability, and off-host links are produced by
+// a copying model (copy a random earlier page's link with probability beta,
+// otherwise link a random page), which yields the power-law in-degrees and
+// very strong locality characteristic of web crawls. The paper's web graphs
+// partition to fanout close to 1 even at large k — that behavior comes from
+// exactly this host-locality, which the generator reproduces.
+//
+// Hypergraph conversion: page u is a query whose hyperedge is
+// {u} ∪ out-links(u) (fetching a page needs itself plus its links).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/bipartite_graph.h"
+
+namespace shp {
+
+struct WebGraphConfig {
+  VertexId num_pages = 100000;
+  double avg_out_degree = 8.0;
+  /// Mean host size (hosts are Zipf-sized around this).
+  double avg_host_size = 120.0;
+  /// Probability an out-link stays within the page's host.
+  double in_host_probability = 0.85;
+  /// For off-host links: probability of copying an earlier page's target
+  /// (preferential attachment) vs. a uniform random page.
+  double copy_probability = 0.6;
+  uint64_t seed = 11;
+  bool drop_trivial_queries = true;
+};
+
+BipartiteGraph GenerateWebGraph(const WebGraphConfig& config);
+
+}  // namespace shp

@@ -1,0 +1,87 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace shp {
+
+GraphBuilder::GraphBuilder(VertexId num_queries, VertexId num_data)
+    : num_queries_(num_queries), num_data_(num_data) {}
+
+void GraphBuilder::AddEdge(VertexId q, VertexId v) {
+  num_queries_ = std::max(num_queries_, q + 1);
+  num_data_ = std::max(num_data_, v + 1);
+  edges_.emplace_back(q, v);
+}
+
+void GraphBuilder::AddHyperedge(VertexId q, const std::vector<VertexId>& data) {
+  for (VertexId v : data) AddEdge(q, v);
+}
+
+BipartiteGraph GraphBuilder::Build(const Options& options) const {
+  // Sort + dedupe (query, data) pairs.
+  std::vector<std::pair<VertexId, VertexId>> edges = edges_;
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  // Per-query degree after dedupe.
+  std::vector<EdgeIndex> qdeg(num_queries_, 0);
+  for (const auto& [q, v] : edges) ++qdeg[q];
+
+  // Query keep/renumber map.
+  std::vector<VertexId> qmap(num_queries_, kInvalidVertex);
+  VertexId kept_queries = 0;
+  for (VertexId q = 0; q < num_queries_; ++q) {
+    const bool keep = !options.drop_trivial_queries || qdeg[q] >= 2;
+    if (!keep) continue;
+    if (options.compact_queries) {
+      qmap[q] = kept_queries++;
+    } else {
+      qmap[q] = q;
+      kept_queries = std::max(kept_queries, q + 1);
+    }
+  }
+  if (!options.compact_queries) kept_queries = num_queries_;
+
+  // Query-side CSR.
+  std::vector<EdgeIndex> query_offsets(kept_queries + 1, 0);
+  for (const auto& [q, v] : edges) {
+    if (qmap[q] != kInvalidVertex) ++query_offsets[qmap[q] + 1];
+  }
+  for (size_t i = 1; i < query_offsets.size(); ++i) {
+    query_offsets[i] += query_offsets[i - 1];
+  }
+  std::vector<VertexId> query_adj(query_offsets.back());
+  {
+    std::vector<EdgeIndex> cursor(query_offsets.begin(),
+                                  query_offsets.end() - 1);
+    for (const auto& [q, v] : edges) {
+      if (qmap[q] == kInvalidVertex) continue;
+      query_adj[cursor[qmap[q]]++] = v;
+    }
+  }
+
+  // Data-side CSR (counting sort on data id keeps query ids sorted within
+  // each data adjacency because edges are processed in (q, v) order).
+  std::vector<EdgeIndex> data_offsets(num_data_ + 1, 0);
+  for (const auto& [q, v] : edges) {
+    if (qmap[q] != kInvalidVertex) ++data_offsets[v + 1];
+  }
+  for (size_t i = 1; i < data_offsets.size(); ++i) {
+    data_offsets[i] += data_offsets[i - 1];
+  }
+  std::vector<VertexId> data_adj(data_offsets.back());
+  {
+    std::vector<EdgeIndex> cursor(data_offsets.begin(), data_offsets.end() - 1);
+    for (const auto& [q, v] : edges) {
+      if (qmap[q] == kInvalidVertex) continue;
+      data_adj[cursor[v]++] = qmap[q];
+    }
+  }
+
+  return BipartiteGraph(std::move(query_offsets), std::move(query_adj),
+                        std::move(data_offsets), std::move(data_adj));
+}
+
+}  // namespace shp

@@ -1,0 +1,48 @@
+// Mutable accumulator that produces an immutable BipartiteGraph.
+//
+// Handles the normalization the paper applies to all inputs: duplicate edges
+// are merged, and "isolated queries and queries of degree one ... are
+// removed, since they do not contribute to the objective" (paper §4.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+
+namespace shp {
+
+class GraphBuilder {
+ public:
+  /// num_queries / num_data may be 0 and grow automatically as edges arrive.
+  explicit GraphBuilder(VertexId num_queries = 0, VertexId num_data = 0);
+
+  /// Adds hyperedge membership: data vertex `v` belongs to hyperedge `q`.
+  void AddEdge(VertexId q, VertexId v);
+
+  /// Adds a whole hyperedge at once.
+  void AddHyperedge(VertexId q, const std::vector<VertexId>& data);
+
+  VertexId num_queries() const { return num_queries_; }
+  VertexId num_data() const { return num_data_; }
+  size_t num_raw_edges() const { return edges_.size(); }
+
+  struct Options {
+    /// Drop queries with fewer than two distinct data neighbors (paper §4.1).
+    bool drop_trivial_queries = true;
+    /// Renumber queries compactly after dropping (data ids are never
+    /// renumbered: the partition is defined over data vertices).
+    bool compact_queries = true;
+  };
+
+  /// Builds the CSR graph; the builder can be reused afterwards.
+  BipartiteGraph Build(const Options& options) const;
+  BipartiteGraph Build() const { return Build(Options{}); }
+
+ private:
+  VertexId num_queries_;
+  VertexId num_data_;
+  std::vector<std::pair<VertexId, VertexId>> edges_;  // (query, data)
+};
+
+}  // namespace shp

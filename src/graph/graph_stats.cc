@@ -1,0 +1,35 @@
+#include "graph/graph_stats.h"
+
+#include <sstream>
+
+namespace shp {
+
+GraphStats ComputeGraphStats(const BipartiteGraph& graph) {
+  GraphStats s;
+  s.num_queries = graph.num_queries();
+  s.num_data = graph.num_data();
+  s.num_edges = graph.num_edges();
+  s.max_query_degree = graph.MaxQueryDegree();
+  s.max_data_degree = graph.MaxDataDegree();
+  for (VertexId v = 0; v < graph.num_data(); ++v) {
+    if (graph.DataDegree(v) == 0) ++s.isolated_data;
+  }
+  s.avg_query_degree =
+      s.num_queries > 0
+          ? static_cast<double>(s.num_edges) / s.num_queries
+          : 0.0;
+  s.avg_data_degree =
+      s.num_data > 0 ? static_cast<double>(s.num_edges) / s.num_data : 0.0;
+  return s;
+}
+
+std::string GraphStats::ToString() const {
+  std::ostringstream out;
+  out << "|Q|=" << num_queries << " |D|=" << num_data << " |E|=" << num_edges
+      << " avg_qdeg=" << avg_query_degree << " avg_ddeg=" << avg_data_degree
+      << " max_qdeg=" << max_query_degree << " max_ddeg=" << max_data_degree
+      << " isolated_data=" << isolated_data;
+  return out.str();
+}
+
+}  // namespace shp

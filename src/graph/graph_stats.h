@@ -1,0 +1,25 @@
+// Summary statistics of a bipartite hypergraph (Table 1 columns and more).
+#pragma once
+
+#include <string>
+
+#include "graph/bipartite_graph.h"
+
+namespace shp {
+
+struct GraphStats {
+  VertexId num_queries = 0;   ///< |Q| — number of hyperedges
+  VertexId num_data = 0;      ///< |D| — number of vertices
+  EdgeIndex num_edges = 0;    ///< |E| — total hyperedge memberships (pins)
+  double avg_query_degree = 0.0;
+  double avg_data_degree = 0.0;
+  EdgeIndex max_query_degree = 0;
+  EdgeIndex max_data_degree = 0;
+  VertexId isolated_data = 0;  ///< data vertices in no hyperedge
+
+  std::string ToString() const;
+};
+
+GraphStats ComputeGraphStats(const BipartiteGraph& graph);
+
+}  // namespace shp

@@ -1,0 +1,142 @@
+#include "graph/io_binary.h"
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+namespace shp {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'H', 'P', 'G'};
+constexpr uint32_t kVersion = 1;
+
+uint64_t Fnv1a(const void* data, size_t size, uint64_t seed) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint64_t hash = seed;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+constexpr uint64_t kFnvInit = 0xcbf29ce484222325ULL;
+
+class FileWriter {
+ public:
+  explicit FileWriter(std::FILE* f) : f_(f) {}
+
+  template <typename T>
+  bool WriteValue(const T& value) {
+    checksum_ = Fnv1a(&value, sizeof(T), checksum_);
+    return std::fwrite(&value, sizeof(T), 1, f_) == 1;
+  }
+
+  template <typename T>
+  bool WriteVector(const std::vector<T>& vec) {
+    if (vec.empty()) return true;
+    checksum_ = Fnv1a(vec.data(), vec.size() * sizeof(T), checksum_);
+    return std::fwrite(vec.data(), sizeof(T), vec.size(), f_) == vec.size();
+  }
+
+  uint64_t checksum() const { return checksum_; }
+
+ private:
+  std::FILE* f_;
+  uint64_t checksum_ = kFnvInit;
+};
+
+class FileReader {
+ public:
+  explicit FileReader(std::FILE* f) : f_(f) {}
+
+  template <typename T>
+  bool ReadValue(T* value) {
+    if (std::fread(value, sizeof(T), 1, f_) != 1) return false;
+    checksum_ = Fnv1a(value, sizeof(T), checksum_);
+    return true;
+  }
+
+  template <typename T>
+  bool ReadVector(std::vector<T>* vec, size_t count) {
+    vec->resize(count);
+    if (count == 0) return true;
+    if (std::fread(vec->data(), sizeof(T), count, f_) != count) return false;
+    checksum_ = Fnv1a(vec->data(), count * sizeof(T), checksum_);
+    return true;
+  }
+
+  uint64_t checksum() const { return checksum_; }
+
+ private:
+  std::FILE* f_;
+  uint64_t checksum_ = kFnvInit;
+};
+
+}  // namespace
+
+Status WriteBinaryGraph(const BipartiteGraph& graph, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  bool ok = std::fwrite(kMagic, 1, 4, f) == 4;
+  FileWriter w(f);
+  ok = ok && w.WriteValue(kVersion);
+  ok = ok && w.WriteValue(graph.num_queries());
+  ok = ok && w.WriteValue(graph.num_data());
+  ok = ok && w.WriteValue(graph.num_edges());
+  ok = ok && w.WriteVector(graph.query_offsets());
+  ok = ok && w.WriteVector(graph.query_adj());
+  ok = ok && w.WriteVector(graph.data_offsets());
+  ok = ok && w.WriteVector(graph.data_adj());
+  const uint64_t checksum = w.checksum();
+  ok = ok && std::fwrite(&checksum, sizeof(checksum), 1, f) == 1;
+  std::fclose(f);
+  if (!ok) return Status::IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+Result<BipartiteGraph> ReadBinaryGraph(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  char magic[4];
+  if (std::fread(magic, 1, 4, f) != 4 ||
+      std::memcmp(magic, kMagic, 4) != 0) {
+    std::fclose(f);
+    return Status::Corruption(path + ": bad magic");
+  }
+  FileReader r(f);
+  uint32_t version = 0;
+  VertexId num_queries = 0, num_data = 0;
+  EdgeIndex num_edges = 0;
+  bool ok = r.ReadValue(&version);
+  if (ok && version != kVersion) {
+    std::fclose(f);
+    return Status::Corruption(path + ": unsupported version " +
+                              std::to_string(version));
+  }
+  ok = ok && r.ReadValue(&num_queries);
+  ok = ok && r.ReadValue(&num_data);
+  ok = ok && r.ReadValue(&num_edges);
+
+  std::vector<EdgeIndex> query_offsets, data_offsets;
+  std::vector<VertexId> query_adj, data_adj;
+  ok = ok && r.ReadVector(&query_offsets, num_queries + size_t{1});
+  ok = ok && r.ReadVector(&query_adj, num_edges);
+  ok = ok && r.ReadVector(&data_offsets, num_data + size_t{1});
+  ok = ok && r.ReadVector(&data_adj, num_edges);
+  uint64_t stored_checksum = 0;
+  ok = ok && std::fread(&stored_checksum, sizeof(stored_checksum), 1, f) == 1;
+  std::fclose(f);
+  if (!ok) return Status::Corruption(path + ": truncated file");
+  if (stored_checksum != r.checksum()) {
+    return Status::Corruption(path + ": checksum mismatch");
+  }
+  if (query_offsets.back() != num_edges || data_offsets.back() != num_edges) {
+    return Status::Corruption(path + ": inconsistent offsets");
+  }
+  return BipartiteGraph(std::move(query_offsets), std::move(query_adj),
+                        std::move(data_offsets), std::move(data_adj));
+}
+
+}  // namespace shp

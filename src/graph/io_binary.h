@@ -1,0 +1,18 @@
+// Binary snapshot format for fast load of large generated instances:
+//   magic "SHPG" | version u32 | num_queries u32 | num_data u32 |
+//   num_edges u64 | query_offsets[] | query_adj[] | data_offsets[] |
+//   data_adj[] | footer checksum (FNV-1a over payload).
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/bipartite_graph.h"
+
+namespace shp {
+
+Status WriteBinaryGraph(const BipartiteGraph& graph, const std::string& path);
+
+Result<BipartiteGraph> ReadBinaryGraph(const std::string& path);
+
+}  // namespace shp

@@ -1,0 +1,121 @@
+#include "graph/io_edgelist.h"
+
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <unordered_map>
+
+#include "graph/graph_builder.h"
+
+namespace shp {
+
+namespace {
+
+// Parses "a b" per line; invokes fn(a, b). Returns Corruption on bad lines.
+Status ForEachPair(std::istream& in,
+                   const std::function<void(int64_t, int64_t)>& fn) {
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    int64_t a, b;
+    if (!(ls >> a >> b)) {
+      return Status::Corruption("edge list: malformed line " +
+                                std::to_string(line_number) + ": " + line);
+    }
+    if (a < 0 || b < 0) {
+      return Status::Corruption("edge list: negative id at line " +
+                                std::to_string(line_number));
+    }
+    fn(a, b);
+  }
+  return Status::Ok();
+}
+
+class IdCompactor {
+ public:
+  VertexId Map(int64_t raw) {
+    auto [it, inserted] = map_.try_emplace(raw, next_);
+    if (inserted) ++next_;
+    return it->second;
+  }
+  VertexId size() const { return next_; }
+
+ private:
+  std::unordered_map<int64_t, VertexId> map_;
+  VertexId next_ = 0;
+};
+
+}  // namespace
+
+Result<BipartiteGraph> ParseBipartiteEdgeList(const std::string& content,
+                                              bool drop_trivial) {
+  std::istringstream in(content);
+  GraphBuilder builder;
+  IdCompactor queries, data;
+  Status st = ForEachPair(in, [&](int64_t q, int64_t d) {
+    builder.AddEdge(queries.Map(q), data.Map(d));
+  });
+  if (!st.ok()) return st;
+  if (builder.num_raw_edges() == 0) {
+    return Status::InvalidArgument("edge list: no edges");
+  }
+  GraphBuilder::Options options;
+  options.drop_trivial_queries = drop_trivial;
+  return builder.Build(options);
+}
+
+Result<BipartiteGraph> ReadBipartiteEdgeList(const std::string& path,
+                                             bool drop_trivial) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseBipartiteEdgeList(buffer.str(), drop_trivial);
+}
+
+Result<BipartiteGraph> ReadUnipartiteAsHypergraph(const std::string& path,
+                                                  bool symmetrize,
+                                                  bool drop_trivial) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  GraphBuilder builder;
+  IdCompactor ids;
+  Status st = ForEachPair(in, [&](int64_t u, int64_t v) {
+    const VertexId cu = ids.Map(u);
+    const VertexId cv = ids.Map(v);
+    // Hyperedge of u contains u itself and its neighbors.
+    builder.AddEdge(cu, cu);
+    builder.AddEdge(cu, cv);
+    if (symmetrize) {
+      builder.AddEdge(cv, cv);
+      builder.AddEdge(cv, cu);
+    }
+  });
+  if (!st.ok()) return st;
+  if (builder.num_raw_edges() == 0) {
+    return Status::InvalidArgument("edge list: no edges");
+  }
+  GraphBuilder::Options options;
+  options.drop_trivial_queries = drop_trivial;
+  return builder.Build(options);
+}
+
+Status WriteBipartiteEdgeList(const BipartiteGraph& graph,
+                              const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path);
+  out << "# bipartite edge list: query data\n";
+  for (VertexId q = 0; q < graph.num_queries(); ++q) {
+    for (VertexId v : graph.QueryNeighbors(q)) {
+      out << q << ' ' << v << '\n';
+    }
+  }
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+}  // namespace shp

@@ -1,0 +1,35 @@
+// Bipartite edge-list text format: one "query_id data_id" pair per line,
+// '#' comments — the shape of SNAP exports after bipartite conversion.
+// Also provides the paper's conversion from a unipartite (directed or
+// undirected) edge list: every vertex u becomes a query whose hyperedge is
+// {u} ∪ out-neighbors(u), matching "to render a profile-page ... fetch
+// information about a user's friends" (paper §4.1).
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/bipartite_graph.h"
+
+namespace shp {
+
+/// Reads "q d" pairs. Ids may be sparse; they are compacted preserving order.
+Result<BipartiteGraph> ReadBipartiteEdgeList(const std::string& path,
+                                             bool drop_trivial = true);
+
+/// Parses bipartite edge-list content from a string (for tests).
+Result<BipartiteGraph> ParseBipartiteEdgeList(const std::string& content,
+                                              bool drop_trivial = true);
+
+/// Reads a unipartite "u v" edge list (SNAP style) and converts to the
+/// storage-sharding hypergraph: hyperedge(u) = {u} ∪ N(u). If `symmetrize`
+/// is true, each edge is used in both directions.
+Result<BipartiteGraph> ReadUnipartiteAsHypergraph(const std::string& path,
+                                                  bool symmetrize = true,
+                                                  bool drop_trivial = true);
+
+/// Writes graph as a bipartite edge list.
+Status WriteBipartiteEdgeList(const BipartiteGraph& graph,
+                              const std::string& path);
+
+}  // namespace shp

@@ -1,0 +1,129 @@
+#include "graph/io_hgr.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "graph/graph_builder.h"
+
+namespace shp {
+
+namespace {
+
+// Splits a line into int64 tokens; returns false on a malformed token.
+bool ParseInts(const std::string& line, std::vector<int64_t>* out) {
+  out->clear();
+  const char* p = line.c_str();
+  while (*p != '\0') {
+    while (*p != '\0' && std::isspace(static_cast<unsigned char>(*p))) ++p;
+    if (*p == '\0') break;
+    char* end = nullptr;
+    const long long value = std::strtoll(p, &end, 10);
+    if (end == p) return false;
+    out->push_back(value);
+    p = end;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<BipartiteGraph> ParseHgr(const std::string& content,
+                                bool drop_trivial) {
+  std::istringstream in(content);
+  std::string line;
+  std::vector<int64_t> tokens;
+
+  // Header (skipping comments).
+  int64_t num_hyperedges = -1;
+  int64_t num_vertices = -1;
+  int fmt = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '%') continue;
+    if (!ParseInts(line, &tokens) || tokens.size() < 2 || tokens.size() > 3) {
+      return Status::Corruption("hgr: malformed header line: " + line);
+    }
+    num_hyperedges = tokens[0];
+    num_vertices = tokens[1];
+    if (tokens.size() == 3) fmt = static_cast<int>(tokens[2]);
+    break;
+  }
+  if (num_hyperedges < 0) return Status::Corruption("hgr: missing header");
+  if (num_hyperedges == 0 || num_vertices <= 0) {
+    return Status::InvalidArgument("hgr: empty hypergraph");
+  }
+  const bool edge_weights = fmt == 1 || fmt == 11;
+  const bool vertex_weights = fmt == 10 || fmt == 11;
+  if (fmt != 0 && !edge_weights && !vertex_weights) {
+    return Status::Corruption("hgr: unknown fmt field " + std::to_string(fmt));
+  }
+  if (edge_weights || vertex_weights) {
+    SHP_LOG(Warning) << "hgr: weights present (fmt=" << fmt
+                     << "); SHP ignores weights";
+  }
+
+  GraphBuilder builder(static_cast<VertexId>(num_hyperedges),
+                       static_cast<VertexId>(num_vertices));
+  int64_t edges_read = 0;
+  while (edges_read < num_hyperedges && std::getline(in, line)) {
+    if (!line.empty() && line[0] == '%') continue;
+    if (!ParseInts(line, &tokens)) {
+      return Status::Corruption("hgr: malformed hyperedge line: " + line);
+    }
+    size_t first = edge_weights ? 1 : 0;  // skip the weight token
+    if (edge_weights && tokens.empty()) {
+      return Status::Corruption("hgr: weighted hyperedge missing weight");
+    }
+    for (size_t i = first; i < tokens.size(); ++i) {
+      const int64_t v = tokens[i];
+      if (v < 1 || v > num_vertices) {
+        return Status::Corruption("hgr: vertex id " + std::to_string(v) +
+                                  " out of range 1.." +
+                                  std::to_string(num_vertices));
+      }
+      builder.AddEdge(static_cast<VertexId>(edges_read),
+                      static_cast<VertexId>(v - 1));
+    }
+    ++edges_read;
+  }
+  if (edges_read != num_hyperedges) {
+    return Status::Corruption("hgr: expected " +
+                              std::to_string(num_hyperedges) +
+                              " hyperedges, found " +
+                              std::to_string(edges_read));
+  }
+  // Vertex weight lines, if any, are ignored.
+
+  GraphBuilder::Options options;
+  options.drop_trivial_queries = drop_trivial;
+  return builder.Build(options);
+}
+
+Result<BipartiteGraph> ReadHgr(const std::string& path, bool drop_trivial) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseHgr(buffer.str(), drop_trivial);
+}
+
+Status WriteHgr(const BipartiteGraph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path);
+  out << graph.num_queries() << ' ' << graph.num_data() << '\n';
+  for (VertexId q = 0; q < graph.num_queries(); ++q) {
+    bool first = true;
+    for (VertexId v : graph.QueryNeighbors(q)) {
+      if (!first) out << ' ';
+      out << (v + 1);
+      first = false;
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+}  // namespace shp

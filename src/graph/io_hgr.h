@@ -1,0 +1,30 @@
+// hMetis / PaToH-style .hgr hypergraph format.
+//
+// Plain format:
+//   line 1: "<num_hyperedges> <num_vertices>"
+//   line 1+i: the 1-based vertex ids of hyperedge i, space separated.
+// Lines starting with '%' are comments. Weighted variants (fmt field 1/10/11)
+// are parsed and weights ignored — SHP partitions unweighted instances; a
+// warning is logged once.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/bipartite_graph.h"
+
+namespace shp {
+
+/// Reads an .hgr file; hyperedges become query vertices.
+/// drop_trivial: drop single-vertex hyperedges (paper §4.1 normalization).
+Result<BipartiteGraph> ReadHgr(const std::string& path,
+                               bool drop_trivial = true);
+
+/// Parses .hgr content from a string (for tests).
+Result<BipartiteGraph> ParseHgr(const std::string& content,
+                                bool drop_trivial = true);
+
+/// Writes graph as .hgr (plain, unweighted).
+Status WriteHgr(const BipartiteGraph& graph, const std::string& path);
+
+}  // namespace shp

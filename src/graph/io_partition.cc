@@ -1,0 +1,50 @@
+#include "graph/io_partition.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace shp {
+
+Status WritePartition(const std::vector<BucketId>& assignment,
+                      const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path);
+  for (BucketId b : assignment) out << b << '\n';
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+Result<std::vector<BucketId>> ReadPartition(const std::string& path,
+                                            BucketId k,
+                                            size_t expected_size) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::vector<BucketId> assignment;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '%' || line[0] == '#') continue;
+    std::istringstream ls(line);
+    int64_t bucket;
+    if (!(ls >> bucket)) {
+      return Status::Corruption(path + ": malformed line " +
+                                std::to_string(line_number));
+    }
+    if (bucket < 0 || (k > 0 && bucket >= k)) {
+      return Status::OutOfRange(path + ": bucket " + std::to_string(bucket) +
+                                " out of range at line " +
+                                std::to_string(line_number));
+    }
+    assignment.push_back(static_cast<BucketId>(bucket));
+  }
+  if (expected_size > 0 && assignment.size() != expected_size) {
+    return Status::Corruption(path + ": expected " +
+                              std::to_string(expected_size) + " entries, got " +
+                              std::to_string(assignment.size()));
+  }
+  return assignment;
+}
+
+}  // namespace shp

@@ -1,0 +1,25 @@
+// Partition (assignment) file I/O: the standard one-bucket-per-line format
+// used by hMetis/Metis-family tools — line i holds the bucket of data
+// vertex i. Comments start with '%' or '#'.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/bipartite_graph.h"
+#include "objective/neighbor_data.h"
+
+namespace shp {
+
+/// Writes one bucket id per line.
+Status WritePartition(const std::vector<BucketId>& assignment,
+                      const std::string& path);
+
+/// Reads a partition file; verifies every value is in [0, k) when k > 0
+/// and, when expected_size > 0, that the entry count matches.
+Result<std::vector<BucketId>> ReadPartition(const std::string& path,
+                                            BucketId k = 0,
+                                            size_t expected_size = 0);
+
+}  // namespace shp

@@ -1,0 +1,45 @@
+#include "graph/subgraph.h"
+
+#include "common/logging.h"
+#include "graph/graph_builder.h"
+
+namespace shp {
+
+InducedSubgraph BuildInducedSubgraph(const BipartiteGraph& parent,
+                                     const std::vector<bool>& include) {
+  SHP_CHECK_EQ(include.size(), parent.num_data());
+
+  InducedSubgraph out;
+  std::vector<VertexId> data_map(parent.num_data(), kInvalidVertex);
+  for (VertexId v = 0; v < parent.num_data(); ++v) {
+    if (include[v]) {
+      data_map[v] = static_cast<VertexId>(out.data_to_parent.size());
+      out.data_to_parent.push_back(v);
+    }
+  }
+
+  GraphBuilder builder(0, static_cast<VertexId>(out.data_to_parent.size()));
+  for (VertexId q = 0; q < parent.num_queries(); ++q) {
+    for (VertexId v : parent.QueryNeighbors(q)) {
+      if (data_map[v] != kInvalidVertex) builder.AddEdge(q, data_map[v]);
+    }
+  }
+  GraphBuilder::Options options;
+  options.drop_trivial_queries = true;  // degree<2 queries are inert here
+  options.compact_queries = true;
+  out.graph = builder.Build(options);
+  return out;
+}
+
+InducedSubgraph BuildBucketSubgraph(const BipartiteGraph& parent,
+                                    const std::vector<int32_t>& assignment,
+                                    int32_t bucket) {
+  SHP_CHECK_EQ(assignment.size(), parent.num_data());
+  std::vector<bool> include(parent.num_data());
+  for (VertexId v = 0; v < parent.num_data(); ++v) {
+    include[v] = assignment[v] == bucket;
+  }
+  return BuildInducedSubgraph(parent, include);
+}
+
+}  // namespace shp

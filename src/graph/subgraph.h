@@ -1,0 +1,35 @@
+// Induced subgraph extraction.
+//
+// Recursive partitioners work on the graph induced by one bucket's data
+// vertices: queries keep only their neighbors inside the bucket, and queries
+// left with fewer than two neighbors are dropped (they can no longer affect
+// fanout within the bucket). Used by the multilevel baseline's recursive
+// bisection and available as a library primitive; the SHP recursive driver
+// instead constrains moves in-place (see core/recursive.h) to avoid graph
+// copies, matching the paper's Giraph implementation.
+#pragma once
+
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+
+namespace shp {
+
+struct InducedSubgraph {
+  BipartiteGraph graph;
+  /// Maps subgraph data id -> original data id (size = graph.num_data()).
+  std::vector<VertexId> data_to_parent;
+};
+
+/// Builds the subgraph induced by the data vertices with include[v] == true.
+/// include.size() must equal parent.num_data().
+InducedSubgraph BuildInducedSubgraph(const BipartiteGraph& parent,
+                                     const std::vector<bool>& include);
+
+/// Convenience: subgraph induced by data vertices currently assigned to
+/// `bucket` in `assignment`.
+InducedSubgraph BuildBucketSubgraph(const BipartiteGraph& parent,
+                                    const std::vector<int32_t>& assignment,
+                                    int32_t bucket);
+
+}  // namespace shp

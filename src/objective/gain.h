@@ -1,0 +1,73 @@
+// Move-gain computation (paper Eq. 1) and its §3.4 future-split variant.
+//
+// Sign convention: we define the gain of moving data vertex v from bucket i
+// to bucket j as the *decrease* of the p-fanout objective,
+//
+//   gain_j(v) = p · Σ_{q ∈ N(v)} ( B^{n_i(q)-1} − B^{n_j(q)} ),   B = 1 − p
+//
+// so positive gain = improvement. (The paper states Eq. 1 as the objective
+// delta and maximizes the negated value; the algebra is identical.)
+//
+// Future-split generalization (paper §3.4): when the current buckets will
+// each later split into t leaves, the projected final contribution of a
+// (query, bucket) pair with r neighbors is t·(1 − (1 − p/t)^r); the gain
+// formula keeps the same shape with base B = 1 − p/t and leading factor p.
+// t = 1 recovers plain p-fanout. The fanout limit p→1 and the clique-net
+// limit p→0 are obtained by setting p accordingly (Lemmas 1-2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "objective/neighbor_data.h"
+#include "objective/pow_table.h"
+
+namespace shp {
+
+class GainComputer {
+ public:
+  /// p in (0, 1]; future_splits t ≥ 1 (§3.4 projected-final objective).
+  /// max_query_degree bounds the pow table (pass graph.MaxQueryDegree()).
+  GainComputer(double p, uint32_t max_query_degree, uint32_t future_splits = 1);
+
+  double p() const { return p_; }
+  double pow_base() const { return pow_table_.base(); }
+
+  /// B^n for the configured base.
+  double Pow(uint32_t n) const { return pow_table_.Pow(n); }
+
+  /// Gain (objective decrease) of moving v from `from` to `to`, given current
+  /// neighbor data. O(deg(v) · log fanout). from must be v's current bucket.
+  double MoveGain(const BipartiteGraph& graph, const QueryNeighborData& ndata,
+                  VertexId v, BucketId from, BucketId to) const;
+
+  /// Per-vertex "base" term Σ_{q∈N(v)} B^{n_from(q)−1}: gain to any target j
+  /// is p · (base − Σ_q B^{n_j(q)}). Shared across all k targets.
+  double BaseTerm(const BipartiteGraph& graph, const QueryNeighborData& ndata,
+                  VertexId v, BucketId from) const;
+
+  /// Result of a best-target search.
+  struct BestTarget {
+    BucketId bucket = -1;
+    double gain = 0.0;  ///< improvement; may be ≤ 0 if no positive move
+  };
+
+  /// Finds the target bucket in [bucket_begin, bucket_end) \ {from} with the
+  /// maximum gain for v. `affinity_scratch` must have ≥ bucket_end entries
+  /// and be zero-filled; it is restored to zero before returning (touched-
+  /// list reset), so callers can reuse it across vertices. O(Σ_{q∈N(v)}
+  /// fanout(q)) — independent of k, per the sparse neighbor-data design.
+  BestTarget FindBestTarget(const BipartiteGraph& graph,
+                            const QueryNeighborData& ndata, VertexId v,
+                            BucketId from, BucketId bucket_begin,
+                            BucketId bucket_end,
+                            std::vector<double>* affinity_scratch,
+                            std::vector<BucketId>* touched_scratch) const;
+
+ private:
+  double p_;
+  PowTable pow_table_;
+};
+
+}  // namespace shp

@@ -1,0 +1,123 @@
+#include "objective/neighbor_data.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+
+namespace shp {
+
+void QueryNeighborData::Build(const BipartiteGraph& graph,
+                              const std::vector<BucketId>& assignment,
+                              ThreadPool* pool) {
+  SHP_CHECK_EQ(assignment.size(), graph.num_data());
+  const VertexId num_queries = graph.num_queries();
+  offsets_.assign(num_queries + 1, 0);
+
+  if (pool == nullptr) pool = &GlobalThreadPool();
+
+  // Pass 1: fanout per query (entry counts) -> offsets.
+  pool->ParallelFor(num_queries, [&](size_t begin, size_t end, size_t) {
+    std::vector<BucketId> scratch;
+    for (size_t q = begin; q < end; ++q) {
+      auto nbrs = graph.QueryNeighbors(static_cast<VertexId>(q));
+      scratch.clear();
+      scratch.reserve(nbrs.size());
+      for (VertexId v : nbrs) scratch.push_back(assignment[v]);
+      std::sort(scratch.begin(), scratch.end());
+      uint64_t distinct = 0;
+      for (size_t i = 0; i < scratch.size(); ++i) {
+        if (i == 0 || scratch[i] != scratch[i - 1]) ++distinct;
+      }
+      offsets_[q + 1] = distinct;
+    }
+  });
+  for (VertexId q = 0; q < num_queries; ++q) offsets_[q + 1] += offsets_[q];
+  entries_.resize(offsets_[num_queries]);
+
+  // Pass 2: fill sorted run-length-encoded entries.
+  pool->ParallelFor(num_queries, [&](size_t begin, size_t end, size_t) {
+    std::vector<BucketId> scratch;
+    for (size_t q = begin; q < end; ++q) {
+      auto nbrs = graph.QueryNeighbors(static_cast<VertexId>(q));
+      scratch.clear();
+      scratch.reserve(nbrs.size());
+      for (VertexId v : nbrs) scratch.push_back(assignment[v]);
+      std::sort(scratch.begin(), scratch.end());
+      uint64_t cursor = offsets_[q];
+      for (size_t i = 0; i < scratch.size();) {
+        size_t j = i;
+        while (j < scratch.size() && scratch[j] == scratch[i]) ++j;
+        entries_[cursor++] = {scratch[i], static_cast<uint32_t>(j - i)};
+        i = j;
+      }
+      SHP_DCHECK(cursor == offsets_[q + 1]);
+    }
+  });
+}
+
+uint32_t QueryNeighborData::CountFor(VertexId q, BucketId b) const {
+  auto entries = Entries(q);
+  auto it = std::lower_bound(
+      entries.begin(), entries.end(), b,
+      [](const BucketCount& e, BucketId bucket) { return e.bucket < bucket; });
+  if (it != entries.end() && it->bucket == b) return it->count;
+  return 0;
+}
+
+void QueryNeighborData::ApplyMove(const BipartiteGraph& graph, VertexId v,
+                                  BucketId from, BucketId to) {
+  if (from == to) return;
+  for (VertexId q : graph.DataNeighbors(v)) {
+    auto old_entries = Entries(q);
+    std::vector<BucketCount> updated(old_entries.begin(), old_entries.end());
+    for (auto it = updated.begin(); it != updated.end(); ++it) {
+      if (it->bucket == from) {
+        SHP_CHECK_GT(it->count, 0u)
+            << "move source bucket absent from neighbor data";
+        if (--it->count == 0) updated.erase(it);
+        break;
+      }
+    }
+    auto it = std::lower_bound(updated.begin(), updated.end(), to,
+                               [](const BucketCount& e, BucketId bucket) {
+                                 return e.bucket < bucket;
+                               });
+    if (it != updated.end() && it->bucket == to) {
+      ++it->count;
+    } else {
+      updated.insert(it, {to, 1});
+    }
+    // Splice back. The entry list may shrink or grow by one; rebuilding the
+    // flat arrays is O(total entries) — acceptable because ApplyMove is a
+    // correctness utility (tests / incremental trickle), not the bulk path.
+    const int64_t delta = static_cast<int64_t>(updated.size()) -
+                          static_cast<int64_t>(old_entries.size());
+    if (delta == 0) {
+      std::copy(updated.begin(), updated.end(),
+                entries_.begin() + static_cast<int64_t>(offsets_[q]));
+      continue;
+    }
+    std::vector<BucketCount> rebuilt;
+    rebuilt.reserve(static_cast<size_t>(
+        static_cast<int64_t>(entries_.size()) + std::max<int64_t>(delta, 0)));
+    std::vector<uint64_t> new_offsets(offsets_.size());
+    uint64_t cursor = 0;
+    for (VertexId qq = 0; qq < num_queries(); ++qq) {
+      new_offsets[qq] = cursor;
+      if (qq == q) {
+        rebuilt.insert(rebuilt.end(), updated.begin(), updated.end());
+        cursor += updated.size();
+      } else {
+        auto e = Entries(qq);
+        rebuilt.insert(rebuilt.end(), e.begin(), e.end());
+        cursor += e.size();
+      }
+    }
+    new_offsets[num_queries()] = cursor;
+    offsets_ = std::move(new_offsets);
+    entries_ = std::move(rebuilt);
+  }
+}
+
+}  // namespace shp

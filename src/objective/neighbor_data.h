@@ -1,0 +1,73 @@
+// Sparse per-query neighbor data: the multiset {n_i(q)} of how many of query
+// q's data neighbors sit in each bucket i (paper §3.2, "neighbor data").
+//
+// Storage is sparse — one (bucket, count) entry per *occupied* bucket —
+// giving total size Σ_q fanout(q) entries, exactly the message volume the
+// paper's superstep-2 communication bound counts. A dense |Q|×k matrix would
+// defeat the scalability analysis for large k.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+
+namespace shp {
+
+class ThreadPool;
+
+/// Bucket label type. Buckets are dense ints 0..k-1 at every stage; -1 marks
+/// "unassigned" in intermediate states.
+using BucketId = int32_t;
+
+struct BucketCount {
+  BucketId bucket;
+  uint32_t count;
+
+  bool operator==(const BucketCount&) const = default;
+};
+
+class QueryNeighborData {
+ public:
+  QueryNeighborData() = default;
+
+  /// Builds neighbor data for all queries under `assignment` (size
+  /// graph.num_data(), entries in [0, k)). Runs on `pool` if given, else the
+  /// global pool. O(|E| log maxdeg) work.
+  void Build(const BipartiteGraph& graph,
+             const std::vector<BucketId>& assignment,
+             ThreadPool* pool = nullptr);
+
+  /// Entries of query q, sorted by bucket id ascending.
+  std::span<const BucketCount> Entries(VertexId q) const {
+    return {entries_.data() + offsets_[q], entries_.data() + offsets_[q + 1]};
+  }
+
+  /// n_b(q): count of q's neighbors in bucket b (0 if none). O(log fanout).
+  uint32_t CountFor(VertexId q, BucketId b) const;
+
+  /// fanout(q) = number of occupied buckets.
+  uint32_t Fanout(VertexId q) const {
+    return static_cast<uint32_t>(offsets_[q + 1] - offsets_[q]);
+  }
+
+  VertexId num_queries() const {
+    return offsets_.empty() ? 0 : static_cast<VertexId>(offsets_.size() - 1);
+  }
+
+  /// Total entries = Σ_q fanout(q); proxy for superstep-2 message volume.
+  uint64_t TotalEntries() const { return entries_.size(); }
+
+  /// Applies a single move (v: from -> to) to all queries adjacent to v,
+  /// keeping entries sorted. Used by incremental updates and by tests that
+  /// cross-check gains against recomputation. O(deg(v) · fanout).
+  void ApplyMove(const BipartiteGraph& graph, VertexId v, BucketId from,
+                 BucketId to);
+
+ private:
+  std::vector<uint64_t> offsets_;
+  std::vector<BucketCount> entries_;
+};
+
+}  // namespace shp

@@ -1,0 +1,164 @@
+#include "objective/objective.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <mutex>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "objective/pow_table.h"
+
+namespace shp {
+
+namespace {
+
+// Shared driver: reduce fn(q, sorted bucket runs of q) over all queries.
+// fn receives the query's sorted bucket scratch vector.
+template <typename PerQuery>
+double ReduceOverQueries(const BipartiteGraph& graph,
+                         const std::vector<BucketId>& assignment,
+                         ThreadPool* pool, PerQuery per_query) {
+  SHP_CHECK_EQ(assignment.size(), graph.num_data());
+  if (pool == nullptr) pool = &GlobalThreadPool();
+  std::mutex mutex;
+  double total = 0.0;
+  pool->ParallelFor(
+      graph.num_queries(), [&](size_t begin, size_t end, size_t) {
+        std::vector<BucketId> scratch;
+        double local = 0.0;
+        for (size_t q = begin; q < end; ++q) {
+          auto nbrs = graph.QueryNeighbors(static_cast<VertexId>(q));
+          scratch.clear();
+          scratch.reserve(nbrs.size());
+          for (VertexId v : nbrs) {
+            SHP_DCHECK(assignment[v] >= 0);
+            scratch.push_back(assignment[v]);
+          }
+          std::sort(scratch.begin(), scratch.end());
+          local += per_query(scratch);
+        }
+        std::lock_guard<std::mutex> lock(mutex);
+        total += local;
+      });
+  return total;
+}
+
+}  // namespace
+
+const char* ObjectiveKindName(ObjectiveKind kind) {
+  switch (kind) {
+    case ObjectiveKind::kPFanout:
+      return "p-fanout";
+    case ObjectiveKind::kFanout:
+      return "fanout";
+    case ObjectiveKind::kCliqueNet:
+      return "clique-net";
+  }
+  return "unknown";
+}
+
+double AverageFanout(const BipartiteGraph& graph,
+                     const std::vector<BucketId>& assignment,
+                     ThreadPool* pool) {
+  if (graph.num_queries() == 0) return 0.0;
+  const double total = ReduceOverQueries(
+      graph, assignment, pool, [](const std::vector<BucketId>& buckets) {
+        uint32_t fanout = 0;
+        for (size_t i = 0; i < buckets.size(); ++i) {
+          if (i == 0 || buckets[i] != buckets[i - 1]) ++fanout;
+        }
+        return static_cast<double>(fanout);
+      });
+  return total / graph.num_queries();
+}
+
+double AveragePFanout(const BipartiteGraph& graph,
+                      const std::vector<BucketId>& assignment, double p,
+                      ThreadPool* pool) {
+  SHP_CHECK_GT(p, 0.0);
+  SHP_CHECK_LE(p, 1.0);
+  if (graph.num_queries() == 0) return 0.0;
+  const PowTable pow_table(1.0 - p,
+                           static_cast<uint32_t>(graph.MaxQueryDegree()));
+  const double total = ReduceOverQueries(
+      graph, assignment, pool,
+      [&pow_table](const std::vector<BucketId>& buckets) {
+        double sum = 0.0;
+        for (size_t i = 0; i < buckets.size();) {
+          size_t j = i;
+          while (j < buckets.size() && buckets[j] == buckets[i]) ++j;
+          sum += 1.0 - pow_table.Pow(static_cast<uint32_t>(j - i));
+          i = j;
+        }
+        return sum;
+      });
+  return total / graph.num_queries();
+}
+
+uint64_t HyperedgeCut(const BipartiteGraph& graph,
+                      const std::vector<BucketId>& assignment,
+                      ThreadPool* pool) {
+  const double total = ReduceOverQueries(
+      graph, assignment, pool, [](const std::vector<BucketId>& buckets) {
+        if (buckets.empty()) return 0.0;
+        return buckets.front() != buckets.back() ? 1.0 : 0.0;
+      });
+  return static_cast<uint64_t>(std::llround(total));
+}
+
+uint64_t SumExternalDegrees(const BipartiteGraph& graph,
+                            const std::vector<BucketId>& assignment,
+                            ThreadPool* pool) {
+  const double total = ReduceOverQueries(
+      graph, assignment, pool, [](const std::vector<BucketId>& buckets) {
+        if (buckets.empty()) return 0.0;
+        uint32_t fanout = 0;
+        for (size_t i = 0; i < buckets.size(); ++i) {
+          if (i == 0 || buckets[i] != buckets[i - 1]) ++fanout;
+        }
+        return static_cast<double>(fanout + (fanout > 1 ? 1 : 0));
+      });
+  return static_cast<uint64_t>(std::llround(total));
+}
+
+uint64_t CliqueNetCut(const BipartiteGraph& graph,
+                      const std::vector<BucketId>& assignment,
+                      ThreadPool* pool) {
+  const double total = ReduceOverQueries(
+      graph, assignment, pool, [](const std::vector<BucketId>& buckets) {
+        const double d = static_cast<double>(buckets.size());
+        double sum_squares = 0.0;
+        for (size_t i = 0; i < buckets.size();) {
+          size_t j = i;
+          while (j < buckets.size() && buckets[j] == buckets[i]) ++j;
+          const double n = static_cast<double>(j - i);
+          sum_squares += n * n;
+          i = j;
+        }
+        return (d * d - sum_squares) / 2.0;
+      });
+  return static_cast<uint64_t>(std::llround(total));
+}
+
+std::vector<uint64_t> FanoutHistogram(
+    const BipartiteGraph& graph, const std::vector<BucketId>& assignment) {
+  SHP_CHECK_EQ(assignment.size(), graph.num_data());
+  std::vector<uint64_t> histogram;
+  std::vector<BucketId> scratch;
+  for (VertexId q = 0; q < graph.num_queries(); ++q) {
+    auto nbrs = graph.QueryNeighbors(q);
+    scratch.clear();
+    for (VertexId v : nbrs) scratch.push_back(assignment[v]);
+    std::sort(scratch.begin(), scratch.end());
+    uint32_t fanout = 0;
+    for (size_t i = 0; i < scratch.size(); ++i) {
+      if (i == 0 || scratch[i] != scratch[i - 1]) ++fanout;
+    }
+    if (fanout >= histogram.size()) histogram.resize(fanout + 1, 0);
+    ++histogram[fanout];
+  }
+  return histogram;
+}
+
+}  // namespace shp

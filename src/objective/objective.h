@@ -1,0 +1,67 @@
+// Exact evaluators for all hypergraph partitioning objectives in the paper.
+//
+// fanout        — average |{buckets a query touches}| (paper §1); the number
+//                 reported in Tables 2-3 and all figures.
+// p-fanout      — the smoothed objective SHP optimizes (paper §3.1).
+// hyperedge cut — #queries with fanout > 1 (the classical "cut net" metric).
+// SOED          — sum of external degrees = unnormalized fanout + cut
+//                 (paper footnote 2).
+// clique-net    — weighted edge-cut of the clique expansion (paper Lemma 2:
+//                 the p→0 limit of p-fanout optimization).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "objective/neighbor_data.h"
+
+namespace shp {
+
+class ThreadPool;
+
+enum class ObjectiveKind {
+  kPFanout,    ///< probabilistic fanout with configurable p (SHP default)
+  kFanout,     ///< direct fanout (== p-fanout in the p→1 limit)
+  kCliqueNet,  ///< weighted edge-cut of the clique expansion (p→0 limit)
+};
+
+/// Human-readable name ("p-fanout", "fanout", "clique-net").
+const char* ObjectiveKindName(ObjectiveKind kind);
+
+/// Average query fanout of `assignment` (k inferred; unassigned (-1) entries
+/// are rejected). Queries with no neighbors contribute 0.
+double AverageFanout(const BipartiteGraph& graph,
+                     const std::vector<BucketId>& assignment,
+                     ThreadPool* pool = nullptr);
+
+/// Average probabilistic fanout: (1/|Q|) Σ_q Σ_i (1 - (1-p)^{n_i(q)}).
+double AveragePFanout(const BipartiteGraph& graph,
+                      const std::vector<BucketId>& assignment, double p,
+                      ThreadPool* pool = nullptr);
+
+/// Number of queries with fanout > 1.
+uint64_t HyperedgeCut(const BipartiteGraph& graph,
+                      const std::vector<BucketId>& assignment,
+                      ThreadPool* pool = nullptr);
+
+/// Sum of external degrees: Σ_q fanout(q) + |{q : fanout(q) > 1}|.
+uint64_t SumExternalDegrees(const BipartiteGraph& graph,
+                            const std::vector<BucketId>& assignment,
+                            ThreadPool* pool = nullptr);
+
+/// Weighted edge-cut of the clique-net expansion: for each query q with
+/// degree d and bucket counts n_i, the cut contribution is
+/// (d² - Σ_i n_i²) / 2 — the number of neighbor pairs split across buckets,
+/// summed over queries (multi-edges from shared queries add up, matching the
+/// w(u,v) weights of Lemma 2).
+uint64_t CliqueNetCut(const BipartiteGraph& graph,
+                      const std::vector<BucketId>& assignment,
+                      ThreadPool* pool = nullptr);
+
+/// Per-query fanout histogram: result[f] = #queries with fanout f
+/// (f = 0 .. max). Used by the sharding experiments.
+std::vector<uint64_t> FanoutHistogram(const BipartiteGraph& graph,
+                                      const std::vector<BucketId>& assignment);
+
+}  // namespace shp

@@ -1,0 +1,21 @@
+#include "objective/pow_table.h"
+
+#include "common/logging.h"
+
+namespace shp {
+
+PowTable::PowTable(double base, uint32_t max_exponent) : base_(base) {
+  SHP_CHECK_GE(base, 0.0);
+  SHP_CHECK_LE(base, 1.0);
+  table_.resize(max_exponent + 1);
+  double value = 1.0;
+  for (uint32_t n = 0; n <= max_exponent; ++n) {
+    table_[n] = value;
+    value *= base;
+    // Powers of a base < 1 underflow monotonically; clamping at 0 early cuts
+    // denormal arithmetic.
+    if (value < 1e-300) value = 0.0;
+  }
+}
+
+}  // namespace shp

@@ -1,0 +1,32 @@
+// Precomputed powers of the gain base (1-p), the innermost operation of the
+// move-gain kernel (paper Eq. 1). Exponents are bucket-local neighbor counts
+// n_i(q), bounded by the max query degree, so a flat table removes all
+// std::pow calls from the hot loop.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace shp {
+
+class PowTable {
+ public:
+  /// Tabulates base^0 .. base^max_exponent; larger exponents fall back to
+  /// std::pow. base must be in [0, 1].
+  explicit PowTable(double base, uint32_t max_exponent = 4096);
+
+  double base() const { return base_; }
+
+  /// base^n.
+  double Pow(uint32_t n) const {
+    if (n < table_.size()) return table_[n];
+    return std::pow(base_, static_cast<double>(n));
+  }
+
+ private:
+  double base_;
+  std::vector<double> table_;
+};
+
+}  // namespace shp

@@ -1,0 +1,44 @@
+#include "sharding/kv_cluster.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace shp {
+
+KvClusterSim::KvClusterSim(const KvClusterConfig& config,
+                           std::vector<BucketId> assignment)
+    : config_(config),
+      assignment_(std::move(assignment)),
+      model_(config.latency) {
+  for (BucketId b : assignment_) {
+    SHP_CHECK(b >= 0 && b < static_cast<BucketId>(config.num_servers))
+        << "record assigned to nonexistent server";
+  }
+}
+
+QueryTrace KvClusterSim::IssueQuery(const BipartiteGraph& graph, VertexId q,
+                                    Rng* rng) const {
+  // Records per contacted server.
+  std::vector<BucketId> servers;
+  for (VertexId v : graph.QueryNeighbors(q)) {
+    servers.push_back(assignment_[v]);
+  }
+  std::sort(servers.begin(), servers.end());
+
+  std::vector<uint32_t> records;
+  for (size_t i = 0; i < servers.size();) {
+    size_t j = i;
+    while (j < servers.size() && servers[j] == servers[i]) ++j;
+    records.push_back(static_cast<uint32_t>(j - i));
+    i = j;
+  }
+
+  QueryTrace trace;
+  trace.fanout = static_cast<uint32_t>(records.size());
+  trace.latency = model_.SampleMultiGetSized(
+      records.data(), trace.fanout, config_.per_record_cost, rng);
+  return trace;
+}
+
+}  // namespace shp

@@ -1,0 +1,53 @@
+// Fig. 4b experiment substrate: a simulated memory-backed key-value cluster
+// ("40 servers storing a subset of the Facebook friendship graph ... one
+// data record per user") serving multi-get queries under a given sharding.
+//
+// Each query's requests go to the distinct servers holding its records;
+// a request's service time is a stochastic draw plus a per-record cost, so
+// concentrating a query's records on few servers both lowers fanout and
+// grows the largest request — the trade-off §5 discusses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "objective/neighbor_data.h"
+#include "sharding/latency_model.h"
+
+namespace shp {
+
+struct KvClusterConfig {
+  uint32_t num_servers = 40;
+  LatencyModelConfig latency;
+  /// Added service time per record fetched from one server.
+  double per_record_cost = 0.02;
+  uint64_t seed = 202;
+};
+
+/// Result of replaying one query.
+struct QueryTrace {
+  uint32_t fanout = 0;
+  double latency = 0.0;
+};
+
+class KvClusterSim {
+ public:
+  /// `assignment` maps each data record (data vertex) to a server; values
+  /// must be < config.num_servers.
+  KvClusterSim(const KvClusterConfig& config,
+               std::vector<BucketId> assignment);
+
+  /// Replays query q of `graph`: one request per distinct server holding
+  /// q's records.
+  QueryTrace IssueQuery(const BipartiteGraph& graph, VertexId q, Rng* rng) const;
+
+  const KvClusterConfig& config() const { return config_; }
+
+ private:
+  KvClusterConfig config_;
+  std::vector<BucketId> assignment_;
+  LatencyModel model_;
+};
+
+}  // namespace shp

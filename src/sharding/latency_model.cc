@@ -1,0 +1,51 @@
+#include "sharding/latency_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace shp {
+
+double LatencyModel::SampleRequest(Rng* rng) const {
+  double draw = 0.0;
+  switch (config_.distribution) {
+    case LatencyDistribution::kLognormal:
+      draw = config_.scale * std::exp(config_.shape * rng->NextGaussian());
+      break;
+    case LatencyDistribution::kExponential:
+      draw = config_.scale * rng->NextExponential();
+      break;
+    case LatencyDistribution::kPareto: {
+      // Inverse CDF of Pareto with x_min = scale, alpha = shape.
+      double u;
+      do {
+        u = rng->NextDouble();
+      } while (u <= 0.0);
+      draw = config_.scale * std::pow(u, -1.0 / std::max(config_.shape, 0.1));
+      break;
+    }
+  }
+  return config_.overhead + draw;
+}
+
+double LatencyModel::SampleMultiGet(uint32_t fanout, Rng* rng) const {
+  double worst = 0.0;
+  for (uint32_t i = 0; i < fanout; ++i) {
+    worst = std::max(worst, SampleRequest(rng));
+  }
+  return worst;
+}
+
+double LatencyModel::SampleMultiGetSized(const uint32_t* records_per_server,
+                                         uint32_t fanout,
+                                         double per_record_cost,
+                                         Rng* rng) const {
+  double worst = 0.0;
+  for (uint32_t i = 0; i < fanout; ++i) {
+    const double latency =
+        SampleRequest(rng) + records_per_server[i] * per_record_cost;
+    worst = std::max(worst, latency);
+  }
+  return worst;
+}
+
+}  // namespace shp

@@ -1,0 +1,60 @@
+// Stochastic single-request latency model for the storage experiments
+// (paper §4.2.1 / Fig. 4).
+//
+// A multi-get query fans out to `fanout` servers in parallel and completes
+// when the slowest request returns, so its latency is the maximum of
+// `fanout` i.i.d. draws — the "tail at scale" effect (Dean & Barroso 2013,
+// cited by the paper) that makes low fanout matter. Service times default to
+// a lognormal (median 1·t, heavy right tail), the standard fit for
+// memory-backed kv-store request latencies; exponential and Pareto variants
+// are provided to show the conclusion is distribution-robust.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace shp {
+
+enum class LatencyDistribution {
+  kLognormal,   ///< exp(μ + σ·N(0,1)); μ fixed so the median is `scale`
+  kExponential, ///< scale · Exp(1)
+  kPareto,      ///< scale · Pareto(α): heaviest tail
+};
+
+struct LatencyModelConfig {
+  LatencyDistribution distribution = LatencyDistribution::kLognormal;
+  /// Unit latency "t" of Fig. 4 (median single-request latency).
+  double scale = 1.0;
+  /// Lognormal sigma / Pareto alpha shape parameter. The default σ = 1.0
+  /// matches the paper's observed tail: mean multi-get latency roughly
+  /// doubles from fanout 10 to fanout 40 (Fig. 4a).
+  double shape = 1.0;
+  /// Fixed network/dispatch overhead added to every request.
+  double overhead = 0.05;
+};
+
+class LatencyModel {
+ public:
+  explicit LatencyModel(const LatencyModelConfig& config) : config_(config) {}
+
+  /// One single-request latency draw.
+  double SampleRequest(Rng* rng) const;
+
+  /// Latency of a query contacting `fanout` servers in parallel
+  /// (max over draws). fanout = 0 returns 0.
+  double SampleMultiGet(uint32_t fanout, Rng* rng) const;
+
+  /// Variant with per-server work sizes: a request fetching `records`
+  /// records costs request_latency + records · per_record_cost. This models
+  /// the §5 caveat that "the size of a request to a server also plays a
+  /// role".
+  double SampleMultiGetSized(const uint32_t* records_per_server,
+                             uint32_t fanout, double per_record_cost,
+                             Rng* rng) const;
+
+ private:
+  LatencyModelConfig config_;
+};
+
+}  // namespace shp

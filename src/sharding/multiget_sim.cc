@@ -1,0 +1,35 @@
+#include "sharding/multiget_sim.h"
+
+#include "common/stats.h"
+
+namespace shp {
+
+std::vector<FanoutLatencyRow> RunMultiGetSweep(
+    const MultiGetSweepConfig& config) {
+  std::vector<FanoutLatencyRow> rows;
+  rows.reserve(config.max_fanout);
+  const LatencyModel model(config.latency);
+  Rng rng(config.seed);
+  std::vector<double> samples;
+  samples.reserve(config.samples_per_fanout);
+  for (uint32_t fanout = 1; fanout <= config.max_fanout; ++fanout) {
+    samples.clear();
+    RunningStats stats;
+    for (uint32_t s = 0; s < config.samples_per_fanout; ++s) {
+      const double latency = model.SampleMultiGet(fanout, &rng);
+      samples.push_back(latency);
+      stats.Add(latency);
+    }
+    FanoutLatencyRow row;
+    row.fanout = fanout;
+    row.p50 = Percentile(samples, 50);
+    row.p90 = Percentile(samples, 90);
+    row.p95 = Percentile(samples, 95);
+    row.p99 = Percentile(samples, 99);
+    row.mean = stats.mean();
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace shp

@@ -1,0 +1,34 @@
+// Fig. 4a experiment: latency percentiles of synthetic multi-get queries as
+// a function of fanout ("we issued trivial remote requests and measured the
+// latency of a single request and the latency of several requests sent in
+// parallel").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sharding/latency_model.h"
+
+namespace shp {
+
+struct MultiGetSweepConfig {
+  uint32_t max_fanout = 40;
+  uint32_t samples_per_fanout = 20000;
+  LatencyModelConfig latency;
+  uint64_t seed = 101;
+};
+
+struct FanoutLatencyRow {
+  uint32_t fanout = 0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double mean = 0.0;
+};
+
+/// One row per fanout 1..max_fanout, in units of the single-request median.
+std::vector<FanoutLatencyRow> RunMultiGetSweep(
+    const MultiGetSweepConfig& config);
+
+}  // namespace shp

@@ -1,0 +1,36 @@
+// Traffic replay harness: issues a sampled query workload against a
+// KvClusterSim and aggregates latency per observed fanout — reproducing the
+// Fig. 4b methodology ("we sample a live traffic pattern, and issued the
+// same set of queries, while measuring fanout and latency of each query").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sharding/kv_cluster.h"
+
+namespace shp {
+
+struct ReplayConfig {
+  /// Number of query issues (queries are sampled with replacement,
+  /// weighted toward low ids to imitate hot-user skew).
+  uint64_t num_requests = 200000;
+  /// Zipf-ish skew exponent for query popularity (0 = uniform).
+  double popularity_skew = 0.8;
+  uint64_t seed = 303;
+};
+
+struct ReplayReport {
+  /// Average latency / sample count indexed by fanout (index 0 unused).
+  std::vector<double> mean_latency_by_fanout;
+  std::vector<double> p99_latency_by_fanout;
+  std::vector<uint64_t> count_by_fanout;
+  double average_fanout = 0.0;
+  double average_latency = 0.0;
+};
+
+ReplayReport ReplayTraffic(const BipartiteGraph& graph,
+                           const KvClusterSim& cluster,
+                           const ReplayConfig& config);
+
+}  // namespace shp

@@ -1,0 +1,232 @@
+// BSP engine tests: routing/accounting, sharding, the BSP refiner's
+// equivalence to the threaded refiner, Giraph-style optimizations (delta
+// supersteps, message combining), and the cost model.
+#include <gtest/gtest.h>
+
+#include "core/recursive.h"
+#include "core/shp_k.h"
+#include "engine/bsp_engine.h"
+#include "engine/cost_model.h"
+#include "engine/distributed_shp.h"
+#include "engine/message_router.h"
+#include "engine/shp_bsp.h"
+#include "graph/gen_social.h"
+#include "objective/objective.h"
+
+namespace shp {
+namespace {
+
+TEST(MessageRouter, SeparatesLocalFromRemote) {
+  MessageRouter<int> router(3);
+  router.Send(0, 0, 1);  // local
+  router.Send(0, 1, 2);  // remote
+  router.Send(2, 1, 3);  // remote
+  EXPECT_EQ(router.Incoming(0, 1).size(), 1u);
+  const RouteStats stats = router.CollectAndClear(4);
+  EXPECT_EQ(stats.local_messages, 1u);
+  EXPECT_EQ(stats.remote_messages, 2u);
+  EXPECT_EQ(stats.remote_bytes, 8u);
+  // Cleared after collection.
+  EXPECT_TRUE(router.Incoming(0, 1).empty());
+}
+
+TEST(MessageRouter, SizedCollection) {
+  MessageRouter<std::vector<int>> router(2);
+  router.Send(0, 1, {1, 2, 3});
+  const RouteStats stats = router.CollectAndClearSized(
+      [](const std::vector<int>& m) { return m.size() * sizeof(int); });
+  EXPECT_EQ(stats.remote_bytes, 12u);
+}
+
+TEST(MessageRouter, PerWorkerByteCounters) {
+  MessageRouter<int> router(2);
+  router.Send(0, 1, 5);
+  router.CollectAndClear(10);
+  EXPECT_EQ(router.out_bytes()[0], 10u);
+  EXPECT_EQ(router.in_bytes()[1], 10u);
+  router.ResetByteCounters();
+  EXPECT_EQ(router.out_bytes()[0], 0u);
+}
+
+TEST(Sharding, CoversAllVerticesExactlyOnce) {
+  const VertexSharding sharding(4, 99);
+  const auto shards = VertexSharding::BuildDataShards(sharding, 1000);
+  size_t total = 0;
+  for (const auto& shard : shards) total += shard.size();
+  EXPECT_EQ(total, 1000u);
+  // Roughly even (hash distribution).
+  for (const auto& shard : shards) {
+    EXPECT_GT(shard.size(), 150u);
+    EXPECT_LT(shard.size(), 350u);
+  }
+}
+
+TEST(Sharding, QueryAndDataSaltsDiffer) {
+  const VertexSharding sharding(16, 7);
+  int differing = 0;
+  for (VertexId v = 0; v < 100; ++v) {
+    if (sharding.DataWorker(v) != sharding.QueryWorker(v)) ++differing;
+  }
+  EXPECT_GT(differing, 50) << "sides use independent hash streams";
+}
+
+BipartiteGraph TestGraph(uint64_t seed = 3) {
+  SocialGraphConfig config;
+  config.num_users = 1200;
+  config.avg_degree = 8;
+  config.seed = seed;
+  return GenerateSocialGraph(config);
+}
+
+TEST(BspRefiner, QualityMatchesThreadedRefiner) {
+  const BipartiteGraph g = TestGraph();
+  const BucketId k = 8;
+
+  ShpKOptions threaded_options;
+  threaded_options.k = k;
+  threaded_options.seed = 5;
+  const ShpResult threaded = ShpKPartitioner(threaded_options).Run(g);
+
+  ShpKOptions bsp_options = threaded_options;
+  std::vector<SuperstepStats> log;
+  bsp_options.refiner_factory = [&log](const BipartiteGraph& graph,
+                                       const RefinerOptions& options) {
+    BspConfig config;
+    config.num_workers = 4;
+    return std::make_unique<BspRefiner>(graph, options, config, &log);
+  };
+  const ShpResult bsp = ShpKPartitioner(bsp_options).Run(g);
+
+  const double threaded_fanout = AverageFanout(g, threaded.assignment);
+  const double bsp_fanout = AverageFanout(g, bsp.assignment);
+  EXPECT_LT(std::abs(bsp_fanout - threaded_fanout) / threaded_fanout, 0.10)
+      << "BSP and threaded engines run the same algorithm";
+  EXPECT_TRUE(Partition::FromAssignment(bsp.assignment, k).IsBalanced(0.05));
+  EXPECT_FALSE(log.empty());
+  EXPECT_EQ(log.size() % 4, 0u) << "four supersteps per iteration (Fig. 3)";
+}
+
+TEST(BspRefiner, DeltaSuperstepOneShrinksAfterFirstIteration) {
+  // Giraph optimization (paper §3.3): vertices that did not move do not
+  // send superstep-1 messages, so iteration 2's superstep 1 must carry far
+  // fewer messages than iteration 1's (which announces everyone).
+  const BipartiteGraph g = TestGraph();
+  std::vector<SuperstepStats> log;
+  ShpKOptions options;
+  options.k = 4;
+  options.max_iterations = 6;
+  options.min_move_fraction = 0.0;
+  options.refiner_factory = [&log](const BipartiteGraph& graph,
+                                   const RefinerOptions& ropts) {
+    BspConfig config;
+    config.num_workers = 4;
+    return std::make_unique<BspRefiner>(graph, ropts, config, &log);
+  };
+  ShpKPartitioner(options).Run(g);
+  ASSERT_GE(log.size(), 24u);
+  auto s1_messages = [&log](size_t iteration) {
+    return log[iteration * 4].traffic.remote_messages +
+           log[iteration * 4].traffic.local_messages;
+  };
+  // Early iterations move many vertices (two delta entries each), so the
+  // first comparison is loose; by iteration 6 movement has decayed and the
+  // delta traffic must be a small fraction of the initial announcement.
+  EXPECT_LT(s1_messages(5), s1_messages(0) / 2)
+      << "movement decays, so delta messages must shrink sharply";
+}
+
+TEST(BspRefiner, Superstep2VolumeBoundedByFanoutTimesEdges) {
+  // Paper §3.3: superstep-2 volume ≈ Σ_q fanout(q)·(#dst) ≤ fanout·|E|.
+  const BipartiteGraph g = TestGraph();
+  std::vector<SuperstepStats> log;
+  ShpKOptions options;
+  options.k = 8;
+  options.max_iterations = 1;
+  options.min_move_fraction = 0.0;
+  options.refiner_factory = [&log](const BipartiteGraph& graph,
+                                   const RefinerOptions& ropts) {
+    BspConfig config;
+    config.num_workers = 4;
+    return std::make_unique<BspRefiner>(graph, ropts, config, &log);
+  };
+  ShpKPartitioner(options).Run(g);
+  ASSERT_GE(log.size(), 2u);
+  const SuperstepStats& s2 = log[1];
+  const uint64_t entries_upper =
+      static_cast<uint64_t>(8) * g.num_edges();  // k·|E| hard bound
+  EXPECT_LT(s2.traffic.remote_bytes / sizeof(BucketCount), entries_upper);
+}
+
+TEST(BspRefiner, WorkerStateEstimatePositive) {
+  const BipartiteGraph g = TestGraph();
+  RefinerOptions options;
+  BspConfig config;
+  config.num_workers = 4;
+  BspRefiner refiner(g, options, config);
+  EXPECT_GT(refiner.MaxWorkerStateBytes(), 0u);
+}
+
+TEST(CostModel, MoreBytesCostsMoreTime) {
+  CostModelConfig config;
+  CostModel model(config);
+  SuperstepStats cheap;
+  cheap.work_units = {100, 100};
+  SuperstepStats heavy = cheap;
+  heavy.traffic.remote_bytes = 1000000;
+  EXPECT_GT(model.SuperstepSecondsEven(heavy, 2),
+            model.SuperstepSecondsEven(cheap, 2));
+}
+
+TEST(CostModel, SlowestWorkerGates) {
+  CostModelConfig config;
+  config.barrier_ns = 0;
+  config.ns_per_remote_byte = 0;
+  CostModel model(config);
+  SuperstepStats stats;
+  stats.work_units = {10, 1000, 10};
+  EXPECT_DOUBLE_EQ(
+      model.SuperstepSeconds(stats, {0, 0, 0}),
+      1000 * config.ns_per_work_unit * 1e-9);
+}
+
+TEST(CostModel, TotalAccumulatesAndScalesMachineSeconds) {
+  CostModel model({});
+  SuperstepStats stats;
+  stats.work_units = {100};
+  const SimulatedTime time = model.Total({stats, stats}, 4);
+  EXPECT_GT(time.seconds, 0.0);
+  EXPECT_DOUBLE_EQ(time.machine_seconds, time.seconds * 4);
+}
+
+TEST(DistributedShp, ReportIsConsistent) {
+  const BipartiteGraph g = TestGraph();
+  DistributedShpOptions options;
+  options.bsp.num_workers = 4;
+  options.recursive = true;
+  const DistributedShpReport report = DistributedShp(options).Run(g, 8);
+  EXPECT_EQ(report.k, 8);
+  EXPECT_EQ(report.assignment.size(), g.num_data());
+  EXPECT_GT(report.num_supersteps, 0u);
+  EXPECT_EQ(report.num_supersteps % 4, 0u);
+  EXPECT_GT(report.simulated.seconds, 0.0);
+  EXPECT_DOUBLE_EQ(report.simulated.machine_seconds,
+                   report.simulated.seconds * 4);
+  EXPECT_TRUE(Partition::FromAssignment(report.assignment, 8)
+                  .IsBalanced(0.05));
+}
+
+TEST(DistributedShp, MoreWorkersMoreCommunication) {
+  const BipartiteGraph g = TestGraph();
+  auto traffic = [&](int workers) {
+    DistributedShpOptions options;
+    options.bsp.num_workers = workers;
+    options.recursive = true;
+    options.recursive_options.seed = 9;
+    return DistributedShp(options).Run(g, 4).total_traffic.remote_bytes;
+  };
+  // With more workers a larger fraction of edges crosses machines.
+  EXPECT_GT(traffic(8), traffic(2));
+}
+
+}  // namespace
+}  // namespace shp

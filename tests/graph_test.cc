@@ -1,0 +1,171 @@
+// Unit tests for the bipartite graph core: builder normalization, CSR
+// invariants, induced subgraphs, stats.
+#include <gtest/gtest.h>
+
+#include "graph/bipartite_graph.h"
+#include "graph/graph_builder.h"
+#include "graph/graph_stats.h"
+#include "graph/subgraph.h"
+
+namespace shp {
+namespace {
+
+BipartiteGraph Fig1Graph() {
+  // Paper Fig. 1: queries {1,2,6}, {1,2,3,4}, {4,5,6} over data 1..6
+  // (0-indexed here).
+  GraphBuilder b;
+  b.AddHyperedge(0, {0, 1, 5});
+  b.AddHyperedge(1, {0, 1, 2, 3});
+  b.AddHyperedge(2, {3, 4, 5});
+  return b.Build();
+}
+
+TEST(GraphBuilder, BuildsBothCsrDirections) {
+  const BipartiteGraph g = Fig1Graph();
+  EXPECT_EQ(g.num_queries(), 3u);
+  EXPECT_EQ(g.num_data(), 6u);
+  EXPECT_EQ(g.num_edges(), 10u);
+  std::string error;
+  EXPECT_TRUE(g.Validate(&error)) << error;
+  // Query 1 spans data {0,1,2,3}.
+  auto nbrs = g.QueryNeighbors(1);
+  ASSERT_EQ(nbrs.size(), 4u);
+  EXPECT_EQ(nbrs[0], 0u);
+  EXPECT_EQ(nbrs[3], 3u);
+  // Data 0 belongs to hyperedges {0, 1}.
+  auto qs = g.DataNeighbors(0);
+  ASSERT_EQ(qs.size(), 2u);
+  EXPECT_EQ(qs[0], 0u);
+  EXPECT_EQ(qs[1], 1u);
+}
+
+TEST(GraphBuilder, DeduplicatesEdges) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  const BipartiteGraph g = b.Build();
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(GraphBuilder, DropsTrivialQueries) {
+  GraphBuilder b;
+  b.AddEdge(0, 0);  // degree-1 query: inert for fanout (paper §4.1)
+  b.AddHyperedge(1, {1, 2});
+  const BipartiteGraph g = b.Build();
+  EXPECT_EQ(g.num_queries(), 1u);  // query 0 dropped, query 1 renumbered to 0
+  EXPECT_EQ(g.QueryNeighbors(0).size(), 2u);
+  EXPECT_EQ(g.num_data(), 3u);  // data ids are never renumbered
+}
+
+TEST(GraphBuilder, KeepsTrivialQueriesWhenAsked) {
+  GraphBuilder b;
+  b.AddEdge(0, 0);
+  b.AddHyperedge(1, {1, 2});
+  GraphBuilder::Options options;
+  options.drop_trivial_queries = false;
+  const BipartiteGraph g = b.Build(options);
+  EXPECT_EQ(g.num_queries(), 2u);
+  EXPECT_EQ(g.num_edges(), 3u);
+}
+
+TEST(GraphBuilder, DuplicateMembershipReducesToTrivialAndDrops) {
+  GraphBuilder b;
+  b.AddHyperedge(0, {3, 3, 3});  // one distinct neighbor after dedupe
+  b.AddHyperedge(1, {0, 1});
+  const BipartiteGraph g = b.Build();
+  EXPECT_EQ(g.num_queries(), 1u);
+}
+
+TEST(GraphBuilder, EmptyBuilderYieldsEmptyGraph) {
+  GraphBuilder b;
+  const BipartiteGraph g = b.Build();
+  EXPECT_EQ(g.num_queries(), 0u);
+  EXPECT_EQ(g.num_data(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(BipartiteGraph, DegreesAndMaxima) {
+  const BipartiteGraph g = Fig1Graph();
+  EXPECT_EQ(g.QueryDegree(1), 4u);
+  EXPECT_EQ(g.DataDegree(3), 2u);
+  EXPECT_EQ(g.MaxQueryDegree(), 4u);
+  EXPECT_EQ(g.MaxDataDegree(), 2u);
+}
+
+TEST(BipartiteGraph, ValidateCatchesAsymmetry) {
+  // Hand-build inconsistent CSR: query side says (q0, v0) but data side
+  // references a different query.
+  std::vector<EdgeIndex> qoff = {0, 1};
+  std::vector<VertexId> qadj = {0};
+  std::vector<EdgeIndex> doff = {0, 1};
+  std::vector<VertexId> dadj = {0};
+  BipartiteGraph ok(qoff, qadj, doff, dadj);
+  EXPECT_TRUE(ok.Validate());
+
+  std::vector<EdgeIndex> doff2 = {0, 0, 1};  // two data vertices
+  std::vector<VertexId> dadj2 = {0};         // edge attached to data 1
+  std::vector<EdgeIndex> qoff2 = {0, 1};
+  std::vector<VertexId> qadj2 = {0};         // but query says data 0
+  BipartiteGraph bad(qoff2, qadj2, doff2, dadj2);
+  std::string error;
+  EXPECT_FALSE(bad.Validate(&error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(BipartiteGraph, MemoryBytesScalesWithSize) {
+  const BipartiteGraph g = Fig1Graph();
+  EXPECT_GT(g.MemoryBytes(), 10u * sizeof(VertexId));
+}
+
+TEST(GraphStats, MatchesHandComputation) {
+  const GraphStats s = ComputeGraphStats(Fig1Graph());
+  EXPECT_EQ(s.num_queries, 3u);
+  EXPECT_EQ(s.num_data, 6u);
+  EXPECT_EQ(s.num_edges, 10u);
+  EXPECT_NEAR(s.avg_query_degree, 10.0 / 3.0, 1e-12);
+  EXPECT_EQ(s.isolated_data, 0u);
+  EXPECT_FALSE(s.ToString().empty());
+}
+
+TEST(GraphStats, CountsIsolatedData) {
+  GraphBuilder b(0, 5);  // data 0..4 exist, only 0..1 used
+  b.AddHyperedge(0, {0, 1});
+  const GraphStats s = ComputeGraphStats(b.Build());
+  EXPECT_EQ(s.isolated_data, 3u);
+}
+
+TEST(Subgraph, InducesOnDataSubset) {
+  const BipartiteGraph g = Fig1Graph();
+  // Keep data {0,1,2,3}: query 0 retains {0,1}, query 1 all four, query 2
+  // only {3} -> dropped as trivial.
+  std::vector<bool> include = {true, true, true, true, false, false};
+  const InducedSubgraph sub = BuildInducedSubgraph(g, include);
+  EXPECT_EQ(sub.graph.num_data(), 4u);
+  EXPECT_EQ(sub.graph.num_queries(), 2u);
+  ASSERT_EQ(sub.data_to_parent.size(), 4u);
+  EXPECT_EQ(sub.data_to_parent[0], 0u);
+  EXPECT_EQ(sub.data_to_parent[3], 3u);
+  std::string error;
+  EXPECT_TRUE(sub.graph.Validate(&error)) << error;
+}
+
+TEST(Subgraph, BucketSubgraphSelectsByAssignment) {
+  const BipartiteGraph g = Fig1Graph();
+  std::vector<int32_t> assignment = {0, 0, 1, 1, 1, 0};
+  const InducedSubgraph sub = BuildBucketSubgraph(g, assignment, 1);
+  EXPECT_EQ(sub.graph.num_data(), 3u);  // data {2,3,4}
+  // Only query 2 = {3,4,5} keeps ≥2 members ({3,4}); query 1 keeps {2,3}.
+  EXPECT_EQ(sub.graph.num_queries(), 2u);
+}
+
+TEST(Subgraph, EmptySelection) {
+  const BipartiteGraph g = Fig1Graph();
+  std::vector<bool> include(6, false);
+  const InducedSubgraph sub = BuildInducedSubgraph(g, include);
+  EXPECT_EQ(sub.graph.num_data(), 0u);
+  EXPECT_EQ(sub.graph.num_queries(), 0u);
+}
+
+}  // namespace
+}  // namespace shp

@@ -1,0 +1,158 @@
+// Cross-module integration tests: file -> partition -> evaluate pipelines,
+// p-sweep sanity (Fig. 6 shape), iteration monotonicity (Fig. 7 shape), and
+// degenerate inputs.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "core/shp.h"
+#include "graph/gen_planted.h"
+#include "graph/gen_social.h"
+#include "graph/graph_builder.h"
+#include "graph/io_hgr.h"
+#include "objective/objective.h"
+
+namespace shp {
+namespace {
+
+TEST(Integration, HgrFileToPartitionPipeline) {
+  // Write a planted hypergraph to .hgr, read it back, partition, evaluate.
+  PlantedPartitionConfig config;
+  config.num_data = 600;
+  config.num_queries = 1500;
+  config.num_groups = 4;
+  config.mixing = 0.02;
+  const PlantedPartition planted = GeneratePlantedPartition(config);
+  const std::string path = testing::TempDir() + "/integration.hgr";
+  ASSERT_TRUE(WriteHgr(planted.graph, path).ok());
+  auto loaded = ReadHgr(path);
+  ASSERT_TRUE(loaded.ok());
+
+  RecursiveOptions options;
+  options.k = 4;
+  const auto result = RecursivePartitioner(options).Run(loaded.value());
+  EXPECT_LT(AverageFanout(loaded.value(), result.assignment), 1.5);
+}
+
+TEST(Integration, PSweepShapeMatchesFigure6) {
+  // p = 0.5 must beat p = 1.0 (direct fanout) distinctly; this is the core
+  // of the paper's Fig. 6/8 message.
+  SocialGraphConfig social;
+  social.num_users = 3000;
+  social.avg_degree = 12;
+  const BipartiteGraph g = GenerateSocialGraph(social);
+  auto fanout_at = [&](double p) {
+    RecursiveOptions options;
+    options.k = 16;
+    options.p = p;
+    options.seed = 6;
+    return AverageFanout(g, RecursivePartitioner(options).Run(g).assignment);
+  };
+  const double at_half = fanout_at(0.5);
+  const double at_one = fanout_at(1.0);
+  EXPECT_LT(at_half, at_one)
+      << "probabilistic fanout must beat direct fanout optimization";
+}
+
+TEST(Integration, PFanoutNonIncreasingAcrossIterations) {
+  // Figure 7a shape: the optimized objective decreases (tolerating tiny
+  // stochastic wiggle from the probabilistic mover).
+  SocialGraphConfig social;
+  social.num_users = 2000;
+  social.avg_degree = 10;
+  const BipartiteGraph g = GenerateSocialGraph(social);
+  ShpKOptions options;
+  options.k = 8;
+  options.seed = 3;
+  options.max_iterations = 15;
+  options.min_move_fraction = 0.0;
+  std::vector<double> trace;
+  ShpKPartitioner(options).Run(
+      g, nullptr,
+      [&](uint32_t, const IterationStats&, const Partition& partition) {
+        trace.push_back(AveragePFanout(g, partition.assignment(), 0.5));
+        return true;
+      });
+  ASSERT_GE(trace.size(), 10u);
+  int violations = 0;
+  for (size_t i = 1; i < trace.size(); ++i) {
+    if (trace[i] > trace[i - 1] + 0.02) ++violations;
+  }
+  EXPECT_LE(violations, 1) << "p-fanout should fall monotonically (±noise)";
+  EXPECT_LT(trace.back(), trace.front());
+}
+
+TEST(Integration, MovedVerticesDecayAcrossIterations) {
+  // Figure 7b shape: movement decays toward convergence.
+  SocialGraphConfig social;
+  social.num_users = 2000;
+  social.avg_degree = 10;
+  const BipartiteGraph g = GenerateSocialGraph(social);
+  ShpKOptions options;
+  options.k = 8;
+  options.seed = 3;
+  options.max_iterations = 20;
+  options.min_move_fraction = 0.0;
+  std::vector<double> moved;
+  ShpKPartitioner(options).Run(
+      g, nullptr,
+      [&](uint32_t, const IterationStats& stats, const Partition&) {
+        moved.push_back(stats.moved_fraction);
+        return true;
+      });
+  ASSERT_GE(moved.size(), 10u);
+  EXPECT_LT(moved.back(), moved.front() / 4);
+}
+
+// ------------------------------------------------------ degenerate inputs
+TEST(Degenerate, KEqualsNumData) {
+  GraphBuilder b;
+  b.AddHyperedge(0, {0, 1});
+  b.AddHyperedge(1, {1, 2});
+  b.AddHyperedge(2, {2, 3});
+  const BipartiteGraph g = b.Build();
+  RecursiveOptions options;
+  options.k = 4;  // one vertex per bucket
+  const auto result = RecursivePartitioner(options).Run(g);
+  const auto partition = Partition::FromAssignment(result.assignment, 4);
+  partition.CheckInvariants();
+  EXPECT_EQ(partition.ImbalanceRatio(), 0.0);
+}
+
+TEST(Degenerate, SingleQueryGraph) {
+  GraphBuilder b;
+  b.AddHyperedge(0, {0, 1, 2, 3});
+  const BipartiteGraph g = b.Build();
+  ShpKOptions options;
+  options.k = 2;
+  const auto result = ShpKPartitioner(options).Run(g);
+  // One query spanning everything: fanout 2 at k=2 regardless.
+  EXPECT_DOUBLE_EQ(AverageFanout(g, result.assignment), 2.0);
+  EXPECT_TRUE(Partition::FromAssignment(result.assignment, 2)
+                  .IsBalanced(0.0 + 1e-9));
+}
+
+TEST(Degenerate, GraphWithIsolatedData) {
+  GraphBuilder b(0, 10);  // data 0..9, only 0..3 connected
+  b.AddHyperedge(0, {0, 1});
+  b.AddHyperedge(1, {2, 3});
+  const BipartiteGraph g = b.Build();
+  ShpKOptions options;
+  options.k = 2;
+  const auto result = ShpKPartitioner(options).Run(g);
+  EXPECT_EQ(result.assignment.size(), 10u);
+  EXPECT_TRUE(
+      Partition::FromAssignment(result.assignment, 2).IsBalanced(0.05));
+}
+
+TEST(Degenerate, EmptyGraphNoCrash) {
+  GraphBuilder b(0, 4);  // 4 data vertices, zero queries
+  const BipartiteGraph g = b.Build();
+  ShpKOptions options;
+  options.k = 2;
+  const auto result = ShpKPartitioner(options).Run(g);
+  EXPECT_EQ(result.assignment.size(), 4u);
+}
+
+}  // namespace
+}  // namespace shp

@@ -1,0 +1,191 @@
+// I/O tests: hgr and edge-list parsing (including malformed inputs), binary
+// snapshot round-trip and corruption detection.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "graph/graph_builder.h"
+#include "graph/io_binary.h"
+#include "graph/io_edgelist.h"
+#include "graph/io_hgr.h"
+
+namespace shp {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(HgrIo, ParsesPlainFormat) {
+  const std::string content = "3 6\n1 2 6\n1 2 3 4\n4 5 6\n";
+  auto result = ParseHgr(content);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const BipartiteGraph& g = result.value();
+  EXPECT_EQ(g.num_queries(), 3u);
+  EXPECT_EQ(g.num_data(), 6u);
+  EXPECT_EQ(g.num_edges(), 10u);
+}
+
+TEST(HgrIo, SkipsCommentsAndDropsTrivial) {
+  const std::string content = "% comment\n2 3\n1\n1 2 3\n";
+  auto result = ParseHgr(content);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_queries(), 1u);  // singleton edge dropped
+}
+
+TEST(HgrIo, ParsesWeightedFormatIgnoringWeights) {
+  // fmt=1: first token of each hyperedge line is its weight.
+  const std::string content = "2 4 1\n10 1 2\n20 3 4\n";
+  auto result = ParseHgr(content);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().num_edges(), 4u);
+}
+
+TEST(HgrIo, RejectsOutOfRangeVertex) {
+  auto result = ParseHgr("1 3\n1 4\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(HgrIo, RejectsTruncatedFile) {
+  auto result = ParseHgr("3 6\n1 2\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(HgrIo, RejectsGarbageHeader) {
+  EXPECT_FALSE(ParseHgr("abc def\n").ok());
+  EXPECT_FALSE(ParseHgr("").ok());
+  EXPECT_FALSE(ParseHgr("0 5\n").ok());
+}
+
+TEST(HgrIo, WriteReadRoundTrip) {
+  GraphBuilder b;
+  b.AddHyperedge(0, {0, 1, 5});
+  b.AddHyperedge(1, {0, 1, 2, 3});
+  b.AddHyperedge(2, {3, 4, 5});
+  const BipartiteGraph g = b.Build();
+
+  const std::string path = TempPath("roundtrip.hgr");
+  ASSERT_TRUE(WriteHgr(g, path).ok());
+  auto back = ReadHgr(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value().num_queries(), g.num_queries());
+  EXPECT_EQ(back.value().num_data(), g.num_data());
+  EXPECT_EQ(back.value().num_edges(), g.num_edges());
+}
+
+TEST(HgrIo, MissingFileIsIoError) {
+  auto result = ReadHgr("/nonexistent/path/x.hgr");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(EdgeListIo, ParsesAndCompactsSparseIds) {
+  const std::string content = "# comment\n100 7\n100 9\n200 7\n200 9\n";
+  auto result = ParseBipartiteEdgeList(content);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().num_queries(), 2u);
+  EXPECT_EQ(result.value().num_data(), 2u);
+  EXPECT_EQ(result.value().num_edges(), 4u);
+}
+
+TEST(EdgeListIo, RejectsMalformedLine) {
+  auto result = ParseBipartiteEdgeList("1 two\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(EdgeListIo, RejectsNegativeIds) {
+  EXPECT_FALSE(ParseBipartiteEdgeList("-1 2\n").ok());
+}
+
+TEST(EdgeListIo, RejectsEmptyInput) {
+  EXPECT_FALSE(ParseBipartiteEdgeList("# only comments\n").ok());
+}
+
+TEST(EdgeListIo, UnipartiteConversionBuildsHyperedges) {
+  // Friendship edges 0-1, 0-2: hyperedge(0) = {0,1,2}, hyperedge(1) = {1,0},
+  // hyperedge(2) = {2,0} (paper §4.1: each user is query and data).
+  const std::string path = TempPath("unipartite.txt");
+  {
+    std::ofstream out(path);
+    out << "0 1\n0 2\n";
+  }
+  auto result = ReadUnipartiteAsHypergraph(path);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const BipartiteGraph& g = result.value();
+  EXPECT_EQ(g.num_queries(), 3u);
+  EXPECT_EQ(g.num_data(), 3u);
+  EXPECT_EQ(g.QueryNeighbors(0).size(), 3u);
+}
+
+TEST(EdgeListIo, WriteRoundTrip) {
+  GraphBuilder b;
+  b.AddHyperedge(0, {0, 1});
+  b.AddHyperedge(1, {1, 2});
+  const BipartiteGraph g = b.Build();
+  const std::string path = TempPath("edges.txt");
+  ASSERT_TRUE(WriteBipartiteEdgeList(g, path).ok());
+  auto back = ReadBipartiteEdgeList(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().num_edges(), g.num_edges());
+}
+
+TEST(BinaryIo, RoundTripPreservesGraph) {
+  GraphBuilder b;
+  b.AddHyperedge(0, {0, 1, 5});
+  b.AddHyperedge(1, {0, 1, 2, 3});
+  b.AddHyperedge(2, {3, 4, 5});
+  const BipartiteGraph g = b.Build();
+
+  const std::string path = TempPath("graph.shpg");
+  ASSERT_TRUE(WriteBinaryGraph(g, path).ok());
+  auto back = ReadBinaryGraph(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value().query_adj(), g.query_adj());
+  EXPECT_EQ(back.value().data_adj(), g.data_adj());
+  EXPECT_EQ(back.value().query_offsets(), g.query_offsets());
+}
+
+TEST(BinaryIo, DetectsBitFlip) {
+  GraphBuilder b;
+  b.AddHyperedge(0, {0, 1});
+  b.AddHyperedge(1, {1, 2});
+  const std::string path = TempPath("corrupt.shpg");
+  ASSERT_TRUE(WriteBinaryGraph(b.Build(), path).ok());
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(24);  // somewhere in the payload
+    char byte;
+    f.read(&byte, 1);
+    f.seekp(24);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.write(&byte, 1);
+  }
+  auto result = ReadBinaryGraph(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(BinaryIo, DetectsTruncation) {
+  GraphBuilder b;
+  b.AddHyperedge(0, {0, 1});
+  b.AddHyperedge(1, {1, 2});
+  const std::string path = TempPath("trunc.shpg");
+  ASSERT_TRUE(WriteBinaryGraph(b.Build(), path).ok());
+  // Truncate the file.
+  std::ofstream(path, std::ios::binary | std::ios::trunc) << "SHPG";
+  EXPECT_FALSE(ReadBinaryGraph(path).ok());
+}
+
+TEST(BinaryIo, RejectsWrongMagic) {
+  const std::string path = TempPath("magic.shpg");
+  std::ofstream(path, std::ios::binary) << "NOPExxxxxxxxxxxxxxxx";
+  auto result = ReadBinaryGraph(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace shp

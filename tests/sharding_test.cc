@@ -1,0 +1,174 @@
+// Storage-sharding simulator tests: latency model tail behavior, kv cluster
+// semantics, traffic replay accounting, and the end-to-end claim that lower
+// fanout means lower latency (Fig. 4 mechanism).
+#include <gtest/gtest.h>
+
+#include "core/recursive.h"
+#include "core/shp.h"
+#include "graph/gen_social.h"
+#include "graph/graph_builder.h"
+#include "sharding/kv_cluster.h"
+#include "sharding/latency_model.h"
+#include "sharding/multiget_sim.h"
+#include "sharding/traffic_replay.h"
+
+namespace shp {
+namespace {
+
+TEST(LatencyModel, MultiGetLatencyMonotoneInFanout) {
+  // E[max of n draws] grows with n — the "tail at scale" effect.
+  const LatencyModel model(LatencyModelConfig{});
+  Rng rng(1);
+  auto mean_at = [&](uint32_t fanout) {
+    double total = 0;
+    for (int i = 0; i < 5000; ++i) total += model.SampleMultiGet(fanout, &rng);
+    return total / 5000;
+  };
+  const double f1 = mean_at(1);
+  const double f5 = mean_at(5);
+  const double f20 = mean_at(20);
+  EXPECT_LT(f1, f5);
+  EXPECT_LT(f5, f20);
+}
+
+TEST(LatencyModel, ZeroFanoutIsFree) {
+  const LatencyModel model(LatencyModelConfig{});
+  Rng rng(2);
+  EXPECT_DOUBLE_EQ(model.SampleMultiGet(0, &rng), 0.0);
+}
+
+TEST(LatencyModel, AllDistributionsArePositive) {
+  for (auto dist : {LatencyDistribution::kLognormal,
+                    LatencyDistribution::kExponential,
+                    LatencyDistribution::kPareto}) {
+    LatencyModelConfig config;
+    config.distribution = dist;
+    const LatencyModel model(config);
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_GT(model.SampleRequest(&rng), 0.0);
+    }
+  }
+}
+
+TEST(LatencyModel, SizedRequestsChargePerRecord) {
+  LatencyModelConfig config;
+  config.shape = 1e-6;  // nearly deterministic service time
+  config.overhead = 0.0;
+  const LatencyModel model(config);
+  Rng rng(4);
+  const uint32_t light[2] = {1, 1};
+  const uint32_t heavy[2] = {100, 100};
+  const double light_latency =
+      model.SampleMultiGetSized(light, 2, 0.1, &rng);
+  const double heavy_latency =
+      model.SampleMultiGetSized(heavy, 2, 0.1, &rng);
+  EXPECT_NEAR(heavy_latency - light_latency, 9.9, 0.5);
+}
+
+TEST(MultiGetSweep, PercentilesOrderedAndGrowing) {
+  MultiGetSweepConfig config;
+  config.max_fanout = 20;
+  config.samples_per_fanout = 4000;
+  const auto rows = RunMultiGetSweep(config);
+  ASSERT_EQ(rows.size(), 20u);
+  for (const auto& row : rows) {
+    EXPECT_LE(row.p50, row.p90);
+    EXPECT_LE(row.p90, row.p95);
+    EXPECT_LE(row.p95, row.p99);
+  }
+  EXPECT_LT(rows[0].mean, rows[19].mean);
+  // Paper headline: fanout 40 vs 10 halves mean latency; at 20 vs 5 the
+  // ratio is already well above 1.2.
+  EXPECT_GT(rows[19].mean / rows[4].mean, 1.2);
+}
+
+TEST(KvCluster, FanoutEqualsDistinctServers) {
+  GraphBuilder b;
+  b.AddHyperedge(0, {0, 1, 2, 3});
+  const BipartiteGraph g = b.Build();
+  KvClusterConfig config;
+  config.num_servers = 3;
+  const KvClusterSim cluster(config, {0, 0, 1, 2});
+  Rng rng(5);
+  const QueryTrace trace = cluster.IssueQuery(g, 0, &rng);
+  EXPECT_EQ(trace.fanout, 3u);
+  EXPECT_GT(trace.latency, 0.0);
+}
+
+TEST(Replay, CountsAndAveragesConsistent) {
+  SocialGraphConfig social;
+  social.num_users = 800;
+  social.avg_degree = 10;
+  const BipartiteGraph g = GenerateSocialGraph(social);
+  KvClusterConfig config;
+  config.num_servers = 10;
+  const auto assignment =
+      Partition::Random(g.num_data(), 10, 3).assignment();
+  const KvClusterSim cluster(config, assignment);
+  ReplayConfig replay;
+  replay.num_requests = 20000;
+  const ReplayReport report = ReplayTraffic(g, cluster, replay);
+  uint64_t total = 0;
+  for (uint64_t c : report.count_by_fanout) total += c;
+  EXPECT_EQ(total, replay.num_requests);
+  EXPECT_GT(report.average_fanout, 1.0);
+  EXPECT_GT(report.average_latency, 0.0);
+}
+
+TEST(Replay, ShpShardingBeatsRandomEndToEnd) {
+  // The Fig. 4b headline: SHP sharding produces both lower fanout and lower
+  // average latency than random sharding on the same traffic.
+  SocialGraphConfig social;
+  social.num_users = 2000;
+  social.avg_degree = 16;
+  const BipartiteGraph g = GenerateSocialGraph(social);
+
+  RecursiveOptions options;
+  options.k = 16;
+  const auto shp_assignment = RecursivePartitioner(options).Run(g).assignment;
+  const auto random_assignment =
+      Partition::Random(g.num_data(), 16, 9).assignment();
+
+  KvClusterConfig config;
+  config.num_servers = 16;
+  ReplayConfig replay;
+  replay.num_requests = 30000;
+  const ReplayReport shp_report =
+      ReplayTraffic(g, KvClusterSim(config, shp_assignment), replay);
+  const ReplayReport random_report =
+      ReplayTraffic(g, KvClusterSim(config, random_assignment), replay);
+
+  EXPECT_LT(shp_report.average_fanout, random_report.average_fanout * 0.85);
+  EXPECT_LT(shp_report.average_latency, random_report.average_latency);
+}
+
+TEST(Replay, LatencyIncreasesWithObservedFanout) {
+  SocialGraphConfig social;
+  social.num_users = 1500;
+  social.avg_degree = 14;
+  const BipartiteGraph g = GenerateSocialGraph(social);
+  KvClusterConfig config;
+  config.num_servers = 12;
+  const auto assignment =
+      Partition::Random(g.num_data(), 12, 1).assignment();
+  ReplayConfig replay;
+  replay.num_requests = 40000;
+  const ReplayReport report =
+      ReplayTraffic(g, KvClusterSim(config, assignment), replay);
+  // Compare a low and a high fanout bucket that both have mass.
+  int low = -1, high = -1;
+  for (size_t f = 1; f < report.count_by_fanout.size(); ++f) {
+    if (report.count_by_fanout[f] > 200) {
+      if (low == -1) low = static_cast<int>(f);
+      high = static_cast<int>(f);
+    }
+  }
+  ASSERT_NE(low, -1);
+  ASSERT_GT(high, low);
+  EXPECT_LT(report.mean_latency_by_fanout[static_cast<size_t>(low)],
+            report.mean_latency_by_fanout[static_cast<size_t>(high)]);
+}
+
+}  // namespace
+}  // namespace shp

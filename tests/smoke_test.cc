@@ -1,0 +1,57 @@
+// End-to-end smoke tests: SHP must substantially beat a random partition on
+// structured inputs and recover planted partitions. These run first during
+// development; the detailed per-module suites live alongside.
+#include <gtest/gtest.h>
+
+#include "core/shp.h"
+#include "graph/gen_planted.h"
+#include "graph/gen_social.h"
+
+namespace shp {
+namespace {
+
+TEST(Smoke, RecursiveBisectionRecoversPlantedPartition) {
+  PlantedPartitionConfig config;
+  config.num_data = 2000;
+  config.num_queries = 4000;
+  config.num_groups = 4;
+  config.mixing = 0.02;
+  PlantedPartition planted = GeneratePlantedPartition(config);
+
+  RecursiveOptions options;
+  options.k = 4;
+  options.seed = 5;
+  RecursiveResult result = RecursivePartitioner(options).Run(planted.graph);
+
+  PartitionSummary summary =
+      SummarizePartition(planted.graph, result.assignment, 4);
+  // With 2% mixing the ground truth has fanout close to 1; SHP should land
+  // well under the random baseline of ~min(k, avg degree) ≈ 3.9.
+  EXPECT_LT(summary.fanout, 1.6);
+  EXPECT_LE(summary.imbalance, 0.05 + 1e-9);
+}
+
+TEST(Smoke, ShpKImprovesOverRandomOnSocialGraph) {
+  SocialGraphConfig config;
+  config.num_users = 3000;
+  config.avg_degree = 12;
+  BipartiteGraph graph = GenerateSocialGraph(config);
+
+  const auto random_assignment =
+      Partition::Random(graph.num_data(), 8, 123).assignment();
+  const double random_fanout = AverageFanout(graph, random_assignment);
+
+  ShpKOptions options;
+  options.k = 8;
+  options.seed = 9;
+  ShpResult result = ShpKPartitioner(options).Run(graph);
+  const double shp_fanout = AverageFanout(graph, result.assignment);
+
+  EXPECT_LT(shp_fanout, random_fanout * 0.8)
+      << "SHP-k should cut fanout well below random";
+  EXPECT_TRUE(
+      Partition::FromAssignment(result.assignment, 8).IsBalanced(0.05));
+}
+
+}  // namespace
+}  // namespace shp
