@@ -73,10 +73,52 @@ void BM_BestTargetScan(benchmark::State& state) {
 }
 BENCHMARK(BM_BestTargetScan)->Arg(8)->Arg(64)->Arg(512);
 
-void BM_RefinerIteration(benchmark::State& state) {
+void BM_NeighborDataApplyMoves(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  const BipartiteGraph graph = MakeGraph(20000, 16);
+  const BucketId k = 32;
+  std::vector<BucketId> assignment =
+      Partition::Random(graph.num_data(), k, 1).assignment();
+  QueryNeighborData ndata;
+  ndata.Build(graph, assignment);
+  // Move generation happens outside the timed region so the measurement
+  // tracks the splice kernel, not batch construction.
+  std::vector<uint8_t> seen(graph.num_data(), 0);
+  uint64_t round = 0;
+  int64_t applied = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<VertexMove> moves;
+    moves.reserve(batch);
+    for (size_t i = 0; i < batch; ++i) {
+      const VertexId v = static_cast<VertexId>(
+          (round * 7919 + static_cast<uint64_t>(i) * 31) % graph.num_data());
+      if (seen[v]) continue;
+      seen[v] = 1;
+      const BucketId from = assignment[v];
+      const BucketId to =
+          static_cast<BucketId>((from + 1 + i % (k - 1)) % k);
+      if (to == from) continue;
+      moves.push_back({v, from, to});
+      assignment[v] = to;
+    }
+    for (const VertexMove& m : moves) seen[m.v] = 0;
+    applied += static_cast<int64_t>(moves.size());
+    ++round;
+    state.ResumeTiming();
+    ndata.ApplyMoves(graph, moves);
+    benchmark::DoNotOptimize(ndata.TotalEntries());
+  }
+  state.SetItemsProcessed(applied);
+}
+BENCHMARK(BM_NeighborDataApplyMoves)->Arg(64)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+void RefinerIterationBench(benchmark::State& state, bool incremental) {
   const BipartiteGraph graph = MakeGraph(20000, 16);
   const BucketId k = 32;
   RefinerOptions options;
+  options.incremental = incremental;
   Refiner refiner(graph, options);
   const MoveTopology topo = MoveTopology::FullK(k, graph.num_data(), 0.05);
   uint64_t iteration = 0;
@@ -88,7 +130,16 @@ void BM_RefinerIteration(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(graph.num_edges()));
 }
+
+void BM_RefinerIteration(benchmark::State& state) {
+  RefinerIterationBench(state, /*incremental=*/false);
+}
 BENCHMARK(BM_RefinerIteration)->Unit(benchmark::kMillisecond);
+
+void BM_RefinerIterationIncremental(benchmark::State& state) {
+  RefinerIterationBench(state, /*incremental=*/true);
+}
+BENCHMARK(BM_RefinerIterationIncremental)->Unit(benchmark::kMillisecond);
 
 void BM_SocialGenerator(benchmark::State& state) {
   for (auto _ : state) {

@@ -19,6 +19,20 @@ uint64_t PackPair(BucketId a, BucketId b) {
 
 }  // namespace
 
+void MoveBroker::CollectNetMoves(const std::vector<VertexId>& moved,
+                                 const std::vector<BucketId>& original_bucket,
+                                 const Partition& partition,
+                                 MoveOutcome* outcome) {
+  outcome->moves.reserve(outcome->num_moved);
+  for (VertexId v : moved) {
+    const BucketId now = partition.bucket_of(v);
+    if (now != original_bucket[v]) {
+      outcome->moves.push_back({v, original_bucket[v], now});
+    }
+  }
+  SHP_DCHECK(outcome->moves.size() == outcome->num_moved);
+}
+
 MoveOutcome MoveBroker::Apply(const MoveTopology& topo,
                               const std::vector<BucketId>& targets,
                               const std::vector<double>& gains, uint64_t seed,
@@ -82,6 +96,7 @@ MoveOutcome MoveBroker::ApplyExactPairing(const MoveTopology& topo,
         static_cast<int64_t>(partition->bucket_size(b));
   }
   auto execute = [&](VertexId v) {
+    outcome.moves.push_back({v, partition->bucket_of(v), targets[v]});
     partition->Move(v, targets[v]);
     ++outcome.num_moved;
     outcome.gain_moved += gains[v];
@@ -122,6 +137,10 @@ MoveOutcome MoveBroker::ApplyExactPairing(const MoveTopology& topo,
       }
     }
   }
+  // Pairing order is per bucket pair; normalize to the ascending-by-vertex
+  // invariant the incremental consumers rely on.
+  std::sort(outcome.moves.begin(), outcome.moves.end(),
+            [](const VertexMove& a, const VertexMove& b) { return a.v < b.v; });
   return outcome;
 }
 
@@ -173,6 +192,7 @@ MoveOutcome MoveBroker::ApplyPlain(const MoveTopology& topo,
     outcome.gain_moved += gains[v];
   }
   RepairBalance(topo, moved, original, gains, partition, &outcome);
+  CollectNetMoves(moved, original, *partition, &outcome);
   return outcome;
 }
 
@@ -301,6 +321,7 @@ MoveOutcome MoveBroker::ApplyHistogram(const MoveTopology& topo,
     outcome.gain_moved += gains[v];
   }
   RepairBalance(topo, moved, original, gains, partition, &outcome);
+  CollectNetMoves(moved, original, *partition, &outcome);
   return outcome;
 }
 

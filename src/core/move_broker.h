@@ -62,6 +62,10 @@ struct MoveOutcome {
   uint64_t num_moved = 0;      ///< moves that stuck (after repair)
   uint64_t num_reverted = 0;   ///< repair reversions
   double gain_moved = 0.0;     ///< Σ gains of surviving moves
+  /// Net executed moves of the round (post balance-repair; a reverted vertex
+  /// does not appear), ascending by vertex id. This is exactly the partition
+  /// delta, and what incremental neighbor-data maintenance consumes.
+  std::vector<VertexMove> moves;
 };
 
 /// Master-side state: per directed bucket pair (packed (from << 32) | to),
@@ -106,6 +110,14 @@ class MoveBroker {
                             const std::vector<BucketId>& original_bucket,
                             const std::vector<double>& gains,
                             Partition* partition, MoveOutcome* outcome);
+
+  /// Emits the net executed moves (vertices whose post-repair bucket differs
+  /// from their pre-round bucket) into outcome->moves, ascending by vertex
+  /// id. Shared with the BSP master, which repairs via RepairBalance above.
+  static void CollectNetMoves(const std::vector<VertexId>& moved,
+                              const std::vector<BucketId>& original_bucket,
+                              const Partition& partition,
+                              MoveOutcome* outcome);
 
  private:
   MoveOutcome ApplyPlain(const MoveTopology& topo,

@@ -169,6 +169,9 @@ RecursiveResult RecursivePartitioner::Run(const BipartiteGraph& graph,
         options_.future_split_objective
             ? static_cast<uint32_t>(max_child_leaves)
             : 1;
+    // One refiner per level (future_splits changes the gain base per level):
+    // within the level it keeps the neighbor data alive across iterations,
+    // rebuilding only once after the random redistribution above.
     std::unique_ptr<RefinerInterface> refiner =
         options_.refiner_factory
             ? options_.refiner_factory(graph, refiner_options)

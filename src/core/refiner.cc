@@ -1,6 +1,7 @@
 #include "core/refiner.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/logging.h"
 #include "common/rng.h"
@@ -15,6 +16,94 @@ Refiner::Refiner(const BipartiteGraph& graph, const RefinerOptions& options)
             options.future_splits),
       broker_(options.broker) {}
 
+Refiner::Proposal Refiner::ComputeProposal(
+    const MoveTopology& topo, const Partition& partition, VertexId v,
+    uint64_t seed, uint64_t iteration, const std::vector<BucketId>* anchor,
+    double anchor_penalty, Workspace* ws, bool* cacheable) const {
+  *cacheable = true;
+  if (graph_.DataDegree(v) == 0) return {};  // isolated: nothing to gain
+  const BucketId from = partition.bucket_of(v);
+  const int32_t group = topo.group_of_bucket[static_cast<size_t>(from)];
+  if (group < 0) return {};  // bucket not refined at this level
+
+  BucketId best_target = -1;
+  double best_gain = 0.0;
+  if (topo.full_k) {
+    if (options_.exploration_probability > 0.0 &&
+        HashToUnitDouble(seed ^ 0xe791, iteration * 0x10001 + 1, v) <
+            options_.exploration_probability) {
+      // Exploration proposal: random target with its true gain. Depends on
+      // the iteration counter, so it must never be served from the cache.
+      const BucketId candidate = static_cast<BucketId>(HashToBounded(
+          seed ^ 0x77aa, iteration, v, static_cast<uint64_t>(topo.k)));
+      if (candidate != from) {
+        best_target = candidate;
+        best_gain = gain_.MoveGain(graph_, ndata_, v, from, candidate);
+        *cacheable = false;
+      }
+    }
+    if (best_target < 0) {
+      const auto best = gain_.FindBestTarget(graph_, ndata_, v, from, 0,
+                                             topo.k, &ws->affinity,
+                                             &ws->touched);
+      best_target = best.bucket;
+      best_gain = best.gain;
+    }
+  } else {
+    const auto& children = topo.group_children[static_cast<size_t>(group)];
+    bool first = true;
+    for (BucketId candidate : children) {
+      if (candidate == from) continue;
+      const double g = gain_.MoveGain(graph_, ndata_, v, from, candidate);
+      if (first || g > best_gain) {
+        best_gain = g;
+        best_target = candidate;
+        first = false;
+      }
+    }
+  }
+  if (best_target < 0) return {};
+
+  // Incremental-update penalty (paper §5(i)).
+  if (anchor != nullptr && anchor_penalty != 0.0) {
+    const BucketId home = (*anchor)[v];
+    if (from == home && best_target != home) best_gain -= anchor_penalty;
+    if (from != home && best_target == home) best_gain += anchor_penalty;
+  }
+
+  if (!options_.propose_nonpositive && best_gain <= 0.0) return {};
+  return {best_target, best_gain};
+}
+
+bool Refiner::ContextMatches(const MoveTopology& topo,
+                             const std::vector<BucketId>* anchor,
+                             double anchor_penalty) const {
+  if (!has_cached_topo_) return false;
+  if (cached_topo_.k != topo.k || cached_topo_.full_k != topo.full_k ||
+      cached_topo_.group_of_bucket != topo.group_of_bucket ||
+      cached_topo_.group_children != topo.group_children) {
+    return false;
+  }
+  // Capacity is a broker concern; proposals do not depend on it.
+  const bool has_anchor = anchor != nullptr && anchor_penalty != 0.0;
+  if (has_anchor != cached_has_anchor_) return false;
+  if (has_anchor && (cached_anchor_penalty_ != anchor_penalty ||
+                     cached_anchor_ != *anchor)) {
+    return false;
+  }
+  return true;
+}
+
+void Refiner::SnapshotContext(const MoveTopology& topo,
+                              const std::vector<BucketId>* anchor,
+                              double anchor_penalty) {
+  cached_topo_ = topo;
+  has_cached_topo_ = true;
+  cached_has_anchor_ = anchor != nullptr && anchor_penalty != 0.0;
+  cached_anchor_ = cached_has_anchor_ ? *anchor : std::vector<BucketId>{};
+  cached_anchor_penalty_ = cached_has_anchor_ ? anchor_penalty : 0.0;
+}
+
 IterationStats Refiner::RunIteration(const MoveTopology& topo,
                                      Partition* partition, uint64_t seed,
                                      uint64_t iteration, ThreadPool* pool,
@@ -23,80 +112,143 @@ IterationStats Refiner::RunIteration(const MoveTopology& topo,
   SHP_CHECK_EQ(partition->num_data(), graph_.num_data());
   if (pool == nullptr) pool = &GlobalThreadPool();
   const VertexId n = graph_.num_data();
+  IterationStats stats;
 
-  // Supersteps 1-2: collect neighbor data, compute move gains.
-  ndata_.Build(graph_, partition->assignment(), pool);
-  targets_.assign(n, -1);
-  gains_.assign(n, 0.0);
+  // Superstep 1: collect neighbor data — reused across iterations whenever
+  // it provably reflects the current assignment (the shadow copy is the
+  // proof; callers that hand in a different partition trigger a rebuild).
+  const bool ndata_reusable = options_.incremental && ndata_valid_ &&
+                              shadow_assignment_ == partition->assignment();
+  if (!ndata_reusable) {
+    ndata_.Build(graph_, partition->assignment(), pool);
+    shadow_assignment_ = partition->assignment();
+    ndata_valid_ = true;
+    proposals_valid_ = false;
+    ++num_full_rebuilds_;
+    stats.full_rebuild = true;
+  }
 
-  pool->ParallelFor(n, [&](size_t begin, size_t end, size_t) {
-    // Per-chunk scratch for the k-way affinity scan.
-    std::vector<double> affinity;
-    std::vector<BucketId> touched;
-    if (topo.full_k) {
-      affinity.assign(static_cast<size_t>(topo.k), 0.0);
+  // Superstep 2: move proposals. A full pass recomputes every vertex; the
+  // incremental pass recomputes only vertices adjacent to a query whose
+  // neighbor data changed last round, vertices whose cached proposal is not
+  // reusable (exploration), and vertices whose exploration draw fires now.
+  const bool recompute_all = !options_.incremental || !proposals_valid_ ||
+                             !ContextMatches(topo, anchor, anchor_penalty);
+  if (recompute_all) {
+    targets_.assign(n, -1);
+    gains_.assign(n, 0.0);
+    cache_valid_.assign(n, 0);
+    recompute_.assign(n, 0);
+    SnapshotContext(topo, anchor, anchor_penalty);
+  } else if (!dirty_list_.empty()) {
+    // Mark the blast radius of last round's moves. Different queries share
+    // data vertices, so marks are relaxed atomic stores.
+    pool->ParallelForEach(dirty_list_.size(), [&](size_t i) {
+      for (VertexId v : graph_.QueryNeighbors(dirty_list_[i])) {
+        std::atomic_ref<uint8_t>(recompute_[v])
+            .store(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  const size_t num_workers = std::max<size_t>(1, pool->num_threads());
+  if (workspaces_.size() < num_workers) workspaces_.resize(num_workers);
+  const bool explore = topo.full_k && options_.exploration_probability > 0.0;
+
+  std::vector<uint64_t> recomputed_per_worker(num_workers, 0);
+  pool->ParallelFor(n, [&](size_t begin, size_t end, size_t w) {
+    Workspace& ws = workspaces_[w];
+    if (topo.full_k &&
+        ws.affinity.size() < static_cast<size_t>(topo.k)) {
+      // FindBestTarget requires a zero-filled scratch and restores it, so
+      // (re)sizing is the only moment we pay for a fill.
+      ws.affinity.assign(static_cast<size_t>(topo.k), 0.0);
     }
+    uint64_t recomputed = 0;
     for (size_t vi = begin; vi < end; ++vi) {
       const VertexId v = static_cast<VertexId>(vi);
-      if (graph_.DataDegree(v) == 0) continue;  // isolated: nothing to gain
-      const BucketId from = partition->bucket_of(v);
-      const int32_t group = topo.group_of_bucket[static_cast<size_t>(from)];
-      if (group < 0) continue;  // bucket not refined at this level
-
-      BucketId best_target = -1;
-      double best_gain = 0.0;
-      if (topo.full_k) {
-        if (options_.exploration_probability > 0.0 &&
+      if (!recompute_all) {
+        const bool fires =
+            explore &&
             HashToUnitDouble(seed ^ 0xe791, iteration * 0x10001 + 1, v) <
-                options_.exploration_probability) {
-          // Exploration proposal: random target with its true gain.
-          const BucketId candidate = static_cast<BucketId>(HashToBounded(
-              seed ^ 0x77aa, iteration, v, static_cast<uint64_t>(topo.k)));
-          if (candidate != from) {
-            best_target = candidate;
-            best_gain = gain_.MoveGain(graph_, ndata_, v, from, candidate);
-          }
-        }
-        if (best_target < 0) {
-          auto best = gain_.FindBestTarget(graph_, ndata_, v, from, 0,
-                                           topo.k, &affinity, &touched);
-          best_target = best.bucket;
-          best_gain = best.gain;
-        }
-      } else {
-        const auto& children =
-            topo.group_children[static_cast<size_t>(group)];
-        bool first = true;
-        for (BucketId candidate : children) {
-          if (candidate == from) continue;
-          const double g = gain_.MoveGain(graph_, ndata_, v, from, candidate);
-          if (first || g > best_gain) {
-            best_gain = g;
-            best_target = candidate;
-            first = false;
-          }
-        }
+                options_.exploration_probability;
+        if (!fires && cache_valid_[v] && !recompute_[v]) continue;
       }
-      if (best_target < 0) continue;
-
-      // Incremental-update penalty (paper §5(i)).
-      if (anchor != nullptr && anchor_penalty != 0.0) {
-        const BucketId home = (*anchor)[v];
-        if (from == home && best_target != home) best_gain -= anchor_penalty;
-        if (from != home && best_target == home) best_gain += anchor_penalty;
-      }
-
-      if (!options_.propose_nonpositive && best_gain <= 0.0) continue;
-      targets_[v] = best_target;
-      gains_[v] = best_gain;
+      bool cacheable = true;
+      const Proposal proposal =
+          ComputeProposal(topo, *partition, v, seed, iteration, anchor,
+                          anchor_penalty, &ws, &cacheable);
+      targets_[v] = proposal.target;
+      gains_[v] = proposal.gain;
+      cache_valid_[v] = cacheable ? 1 : 0;
+      ++recomputed;
     }
+    recomputed_per_worker[w] += recomputed;
   });
+  for (const uint64_t r : recomputed_per_worker) stats.num_recomputed += r;
+
+#ifndef NDEBUG
+  if (!recompute_all) {
+    // Debug cross-check: the cached proposals must be bit-identical to a
+    // full recompute (same code path over logically identical neighbor
+    // data).
+    pool->ParallelFor(n, [&](size_t begin, size_t end, size_t w) {
+      Workspace& ws = workspaces_[w];
+      for (size_t vi = begin; vi < end; ++vi) {
+        const VertexId v = static_cast<VertexId>(vi);
+        bool cacheable = true;
+        const Proposal check =
+            ComputeProposal(topo, *partition, v, seed, iteration, anchor,
+                            anchor_penalty, &ws, &cacheable);
+        SHP_CHECK(check.target == targets_[v] && check.gain == gains_[v])
+            << "stale cached proposal for v=" << v << ": cached ("
+            << targets_[v] << ", " << gains_[v] << ") vs fresh ("
+            << check.target << ", " << check.gain << ")";
+      }
+    });
+  }
+#endif
+
+  // Clear this round's recompute marks through the same dirty list (keeps
+  // recompute_ all-zero between iterations without an O(n) sweep).
+  if (!recompute_all && !dirty_list_.empty()) {
+    pool->ParallelForEach(dirty_list_.size(), [&](size_t i) {
+      for (VertexId v : graph_.QueryNeighbors(dirty_list_[i])) {
+        std::atomic_ref<uint8_t>(recompute_[v])
+            .store(0, std::memory_order_relaxed);
+      }
+    });
+  }
 
   // Supersteps 3-4: master aggregation, probabilistic moves, repair.
   const MoveOutcome outcome =
       broker_.Apply(topo, targets_, gains_, seed, iteration, partition, pool);
 
-  IterationStats stats;
+  const bool high_churn =
+      static_cast<double>(outcome.moves.size()) >
+      options_.incremental_rebuild_fraction * static_cast<double>(n);
+  if (options_.incremental && !high_churn) {
+    // Fold the executed moves into the carried state (superstep 1 of the
+    // *next* iteration, amortized to the blast radius of this round).
+    dirty_list_.clear();
+    ndata_.ApplyMoves(graph_, outcome.moves, pool, &dirty_list_);
+    for (const VertexMove& m : outcome.moves) {
+      shadow_assignment_[m.v] = m.to;
+    }
+    proposals_valid_ = true;
+#ifndef NDEBUG
+    SHP_CHECK(shadow_assignment_ == partition->assignment())
+        << "executed move list does not match the partition delta";
+    QueryNeighborData fresh;
+    fresh.Build(graph_, partition->assignment(), pool);
+    SHP_CHECK(ndata_.ContentEquals(fresh))
+        << "incrementally maintained neighbor data diverged from rebuild";
+#endif
+  } else {
+    ndata_valid_ = false;
+    proposals_valid_ = false;
+  }
+
   stats.num_proposals = outcome.num_proposals;
   stats.num_moved = outcome.num_moved;
   stats.num_reverted = outcome.num_reverted;

@@ -39,6 +39,9 @@ ShpResult ShpKPartitioner::RunFrom(const BipartiteGraph& graph,
   RefinerOptions refiner_options = options_.refiner;
   refiner_options.p = options_.p;
   refiner_options.future_splits = 1;
+  // One refiner for the whole run: it keeps the query neighbor data (and the
+  // proposal cache) alive across iterations, patching them with each round's
+  // executed moves instead of rebuilding O(|E|) state per iteration.
   std::unique_ptr<RefinerInterface> refiner =
       options_.refiner_factory
           ? options_.refiner_factory(graph, refiner_options)

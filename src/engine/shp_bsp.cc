@@ -425,6 +425,7 @@ IterationStats BspRefiner::RunIteration(const MoveTopology& topo,
   }
   MoveBroker::RepairBalance(topo, moved, original, cached_gain_, partition,
                             &outcome);
+  MoveBroker::CollectNetMoves(moved, original, *partition, &outcome);
 
   SuperstepStats s4;
   s4.label = "4:probabilities+moves";

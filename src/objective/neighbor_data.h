@@ -5,10 +5,21 @@
 // giving total size Σ_q fanout(q) entries, exactly the message volume the
 // paper's superstep-2 communication bound counts. A dense |Q|×k matrix would
 // defeat the scalability analysis for large k.
+//
+// The structure is *incrementally maintained*: a full Build runs once per
+// topology change, and the per-iteration refinement loop folds the executed
+// move list in with ApplyMoves — O(Σ deg(moved) · fanout) instead of the
+// O(|E| log maxdeg) rebuild. To make in-place splicing cheap, each query's
+// entry list owns a small slack capacity inside one flat arena; a list that
+// outgrows its slack is relocated to the arena tail, and the arena is
+// compacted (epoch compaction) once relocation garbage plus slack exceed the
+// live volume.
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "graph/bipartite_graph.h"
@@ -28,46 +39,134 @@ struct BucketCount {
   bool operator==(const BucketCount&) const = default;
 };
 
+/// One executed move: data vertex v relocated from bucket `from` to `to`.
+/// The move broker reports the net executed moves of a round in this form
+/// (post balance-repair), and QueryNeighborData::ApplyMoves consumes them.
+struct VertexMove {
+  VertexId v;
+  BucketId from;
+  BucketId to;
+
+  bool operator==(const VertexMove&) const = default;
+};
+
 class QueryNeighborData {
  public:
   QueryNeighborData() = default;
 
   /// Builds neighbor data for all queries under `assignment` (size
   /// graph.num_data(), entries in [0, k)). Runs on `pool` if given, else the
-  /// global pool. O(|E| log maxdeg) work.
+  /// global pool. Counting-sort over a per-thread dense bucket scratch:
+  /// O(|E| + Σ_q fanout(q) log fanout(q)) work — no per-query std::sort over
+  /// the full pin list.
   void Build(const BipartiteGraph& graph,
              const std::vector<BucketId>& assignment,
              ThreadPool* pool = nullptr);
 
   /// Entries of query q, sorted by bucket id ascending.
   std::span<const BucketCount> Entries(VertexId q) const {
-    return {entries_.data() + offsets_[q], entries_.data() + offsets_[q + 1]};
+    const Loc& loc = loc_[q];
+    return {entries_.data() + loc.begin, entries_.data() + loc.begin +
+                                             loc.size};
   }
 
   /// n_b(q): count of q's neighbors in bucket b (0 if none). O(log fanout).
   uint32_t CountFor(VertexId q, BucketId b) const;
 
   /// fanout(q) = number of occupied buckets.
-  uint32_t Fanout(VertexId q) const {
-    return static_cast<uint32_t>(offsets_[q + 1] - offsets_[q]);
-  }
+  uint32_t Fanout(VertexId q) const { return loc_[q].size; }
 
-  VertexId num_queries() const {
-    return offsets_.empty() ? 0 : static_cast<VertexId>(offsets_.size() - 1);
-  }
+  VertexId num_queries() const { return static_cast<VertexId>(loc_.size()); }
 
   /// Total entries = Σ_q fanout(q); proxy for superstep-2 message volume.
-  uint64_t TotalEntries() const { return entries_.size(); }
+  uint64_t TotalEntries() const { return live_entries_; }
 
   /// Applies a single move (v: from -> to) to all queries adjacent to v,
-  /// keeping entries sorted. Used by incremental updates and by tests that
-  /// cross-check gains against recomputation. O(deg(v) · fanout).
+  /// splicing each affected entry list in place (relocating to the arena
+  /// tail only when a list outgrows its slack). O(deg(v) · fanout).
   void ApplyMove(const BipartiteGraph& graph, VertexId v, BucketId from,
                  BucketId to);
 
+  /// Applies a batch of executed moves in parallel: queries are range-
+  /// sharded across workers, per-query bucket-count deltas are scattered to
+  /// their owning shard, and each shard splices its queries' entry lists in
+  /// place. O(Σ_v deg(v) · fanout) total work over the moved vertices —
+  /// independent of |E|. If `touched_queries` is non-null, the ids of all
+  /// queries whose entries changed are appended (each id once, ascending).
+  void ApplyMoves(const BipartiteGraph& graph,
+                  std::span<const VertexMove> moves, ThreadPool* pool = nullptr,
+                  std::vector<VertexId>* touched_queries = nullptr);
+
+  /// Repacks the arena in query order with fresh slack, dropping relocation
+  /// garbage. Called automatically by ApplyMove/ApplyMoves when overhead
+  /// exceeds the live volume; public for tests and memory-pressure callers.
+  void Compact();
+
+  /// True iff both structures hold the same logical content (identical entry
+  /// spans for every query), regardless of arena layout.
+  bool ContentEquals(const QueryNeighborData& other) const;
+
+  /// Arena slots including slack and relocation garbage (≥ TotalEntries());
+  /// memory-overhead diagnostic for tests and stats.
+  uint64_t ArenaSlots() const { return entries_.size(); }
+
  private:
-  std::vector<uint64_t> offsets_;
-  std::vector<BucketCount> entries_;
+  /// Per-query entry-list location, packed into one 16-byte record so the
+  /// random-access gain scan touches a single cache line per query instead
+  /// of three parallel arrays.
+  struct Loc {
+    uint64_t begin;  ///< arena offset of q's entry list
+    uint32_t size;   ///< live entries of q
+    uint32_t cap;    ///< arena slots owned by q (≥ size)
+  };
+
+  /// One scattered bucket-count delta: query q loses a neighbor in `from`
+  /// and gains one in `to`.
+  struct DeltaRec {
+    VertexId q;
+    BucketId from;
+    BucketId to;
+  };
+
+  /// Shard-local store for entry lists that outgrew their slack during a
+  /// parallel ApplyMoves (the shared arena cannot be grown concurrently).
+  struct ShardOverflow {
+    std::vector<std::pair<VertexId, std::vector<BucketCount>>> lists;
+    std::unordered_map<VertexId, size_t> index;
+  };
+
+  /// Reusable ApplyMoves scratch: scatter buffers (workers × shards,
+  /// flattened), per-shard overflow/accounting/touched lists. Cleared, not
+  /// reallocated, between calls — ApplyMoves runs once per refinement
+  /// iteration and the buffer count scales with cores².
+  struct ApplyScratch {
+    std::vector<std::vector<DeltaRec>> buffers;
+    std::vector<ShardOverflow> overflow;
+    std::vector<int64_t> live_delta;
+    std::vector<std::vector<VertexId>> touched;
+  };
+
+  /// Outcome of an in-place delta application attempt.
+  enum class DeltaResult { kDone, kNeedsGrowth };
+
+  /// Applies (−1 at `from`, +1 at `to`) to q's entry list, accumulating the
+  /// entry-count change into *live_delta. The decrement always fits; if the
+  /// increment must insert a new bucket and the list is at capacity, returns
+  /// kNeedsGrowth with the decrement applied and the insert still pending.
+  DeltaResult ApplyDeltaInPlace(VertexId q, BucketId from, BucketId to,
+                                int64_t* live_delta);
+
+  /// Serial growth path: relocates q's list to the arena tail with fresh
+  /// slack and performs the pending insert of `to`.
+  void RelocateAndInsert(VertexId q, BucketId to);
+
+  void MaybeCompact();
+
+  std::vector<BucketCount> entries_;  ///< flat arena (entry lists + slack)
+  std::vector<Loc> loc_;              ///< per-query list location
+  uint64_t live_entries_ = 0;         ///< Σ_q loc_[q].size
+  uint64_t garbage_ = 0;              ///< arena slots abandoned by relocation
+  ApplyScratch scratch_;              ///< reusable ApplyMoves workspace
 };
 
 }  // namespace shp
