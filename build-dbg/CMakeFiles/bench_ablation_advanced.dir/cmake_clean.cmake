@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_advanced.dir/bench/ablation_advanced.cc.o"
+  "CMakeFiles/bench_ablation_advanced.dir/bench/ablation_advanced.cc.o.d"
+  "ablation_advanced"
+  "ablation_advanced.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_advanced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

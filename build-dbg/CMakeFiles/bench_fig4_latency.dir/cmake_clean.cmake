@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_latency.dir/bench/fig4_latency.cc.o"
+  "CMakeFiles/bench_fig4_latency.dir/bench/fig4_latency.cc.o.d"
+  "fig4_latency"
+  "fig4_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

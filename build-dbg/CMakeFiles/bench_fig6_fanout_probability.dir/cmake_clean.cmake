@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_fanout_probability.dir/bench/fig6_fanout_probability.cc.o"
+  "CMakeFiles/bench_fig6_fanout_probability.dir/bench/fig6_fanout_probability.cc.o.d"
+  "fig6_fanout_probability"
+  "fig6_fanout_probability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_fanout_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig6_fanout_probability.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_convergence.dir/bench/fig7_convergence.cc.o"
+  "CMakeFiles/bench_fig7_convergence.dir/bench/fig7_convergence.cc.o.d"
+  "fig7_convergence"
+  "fig7_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

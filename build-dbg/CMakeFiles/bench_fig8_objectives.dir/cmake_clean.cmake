@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_objectives.dir/bench/fig8_objectives.cc.o"
+  "CMakeFiles/bench_fig8_objectives.dir/bench/fig8_objectives.cc.o.d"
+  "fig8_objectives"
+  "fig8_objectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_objectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

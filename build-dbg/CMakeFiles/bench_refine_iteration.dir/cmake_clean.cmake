@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_refine_iteration.dir/bench/refine_iteration.cc.o"
+  "CMakeFiles/bench_refine_iteration.dir/bench/refine_iteration.cc.o.d"
+  "refine_iteration"
+  "refine_iteration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_refine_iteration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_quality.dir/bench/table2_quality.cc.o"
+  "CMakeFiles/bench_table2_quality.dir/bench/table2_quality.cc.o.d"
+  "table2_quality"
+  "table2_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_runtime.dir/bench/table3_runtime.cc.o"
+  "CMakeFiles/bench_table3_runtime.dir/bench/table3_runtime.cc.o.d"
+  "table3_runtime"
+  "table3_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

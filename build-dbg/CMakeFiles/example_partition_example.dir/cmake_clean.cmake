@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_partition_example.dir/examples/partition_example.cc.o"
+  "CMakeFiles/example_partition_example.dir/examples/partition_example.cc.o.d"
+  "partition_example"
+  "partition_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_partition_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neighbor_data_incremental_test.dir/tests/neighbor_data_incremental_test.cc.o"
+  "CMakeFiles/neighbor_data_incremental_test.dir/tests/neighbor_data_incremental_test.cc.o.d"
+  "neighbor_data_incremental_test"
+  "neighbor_data_incremental_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neighbor_data_incremental_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/objective_test.dir/tests/objective_test.cc.o"
+  "CMakeFiles/objective_test.dir/tests/objective_test.cc.o.d"
+  "objective_test"
+  "objective_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/objective_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

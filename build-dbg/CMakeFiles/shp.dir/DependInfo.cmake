@@ -1,0 +1,72 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/clique_net.cc" "CMakeFiles/shp.dir/src/baseline/clique_net.cc.o" "gcc" "CMakeFiles/shp.dir/src/baseline/clique_net.cc.o.d"
+  "/root/repo/src/baseline/coarsener.cc" "CMakeFiles/shp.dir/src/baseline/coarsener.cc.o" "gcc" "CMakeFiles/shp.dir/src/baseline/coarsener.cc.o.d"
+  "/root/repo/src/baseline/fm_refiner.cc" "CMakeFiles/shp.dir/src/baseline/fm_refiner.cc.o" "gcc" "CMakeFiles/shp.dir/src/baseline/fm_refiner.cc.o.d"
+  "/root/repo/src/baseline/hash_partitioner.cc" "CMakeFiles/shp.dir/src/baseline/hash_partitioner.cc.o" "gcc" "CMakeFiles/shp.dir/src/baseline/hash_partitioner.cc.o.d"
+  "/root/repo/src/baseline/label_propagation.cc" "CMakeFiles/shp.dir/src/baseline/label_propagation.cc.o" "gcc" "CMakeFiles/shp.dir/src/baseline/label_propagation.cc.o.d"
+  "/root/repo/src/baseline/multilevel.cc" "CMakeFiles/shp.dir/src/baseline/multilevel.cc.o" "gcc" "CMakeFiles/shp.dir/src/baseline/multilevel.cc.o.d"
+  "/root/repo/src/baseline/random_partitioner.cc" "CMakeFiles/shp.dir/src/baseline/random_partitioner.cc.o" "gcc" "CMakeFiles/shp.dir/src/baseline/random_partitioner.cc.o.d"
+  "/root/repo/src/common/csv.cc" "CMakeFiles/shp.dir/src/common/csv.cc.o" "gcc" "CMakeFiles/shp.dir/src/common/csv.cc.o.d"
+  "/root/repo/src/common/env.cc" "CMakeFiles/shp.dir/src/common/env.cc.o" "gcc" "CMakeFiles/shp.dir/src/common/env.cc.o.d"
+  "/root/repo/src/common/flags.cc" "CMakeFiles/shp.dir/src/common/flags.cc.o" "gcc" "CMakeFiles/shp.dir/src/common/flags.cc.o.d"
+  "/root/repo/src/common/histogram.cc" "CMakeFiles/shp.dir/src/common/histogram.cc.o" "gcc" "CMakeFiles/shp.dir/src/common/histogram.cc.o.d"
+  "/root/repo/src/common/logging.cc" "CMakeFiles/shp.dir/src/common/logging.cc.o" "gcc" "CMakeFiles/shp.dir/src/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "CMakeFiles/shp.dir/src/common/rng.cc.o" "gcc" "CMakeFiles/shp.dir/src/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "CMakeFiles/shp.dir/src/common/stats.cc.o" "gcc" "CMakeFiles/shp.dir/src/common/stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "CMakeFiles/shp.dir/src/common/status.cc.o" "gcc" "CMakeFiles/shp.dir/src/common/status.cc.o.d"
+  "/root/repo/src/common/table.cc" "CMakeFiles/shp.dir/src/common/table.cc.o" "gcc" "CMakeFiles/shp.dir/src/common/table.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "CMakeFiles/shp.dir/src/common/thread_pool.cc.o" "gcc" "CMakeFiles/shp.dir/src/common/thread_pool.cc.o.d"
+  "/root/repo/src/core/gain_histogram.cc" "CMakeFiles/shp.dir/src/core/gain_histogram.cc.o" "gcc" "CMakeFiles/shp.dir/src/core/gain_histogram.cc.o.d"
+  "/root/repo/src/core/incremental.cc" "CMakeFiles/shp.dir/src/core/incremental.cc.o" "gcc" "CMakeFiles/shp.dir/src/core/incremental.cc.o.d"
+  "/root/repo/src/core/move_broker.cc" "CMakeFiles/shp.dir/src/core/move_broker.cc.o" "gcc" "CMakeFiles/shp.dir/src/core/move_broker.cc.o.d"
+  "/root/repo/src/core/multidim.cc" "CMakeFiles/shp.dir/src/core/multidim.cc.o" "gcc" "CMakeFiles/shp.dir/src/core/multidim.cc.o.d"
+  "/root/repo/src/core/partition.cc" "CMakeFiles/shp.dir/src/core/partition.cc.o" "gcc" "CMakeFiles/shp.dir/src/core/partition.cc.o.d"
+  "/root/repo/src/core/proposal_matrix.cc" "CMakeFiles/shp.dir/src/core/proposal_matrix.cc.o" "gcc" "CMakeFiles/shp.dir/src/core/proposal_matrix.cc.o.d"
+  "/root/repo/src/core/recursive.cc" "CMakeFiles/shp.dir/src/core/recursive.cc.o" "gcc" "CMakeFiles/shp.dir/src/core/recursive.cc.o.d"
+  "/root/repo/src/core/refiner.cc" "CMakeFiles/shp.dir/src/core/refiner.cc.o" "gcc" "CMakeFiles/shp.dir/src/core/refiner.cc.o.d"
+  "/root/repo/src/core/shp.cc" "CMakeFiles/shp.dir/src/core/shp.cc.o" "gcc" "CMakeFiles/shp.dir/src/core/shp.cc.o.d"
+  "/root/repo/src/core/shp_k.cc" "CMakeFiles/shp.dir/src/core/shp_k.cc.o" "gcc" "CMakeFiles/shp.dir/src/core/shp_k.cc.o.d"
+  "/root/repo/src/engine/bsp_engine.cc" "CMakeFiles/shp.dir/src/engine/bsp_engine.cc.o" "gcc" "CMakeFiles/shp.dir/src/engine/bsp_engine.cc.o.d"
+  "/root/repo/src/engine/cost_model.cc" "CMakeFiles/shp.dir/src/engine/cost_model.cc.o" "gcc" "CMakeFiles/shp.dir/src/engine/cost_model.cc.o.d"
+  "/root/repo/src/engine/distributed_shp.cc" "CMakeFiles/shp.dir/src/engine/distributed_shp.cc.o" "gcc" "CMakeFiles/shp.dir/src/engine/distributed_shp.cc.o.d"
+  "/root/repo/src/engine/message_router.cc" "CMakeFiles/shp.dir/src/engine/message_router.cc.o" "gcc" "CMakeFiles/shp.dir/src/engine/message_router.cc.o.d"
+  "/root/repo/src/engine/shp_bsp.cc" "CMakeFiles/shp.dir/src/engine/shp_bsp.cc.o" "gcc" "CMakeFiles/shp.dir/src/engine/shp_bsp.cc.o.d"
+  "/root/repo/src/graph/bipartite_graph.cc" "CMakeFiles/shp.dir/src/graph/bipartite_graph.cc.o" "gcc" "CMakeFiles/shp.dir/src/graph/bipartite_graph.cc.o.d"
+  "/root/repo/src/graph/dataset_catalog.cc" "CMakeFiles/shp.dir/src/graph/dataset_catalog.cc.o" "gcc" "CMakeFiles/shp.dir/src/graph/dataset_catalog.cc.o.d"
+  "/root/repo/src/graph/gen_grid.cc" "CMakeFiles/shp.dir/src/graph/gen_grid.cc.o" "gcc" "CMakeFiles/shp.dir/src/graph/gen_grid.cc.o.d"
+  "/root/repo/src/graph/gen_planted.cc" "CMakeFiles/shp.dir/src/graph/gen_planted.cc.o" "gcc" "CMakeFiles/shp.dir/src/graph/gen_planted.cc.o.d"
+  "/root/repo/src/graph/gen_powerlaw.cc" "CMakeFiles/shp.dir/src/graph/gen_powerlaw.cc.o" "gcc" "CMakeFiles/shp.dir/src/graph/gen_powerlaw.cc.o.d"
+  "/root/repo/src/graph/gen_social.cc" "CMakeFiles/shp.dir/src/graph/gen_social.cc.o" "gcc" "CMakeFiles/shp.dir/src/graph/gen_social.cc.o.d"
+  "/root/repo/src/graph/gen_web.cc" "CMakeFiles/shp.dir/src/graph/gen_web.cc.o" "gcc" "CMakeFiles/shp.dir/src/graph/gen_web.cc.o.d"
+  "/root/repo/src/graph/graph_builder.cc" "CMakeFiles/shp.dir/src/graph/graph_builder.cc.o" "gcc" "CMakeFiles/shp.dir/src/graph/graph_builder.cc.o.d"
+  "/root/repo/src/graph/graph_stats.cc" "CMakeFiles/shp.dir/src/graph/graph_stats.cc.o" "gcc" "CMakeFiles/shp.dir/src/graph/graph_stats.cc.o.d"
+  "/root/repo/src/graph/io_binary.cc" "CMakeFiles/shp.dir/src/graph/io_binary.cc.o" "gcc" "CMakeFiles/shp.dir/src/graph/io_binary.cc.o.d"
+  "/root/repo/src/graph/io_edgelist.cc" "CMakeFiles/shp.dir/src/graph/io_edgelist.cc.o" "gcc" "CMakeFiles/shp.dir/src/graph/io_edgelist.cc.o.d"
+  "/root/repo/src/graph/io_hgr.cc" "CMakeFiles/shp.dir/src/graph/io_hgr.cc.o" "gcc" "CMakeFiles/shp.dir/src/graph/io_hgr.cc.o.d"
+  "/root/repo/src/graph/io_partition.cc" "CMakeFiles/shp.dir/src/graph/io_partition.cc.o" "gcc" "CMakeFiles/shp.dir/src/graph/io_partition.cc.o.d"
+  "/root/repo/src/graph/subgraph.cc" "CMakeFiles/shp.dir/src/graph/subgraph.cc.o" "gcc" "CMakeFiles/shp.dir/src/graph/subgraph.cc.o.d"
+  "/root/repo/src/objective/gain.cc" "CMakeFiles/shp.dir/src/objective/gain.cc.o" "gcc" "CMakeFiles/shp.dir/src/objective/gain.cc.o.d"
+  "/root/repo/src/objective/neighbor_data.cc" "CMakeFiles/shp.dir/src/objective/neighbor_data.cc.o" "gcc" "CMakeFiles/shp.dir/src/objective/neighbor_data.cc.o.d"
+  "/root/repo/src/objective/objective.cc" "CMakeFiles/shp.dir/src/objective/objective.cc.o" "gcc" "CMakeFiles/shp.dir/src/objective/objective.cc.o.d"
+  "/root/repo/src/objective/pow_table.cc" "CMakeFiles/shp.dir/src/objective/pow_table.cc.o" "gcc" "CMakeFiles/shp.dir/src/objective/pow_table.cc.o.d"
+  "/root/repo/src/sharding/kv_cluster.cc" "CMakeFiles/shp.dir/src/sharding/kv_cluster.cc.o" "gcc" "CMakeFiles/shp.dir/src/sharding/kv_cluster.cc.o.d"
+  "/root/repo/src/sharding/latency_model.cc" "CMakeFiles/shp.dir/src/sharding/latency_model.cc.o" "gcc" "CMakeFiles/shp.dir/src/sharding/latency_model.cc.o.d"
+  "/root/repo/src/sharding/multiget_sim.cc" "CMakeFiles/shp.dir/src/sharding/multiget_sim.cc.o" "gcc" "CMakeFiles/shp.dir/src/sharding/multiget_sim.cc.o.d"
+  "/root/repo/src/sharding/traffic_replay.cc" "CMakeFiles/shp.dir/src/sharding/traffic_replay.cc.o" "gcc" "CMakeFiles/shp.dir/src/sharding/traffic_replay.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for shp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shp_bench_harness.dir/bench/harness.cc.o"
+  "CMakeFiles/shp_bench_harness.dir/bench/harness.cc.o.d"
+  "libshp_bench_harness.a"
+  "libshp_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shp_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shp_test.dir/tests/shp_test.cc.o"
+  "CMakeFiles/shp_test.dir/tests/shp_test.cc.o.d"
+  "shp_test"
+  "shp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build-dbg
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(baseline_test "/root/repo/build-dbg/baseline_test")
+set_tests_properties(baseline_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;37;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(common_test "/root/repo/build-dbg/common_test")
+set_tests_properties(common_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;37;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(core_test "/root/repo/build-dbg/core_test")
+set_tests_properties(core_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;37;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(engine_test "/root/repo/build-dbg/engine_test")
+set_tests_properties(engine_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;37;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(generator_test "/root/repo/build-dbg/generator_test")
+set_tests_properties(generator_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;37;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(graph_test "/root/repo/build-dbg/graph_test")
+set_tests_properties(graph_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;37;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(integration_test "/root/repo/build-dbg/integration_test")
+set_tests_properties(integration_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;37;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(io_test "/root/repo/build-dbg/io_test")
+set_tests_properties(io_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;37;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(neighbor_data_incremental_test "/root/repo/build-dbg/neighbor_data_incremental_test")
+set_tests_properties(neighbor_data_incremental_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;37;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(objective_test "/root/repo/build-dbg/objective_test")
+set_tests_properties(objective_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;37;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(refiner_test "/root/repo/build-dbg/refiner_test")
+set_tests_properties(refiner_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;37;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(sharding_test "/root/repo/build-dbg/sharding_test")
+set_tests_properties(sharding_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;37;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(shp_test "/root/repo/build-dbg/shp_test")
+set_tests_properties(shp_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;37;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(smoke_test "/root/repo/build-dbg/smoke_test")
+set_tests_properties(smoke_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;37;add_test;/root/repo/CMakeLists.txt;0;")
