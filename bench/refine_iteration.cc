@@ -1,16 +1,23 @@
-// Steady-state refinement-iteration latency: incremental neighbor-data
-// maintenance vs the full-rebuild reference path.
+// Steady-state refinement-iteration latency: full-rebuild reference vs the
+// incremental pull path vs the query-major push sweep.
 //
 // Protocol: run SHP-k on a power-law generator workload until the moved
 // fraction decays below a steady-state threshold (default 0.2%, matching
 // the paper's reported late-iteration movement on soc-LJ; <= 5% per the
 // acceptance criterion), then time the remaining iterations with each
-// engine from an identical warm-start assignment. Both engines execute bit-identical trajectories (the
-// incremental path is exact; see core/refiner.h), so the comparison is pure
-// iteration latency. Results go to stdout and to BENCH_refine.json for CI
-// trend tracking; the run exits nonzero if the speedup falls below
-// --min_speedup (default 0 so ad-hoc runs never fail; CI passes a gate).
+// engine from an identical warm-start assignment. The full-rebuild and
+// incremental pull engines execute bit-identical trajectories (the
+// incremental path is exact; see core/refiner.h). The push sweep changes
+// float summation order, so its trajectory matches pull to tolerance, not
+// bits — the run checks the final average fanout agrees within a relative
+// 1e-4 (the strict per-proposal harness lives in tests/affinity_sweep_test
+// and the Debug-build per-iteration cross-checks). Results go to stdout and
+// to BENCH_refine.json for CI trend tracking; the run exits nonzero if
+// incremental/full falls below --min_speedup or push/incremental falls
+// below --min_push_speedup (both default 0 so ad-hoc runs never fail; CI
+// passes gates).
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <numeric>
 #include <string>
@@ -23,6 +30,7 @@
 #include "core/refiner.h"
 #include "core/shp_k.h"
 #include "graph/gen_powerlaw.h"
+#include "objective/objective.h"
 #include "harness.h"
 
 namespace {
@@ -31,7 +39,9 @@ struct PathTiming {
   std::vector<double> iteration_ms;
   double mean_ms = 0.0;
   uint64_t rebuilds = 0;
+  uint64_t sweep_builds = 0;
   uint64_t recomputed = 0;
+  uint64_t delta_records = 0;
 };
 
 }  // namespace
@@ -40,7 +50,9 @@ int main(int argc, char** argv) {
   using namespace shp;
   auto flags = Flags::Parse(argc, argv).value();
   bench::PrintBanner(
-      "Refinement iteration latency: incremental vs full rebuild", flags);
+      "Refinement iteration latency: full rebuild vs incremental pull vs "
+      "query-major push sweep",
+      flags);
 
   PowerLawConfig config;
   config.num_queries = static_cast<VertexId>(
@@ -57,13 +69,14 @@ int main(int argc, char** argv) {
   const uint32_t timed_iterations = static_cast<uint32_t>(
       std::max<int64_t>(1, flags.GetInt("iterations", 20)));
   const double min_speedup = flags.GetDouble("min_speedup", 0.0);
+  const double min_push_speedup = flags.GetDouble("min_push_speedup", 0.0);
 
   std::printf("graph: %u queries, %u data, %llu pins, k=%d\n",
               graph.num_queries(), graph.num_data(),
               static_cast<unsigned long long>(graph.num_edges()), k);
 
   // Warm-up: refine from random until the moved fraction decays into steady
-  // state, then snapshot the assignment both timed runs start from.
+  // state, then snapshot the assignment all timed runs start from.
   const MoveTopology topo = MoveTopology::FullK(k, graph.num_data(), 0.05);
   RefinerOptions base_options;
   base_options.exploration_probability =
@@ -71,7 +84,9 @@ int main(int argc, char** argv) {
   Partition warmup = Partition::BalancedRandom(graph.num_data(), k, seed);
   uint64_t warm_iterations = 0;
   {
-    Refiner warm_refiner(graph, base_options);
+    RefinerOptions warm_options = base_options;
+    warm_options.sweep_mode = RefinerOptions::SweepMode::kPull;
+    Refiner warm_refiner(graph, warm_options);
     for (; warm_iterations < 200; ++warm_iterations) {
       const IterationStats stats =
           warm_refiner.RunIteration(topo, &warmup, seed, warm_iterations);
@@ -83,9 +98,10 @@ int main(int argc, char** argv) {
               steady_threshold * 100.0);
   const std::vector<BucketId> steady_start = warmup.assignment();
 
-  auto run_path = [&](bool incremental) {
+  auto run_path = [&](bool incremental, RefinerOptions::SweepMode mode) {
     RefinerOptions options = base_options;
     options.incremental = incremental;
+    options.sweep_mode = mode;
     Refiner refiner(graph, options);
     Partition partition = Partition::FromAssignment(steady_start, k);
     PathTiming timing;
@@ -95,25 +111,42 @@ int main(int argc, char** argv) {
           topo, &partition, seed, warm_iterations + 1 + i);
       timing.iteration_ms.push_back(timer.ElapsedMillis());
       timing.recomputed += stats.num_recomputed;
+      timing.delta_records += stats.num_delta_records;
     }
     timing.rebuilds = refiner.num_full_rebuilds();
+    timing.sweep_builds = refiner.num_sweep_builds();
     timing.mean_ms = std::accumulate(timing.iteration_ms.begin(),
                                      timing.iteration_ms.end(), 0.0) /
                      static_cast<double>(timing.iteration_ms.size());
     return std::make_pair(timing, partition.assignment());
   };
 
-  const auto [full, full_assignment] = run_path(/*incremental=*/false);
+  const auto [full, full_assignment] =
+      run_path(/*incremental=*/false, RefinerOptions::SweepMode::kPull);
   const auto [incremental, incremental_assignment] =
-      run_path(/*incremental=*/true);
+      run_path(/*incremental=*/true, RefinerOptions::SweepMode::kPull);
+  const auto [push, push_assignment] =
+      run_path(/*incremental=*/true, RefinerOptions::SweepMode::kPush);
 
   if (full_assignment != incremental_assignment) {
     std::fprintf(stderr,
                  "FAIL: incremental and full-rebuild paths diverged\n");
     return 2;
   }
+  // Push is tolerance-equivalent, not bit-exact: compare end objectives.
+  const double fanout_pull = AverageFanout(graph, incremental_assignment);
+  const double fanout_push = AverageFanout(graph, push_assignment);
+  const double fanout_rel_diff =
+      std::fabs(fanout_pull - fanout_push) / std::max(fanout_pull, 1e-30);
+  if (fanout_rel_diff > 1e-4) {
+    std::fprintf(stderr,
+                 "FAIL: push fanout %.8f vs pull %.8f (rel diff %.2e)\n",
+                 fanout_push, fanout_pull, fanout_rel_diff);
+    return 2;
+  }
 
   const double speedup = full.mean_ms / incremental.mean_ms;
+  const double push_speedup = incremental.mean_ms / push.mean_ms;
   std::printf("\nfull rebuild : %.3f ms/iteration (%llu rebuilds, %llu "
               "proposals recomputed)\n",
               full.mean_ms, static_cast<unsigned long long>(full.rebuilds),
@@ -123,7 +156,15 @@ int main(int argc, char** argv) {
               incremental.mean_ms,
               static_cast<unsigned long long>(incremental.rebuilds),
               static_cast<unsigned long long>(incremental.recomputed));
-  std::printf("speedup      : %.2fx (trajectories identical)\n", speedup);
+  std::printf("push sweep   : %.3f ms/iteration (%llu sweep builds, %llu "
+              "proposals recomputed, %llu delta records)\n",
+              push.mean_ms,
+              static_cast<unsigned long long>(push.sweep_builds),
+              static_cast<unsigned long long>(push.recomputed),
+              static_cast<unsigned long long>(push.delta_records));
+  std::printf("speedup      : %.2fx incremental/full, %.2fx push/incremental "
+              "(fanout rel diff %.1e)\n",
+              speedup, push_speedup, fanout_rel_diff);
 
   const std::string out_path =
       flags.GetString("out", "BENCH_refine.json");
@@ -137,10 +178,14 @@ int main(int argc, char** argv) {
                  "  \"%s\": {\n"
                  "    \"mean_iteration_ms\": %.6f,\n"
                  "    \"full_rebuilds\": %llu,\n"
+                 "    \"sweep_builds\": %llu,\n"
                  "    \"proposals_recomputed\": %llu,\n"
+                 "    \"delta_records\": %llu,\n"
                  "    \"iteration_ms\": [",
                  name, t.mean_ms, static_cast<unsigned long long>(t.rebuilds),
-                 static_cast<unsigned long long>(t.recomputed));
+                 static_cast<unsigned long long>(t.sweep_builds),
+                 static_cast<unsigned long long>(t.recomputed),
+                 static_cast<unsigned long long>(t.delta_records));
     for (size_t i = 0; i < t.iteration_ms.size(); ++i) {
       std::fprintf(out, "%s%.6f", i == 0 ? "" : ", ", t.iteration_ms[i]);
     }
@@ -161,13 +206,24 @@ int main(int argc, char** argv) {
   write_series("full_rebuild", full);
   std::fprintf(out, ",\n");
   write_series("incremental", incremental);
-  std::fprintf(out, ",\n  \"speedup\": %.4f\n}\n", speedup);
+  std::fprintf(out, ",\n");
+  write_series("push", push);
+  std::fprintf(out,
+               ",\n  \"speedup\": %.4f,\n  \"push_speedup\": %.4f,\n"
+               "  \"push_fanout_rel_diff\": %.6e\n}\n",
+               speedup, push_speedup, fanout_rel_diff);
   std::fclose(out);
   std::printf("wrote %s\n", out_path.c_str());
 
   if (speedup < min_speedup) {
     std::fprintf(stderr, "FAIL: speedup %.2fx below required %.2fx\n",
                  speedup, min_speedup);
+    return 3;
+  }
+  if (push_speedup < min_push_speedup) {
+    std::fprintf(stderr,
+                 "FAIL: push speedup %.2fx below required %.2fx\n",
+                 push_speedup, min_push_speedup);
     return 3;
   }
   return 0;

@@ -64,7 +64,9 @@ struct MoveOutcome {
   double gain_moved = 0.0;     ///< Σ gains of surviving moves
   /// Net executed moves of the round (post balance-repair; a reverted vertex
   /// does not appear), ascending by vertex id. This is exactly the partition
-  /// delta, and what incremental neighbor-data maintenance consumes.
+  /// delta: incremental neighbor-data maintenance consumes it directly, and
+  /// QueryNeighborData::ApplyMoves expands it into the per-query
+  /// NeighborDelta records that patch the query-major affinity sweep.
   std::vector<VertexMove> moves;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 
 #include "common/logging.h"
 #include "common/rng.h"
@@ -18,10 +19,11 @@ Refiner::Refiner(const BipartiteGraph& graph, const RefinerOptions& options)
 
 Refiner::Proposal Refiner::ComputeProposal(
     const MoveTopology& topo, const Partition& partition, VertexId v,
-    uint64_t seed, uint64_t iteration, const std::vector<BucketId>* anchor,
+    BucketId explore_target, bool push, const std::vector<BucketId>* anchor,
     double anchor_penalty, Workspace* ws, bool* cacheable) const {
   *cacheable = true;
-  if (graph_.DataDegree(v) == 0) return {};  // isolated: nothing to gain
+  const double degree = static_cast<double>(graph_.DataDegree(v));
+  if (degree == 0.0) return {};  // isolated: nothing to gain
   const BucketId from = partition.bucket_of(v);
   const int32_t group = topo.group_of_bucket[static_cast<size_t>(from)];
   if (group < 0) return {};  // bucket not refined at this level
@@ -29,23 +31,21 @@ Refiner::Proposal Refiner::ComputeProposal(
   BucketId best_target = -1;
   double best_gain = 0.0;
   if (topo.full_k) {
-    if (options_.exploration_probability > 0.0 &&
-        HashToUnitDouble(seed ^ 0xe791, iteration * 0x10001 + 1, v) <
-            options_.exploration_probability) {
+    if (explore_target >= 0 && explore_target != from) {
       // Exploration proposal: random target with its true gain. Depends on
-      // the iteration counter, so it must never be served from the cache.
-      const BucketId candidate = static_cast<BucketId>(HashToBounded(
-          seed ^ 0x77aa, iteration, v, static_cast<uint64_t>(topo.k)));
-      if (candidate != from) {
-        best_target = candidate;
-        best_gain = gain_.MoveGain(graph_, ndata_, v, from, candidate);
-        *cacheable = false;
-      }
+      // the iteration draw, so it must never be served from the cache.
+      best_target = explore_target;
+      best_gain = push ? gain_.MoveGainPush(sweep_, v, from, explore_target,
+                                            degree)
+                       : gain_.MoveGain(graph_, ndata_, v, from,
+                                        explore_target);
+      *cacheable = false;
     }
     if (best_target < 0) {
-      const auto best = gain_.FindBestTarget(graph_, ndata_, v, from, 0,
-                                             topo.k, &ws->affinity,
-                                             &ws->touched);
+      const auto best =
+          push ? gain_.FindBestTargetPush(sweep_, v, from, 0, topo.k, degree)
+               : gain_.FindBestTarget(graph_, ndata_, v, from, 0, topo.k,
+                                      &ws->affinity, &ws->touched);
       best_target = best.bucket;
       best_gain = best.gain;
     }
@@ -114,6 +114,15 @@ IterationStats Refiner::RunIteration(const MoveTopology& topo,
   const VertexId n = graph_.num_data();
   IterationStats stats;
 
+  // Superstep-2 scan direction for this iteration: push needs the full-k
+  // sparse-window scan and a nonzero pow base (the accumulator-derived base
+  // term divides by B); kAuto prefers push whenever available, and an
+  // explicit kPush request degrades to pull in the unsupported cases.
+  const bool push =
+      options_.sweep_mode != RefinerOptions::SweepMode::kPull &&
+      topo.full_k && gain_.SupportsPush();
+  stats.push_sweep = push;
+
   // Superstep 1: collect neighbor data — reused across iterations whenever
   // it provably reflects the current assignment (the shadow copy is the
   // proof; callers that hand in a different partition trigger a rebuild).
@@ -124,82 +133,196 @@ IterationStats Refiner::RunIteration(const MoveTopology& topo,
     shadow_assignment_ = partition->assignment();
     ndata_valid_ = true;
     proposals_valid_ = false;
+    sweep_valid_ = false;
     ++num_full_rebuilds_;
     stats.full_rebuild = true;
   }
+  if (push && !sweep_valid_) {
+    // Full query-major pass: stream the arena once, scattering each query's
+    // per-bucket contributions to all its data neighbors.
+    sweep_.Build(graph_, ndata_, gain_.pow_table(), pool);
+    sweep_valid_ = true;
+    ++num_sweep_builds_;
+  }
+
+  // Exploration draw. Preselected mode draws ≈ n·prob firing vertices up
+  // front (a compact list, so the steady-state pass never hashes the other
+  // vertices); legacy mode evaluates the Bernoulli hash per vertex inside
+  // the O(n) pass below.
+  const bool explore = topo.full_k && options_.exploration_probability > 0.0;
+  const bool preselect = explore && options_.preselect_exploration;
+  firing_list_.clear();
+  if (preselect) {
+    if (explore_target_.size() < n) explore_target_.assign(n, -1);
+    const uint64_t draws = static_cast<uint64_t>(
+        static_cast<double>(n) * options_.exploration_probability + 0.5);
+    for (uint64_t i = 0; i < draws; ++i) {
+      // Sampling with replacement over hashed indices; duplicates collapse,
+      // so the firing count is ≤ draws (statistically indistinguishable from
+      // the Bernoulli draw at these rates).
+      const VertexId v = static_cast<VertexId>(
+          HashToBounded(seed ^ 0xe791, iteration * 0x10001 + 1, i, n));
+      if (explore_target_[v] != -1) continue;
+      explore_target_[v] = static_cast<BucketId>(HashToBounded(
+          seed ^ 0x77aa, iteration, v, static_cast<uint64_t>(topo.k)));
+      firing_list_.push_back(v);
+    }
+  }
+  const auto explore_target_for = [&](VertexId v) -> BucketId {
+    if (!explore) return -1;
+    if (preselect) return explore_target_[v];
+    if (HashToUnitDouble(seed ^ 0xe791, iteration * 0x10001 + 1, v) <
+        options_.exploration_probability) {
+      return static_cast<BucketId>(HashToBounded(
+          seed ^ 0x77aa, iteration, v, static_cast<uint64_t>(topo.k)));
+    }
+    return -1;
+  };
 
   // Superstep 2: move proposals. A full pass recomputes every vertex; the
-  // incremental pass recomputes only vertices adjacent to a query whose
-  // neighbor data changed last round, vertices whose cached proposal is not
-  // reusable (exploration), and vertices whose exploration draw fires now.
+  // steady-state pass recomputes only the compact work list — vertices
+  // adjacent to a query whose neighbor data changed last round, last
+  // round's explorers (their cached proposal is not reusable), and this
+  // round's firing list. The legacy per-vertex exploration draw cannot know
+  // the firing set without hashing all n vertices, so it keeps the O(n)
+  // skip-scan.
   const bool recompute_all = !options_.incremental || !proposals_valid_ ||
                              !ContextMatches(topo, anchor, anchor_penalty);
+  const size_t num_workers = std::max<size_t>(1, pool->num_threads());
+  if (workspaces_.size() < num_workers) workspaces_.resize(num_workers);
+  const auto ensure_workspace = [&](Workspace& ws) {
+    if (!push && topo.full_k &&
+        ws.affinity.size() < static_cast<size_t>(topo.k)) {
+      // FindBestTarget requires a zero-filled scratch and restores it, so
+      // (re)sizing is the only moment we pay for a fill.
+      ws.affinity.assign(static_cast<size_t>(topo.k), 0.0);
+    }
+  };
+  const auto recompute_vertex = [&](VertexId v, Workspace& ws) {
+    bool cacheable = true;
+    const Proposal proposal =
+        ComputeProposal(topo, *partition, v, explore_target_for(v), push,
+                        anchor, anchor_penalty, &ws, &cacheable);
+    targets_[v] = proposal.target;
+    gains_[v] = proposal.gain;
+    cache_valid_[v] = cacheable ? 1 : 0;
+  };
+
+  bool compact_pass = false;
   if (recompute_all) {
     targets_.assign(n, -1);
     gains_.assign(n, 0.0);
     cache_valid_.assign(n, 0);
     recompute_.assign(n, 0);
     SnapshotContext(topo, anchor, anchor_penalty);
-  } else if (!dirty_list_.empty()) {
-    // Mark the blast radius of last round's moves. Different queries share
-    // data vertices, so marks are relaxed atomic stores.
-    pool->ParallelForEach(dirty_list_.size(), [&](size_t i) {
-      for (VertexId v : graph_.QueryNeighbors(dirty_list_[i])) {
-        std::atomic_ref<uint8_t>(recompute_[v])
-            .store(1, std::memory_order_relaxed);
+    pool->ParallelFor(n, [&](size_t begin, size_t end, size_t w) {
+      Workspace& ws = workspaces_[w];
+      ensure_workspace(ws);
+      for (size_t vi = begin; vi < end; ++vi) {
+        recompute_vertex(static_cast<VertexId>(vi), ws);
       }
     });
+    stats.num_recomputed = n;
+  } else if (!explore || preselect) {
+    // Compact steady-state pass: claim the blast radius of last round's
+    // moves through the recompute marks (different queries share data
+    // vertices; atomic exchange makes each vertex appear once), then fold
+    // in the stale and firing lists.
+    compact_pass = true;
+    recompute_list_.clear();
+    collect_.resize(std::max(collect_.size(), num_workers));
+    if (!dirty_list_.empty()) {
+      for (size_t w = 0; w < num_workers; ++w) collect_[w].clear();
+      pool->ParallelFor(
+          dirty_list_.size(), [&](size_t begin, size_t end, size_t w) {
+            std::vector<VertexId>& local = collect_[w];
+            for (size_t i = begin; i < end; ++i) {
+              for (VertexId v : graph_.QueryNeighbors(dirty_list_[i])) {
+                if (std::atomic_ref<uint8_t>(recompute_[v])
+                        .exchange(1, std::memory_order_relaxed) == 0) {
+                  local.push_back(v);
+                }
+              }
+            }
+          });
+      for (size_t w = 0; w < num_workers; ++w) {
+        recompute_list_.insert(recompute_list_.end(), collect_[w].begin(),
+                               collect_[w].end());
+      }
+    }
+    for (const VertexId v : stale_list_) {
+      if (!recompute_[v]) {
+        recompute_[v] = 1;
+        recompute_list_.push_back(v);
+      }
+    }
+    for (const VertexId v : firing_list_) {
+      if (!recompute_[v]) {
+        recompute_[v] = 1;
+        recompute_list_.push_back(v);
+      }
+    }
+    pool->ParallelFor(recompute_list_.size(),
+                      [&](size_t begin, size_t end, size_t w) {
+                        Workspace& ws = workspaces_[w];
+                        ensure_workspace(ws);
+                        for (size_t i = begin; i < end; ++i) {
+                          recompute_vertex(recompute_list_[i], ws);
+                        }
+                      });
+    stats.num_recomputed = recompute_list_.size();
+  } else {
+    // Legacy O(n) skip-scan (per-vertex Bernoulli exploration draw): mark
+    // the blast radius, then visit every vertex and skip the clean ones.
+    if (!dirty_list_.empty()) {
+      pool->ParallelForEach(dirty_list_.size(), [&](size_t i) {
+        for (VertexId v : graph_.QueryNeighbors(dirty_list_[i])) {
+          std::atomic_ref<uint8_t>(recompute_[v])
+              .store(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    std::vector<uint64_t> recomputed_per_worker(num_workers, 0);
+    pool->ParallelFor(n, [&](size_t begin, size_t end, size_t w) {
+      Workspace& ws = workspaces_[w];
+      ensure_workspace(ws);
+      uint64_t recomputed = 0;
+      for (size_t vi = begin; vi < end; ++vi) {
+        const VertexId v = static_cast<VertexId>(vi);
+        const bool fires =
+            HashToUnitDouble(seed ^ 0xe791, iteration * 0x10001 + 1, v) <
+            options_.exploration_probability;
+        if (!fires && cache_valid_[v] && !recompute_[v]) continue;
+        recompute_vertex(v, ws);
+        ++recomputed;
+      }
+      recomputed_per_worker[w] += recomputed;
+    });
+    for (const uint64_t r : recomputed_per_worker) stats.num_recomputed += r;
   }
 
-  const size_t num_workers = std::max<size_t>(1, pool->num_threads());
-  if (workspaces_.size() < num_workers) workspaces_.resize(num_workers);
-  const bool explore = topo.full_k && options_.exploration_probability > 0.0;
-
-  std::vector<uint64_t> recomputed_per_worker(num_workers, 0);
-  pool->ParallelFor(n, [&](size_t begin, size_t end, size_t w) {
-    Workspace& ws = workspaces_[w];
-    if (topo.full_k &&
-        ws.affinity.size() < static_cast<size_t>(topo.k)) {
-      // FindBestTarget requires a zero-filled scratch and restores it, so
-      // (re)sizing is the only moment we pay for a fill.
-      ws.affinity.assign(static_cast<size_t>(topo.k), 0.0);
+  // Next round's stale list: this round's explorers hold uncacheable
+  // proposals. (Legacy mode detects them through the O(n) scan instead.)
+  stale_list_.clear();
+  if (preselect) {
+    for (const VertexId v : firing_list_) {
+      if (!cache_valid_[v]) stale_list_.push_back(v);
     }
-    uint64_t recomputed = 0;
-    for (size_t vi = begin; vi < end; ++vi) {
-      const VertexId v = static_cast<VertexId>(vi);
-      if (!recompute_all) {
-        const bool fires =
-            explore &&
-            HashToUnitDouble(seed ^ 0xe791, iteration * 0x10001 + 1, v) <
-                options_.exploration_probability;
-        if (!fires && cache_valid_[v] && !recompute_[v]) continue;
-      }
-      bool cacheable = true;
-      const Proposal proposal =
-          ComputeProposal(topo, *partition, v, seed, iteration, anchor,
-                          anchor_penalty, &ws, &cacheable);
-      targets_[v] = proposal.target;
-      gains_[v] = proposal.gain;
-      cache_valid_[v] = cacheable ? 1 : 0;
-      ++recomputed;
-    }
-    recomputed_per_worker[w] += recomputed;
-  });
-  for (const uint64_t r : recomputed_per_worker) stats.num_recomputed += r;
+  }
 
 #ifndef NDEBUG
   if (!recompute_all) {
     // Debug cross-check: the cached proposals must be bit-identical to a
-    // full recompute (same code path over logically identical neighbor
-    // data).
+    // full recompute (same code path over logically identical state).
     pool->ParallelFor(n, [&](size_t begin, size_t end, size_t w) {
       Workspace& ws = workspaces_[w];
+      ensure_workspace(ws);
       for (size_t vi = begin; vi < end; ++vi) {
         const VertexId v = static_cast<VertexId>(vi);
         bool cacheable = true;
         const Proposal check =
-            ComputeProposal(topo, *partition, v, seed, iteration, anchor,
-                            anchor_penalty, &ws, &cacheable);
+            ComputeProposal(topo, *partition, v, explore_target_for(v), push,
+                            anchor, anchor_penalty, &ws, &cacheable);
         SHP_CHECK(check.target == targets_[v] && check.gain == gains_[v])
             << "stale cached proposal for v=" << v << ": cached ("
             << targets_[v] << ", " << gains_[v] << ") vs fresh ("
@@ -207,11 +330,70 @@ IterationStats Refiner::RunIteration(const MoveTopology& topo,
       }
     });
   }
+  if (push) {
+    // Tolerance-based pull-vs-push equivalence, verified per iteration: the
+    // push proposal must name the same target as a pull recompute, or a
+    // gain-tied one (≤ 1e-9), and its gain must agree within rtol 1e-6.
+    std::vector<Workspace> debug_ws(num_workers);
+    pool->ParallelFor(n, [&](size_t begin, size_t end, size_t w) {
+      Workspace& ws = debug_ws[w];
+      if (ws.affinity.size() < static_cast<size_t>(topo.k)) {
+        ws.affinity.assign(static_cast<size_t>(topo.k), 0.0);
+      }
+      for (size_t vi = begin; vi < end; ++vi) {
+        const VertexId v = static_cast<VertexId>(vi);
+        bool cacheable = true;
+        const Proposal pull = ComputeProposal(
+            topo, *partition, v, explore_target_for(v), /*push=*/false,
+            anchor, anchor_penalty, &ws, &cacheable);
+        const double gtol =
+            1e-9 + 1e-6 * std::max(std::fabs(pull.gain),
+                                   std::fabs(gains_[v]));
+        if (pull.target == targets_[v]) {
+          SHP_CHECK(std::fabs(pull.gain - gains_[v]) <= gtol)
+              << "pull/push gain divergence for v=" << v << ": pull "
+              << pull.gain << " vs push " << gains_[v];
+        } else if (pull.target >= 0 && targets_[v] >= 0) {
+          // Different targets are legal only on a gain tie: evaluate both in
+          // the pull frame and require them equal within the tie tolerance.
+          const BucketId from = partition->bucket_of(v);
+          const double g_pull_choice =
+              gain_.MoveGain(graph_, ndata_, v, from, pull.target);
+          const double g_push_choice =
+              gain_.MoveGain(graph_, ndata_, v, from, targets_[v]);
+          SHP_CHECK(std::fabs(g_pull_choice - g_push_choice) <= 1e-9)
+              << "pull/push target divergence beyond tie tolerance for v="
+              << v << ": pull -> " << pull.target << " (" << g_pull_choice
+              << ") vs push -> " << targets_[v] << " (" << g_push_choice
+              << ")";
+        } else {
+          // One path proposed, the other filtered (propose_nonpositive):
+          // only legal when the surviving gain straddles zero within
+          // tolerance.
+          SHP_CHECK(std::fabs(pull.gain) <= gtol &&
+                    std::fabs(gains_[v]) <= gtol)
+              << "pull/push proposal presence mismatch for v=" << v;
+        }
+      }
+    });
+    // The patched accumulators must match a fresh query-major build up to
+    // summation order.
+    AffinitySweep fresh(sweep_.deterministic());
+    fresh.Build(graph_, ndata_, gain_.pow_table(), pool);
+    SHP_CHECK(sweep_.ApproxEquals(fresh, 1e-9, 1e-9))
+        << "patched affinity accumulators diverged from a fresh build";
+  }
 #endif
 
-  // Clear this round's recompute marks through the same dirty list (keeps
-  // recompute_ all-zero between iterations without an O(n) sweep).
-  if (!recompute_all && !dirty_list_.empty()) {
+  // Clear this round's recompute marks (the compact pass claims exactly the
+  // work list; the legacy pass marks through the dirty list) and the
+  // preselected exploration targets — keeps both arrays all-zero/-1 between
+  // iterations without an O(n) sweep.
+  if (compact_pass && !recompute_list_.empty()) {
+    pool->ParallelForEach(recompute_list_.size(), [&](size_t i) {
+      recompute_[recompute_list_[i]] = 0;
+    });
+  } else if (!recompute_all && !dirty_list_.empty()) {
     pool->ParallelForEach(dirty_list_.size(), [&](size_t i) {
       for (VertexId v : graph_.QueryNeighbors(dirty_list_[i])) {
         std::atomic_ref<uint8_t>(recompute_[v])
@@ -219,6 +401,7 @@ IterationStats Refiner::RunIteration(const MoveTopology& topo,
       }
     });
   }
+  for (const VertexId v : firing_list_) explore_target_[v] = -1;
 
   // Supersteps 3-4: master aggregation, probabilistic moves, repair.
   const MoveOutcome outcome =
@@ -229,9 +412,19 @@ IterationStats Refiner::RunIteration(const MoveTopology& topo,
       options_.incremental_rebuild_fraction * static_cast<double>(n);
   if (options_.incremental && !high_churn) {
     // Fold the executed moves into the carried state (superstep 1 of the
-    // *next* iteration, amortized to the blast radius of this round).
+    // *next* iteration, amortized to the blast radius of this round). Push
+    // mode additionally consumes the bucket-count delta records to patch
+    // the affinity accumulators — no rescan of untouched queries.
     dirty_list_.clear();
-    ndata_.ApplyMoves(graph_, outcome.moves, pool, &dirty_list_);
+    deltas_.clear();
+    ndata_.ApplyMoves(graph_, outcome.moves, pool, &dirty_list_,
+                      push ? &deltas_ : nullptr);
+    if (push) {
+      stats.num_delta_records = deltas_.size();
+      sweep_.ApplyDeltas(graph_, deltas_, gain_.pow_table(), pool);
+    } else {
+      sweep_valid_ = false;
+    }
     for (const VertexMove& m : outcome.moves) {
       shadow_assignment_[m.v] = m.to;
     }
@@ -247,6 +440,7 @@ IterationStats Refiner::RunIteration(const MoveTopology& topo,
   } else {
     ndata_valid_ = false;
     proposals_valid_ = false;
+    sweep_valid_ = false;
   }
 
   stats.num_proposals = outcome.num_proposals;

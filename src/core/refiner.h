@@ -17,9 +17,25 @@
 // seen (detected, never assumed), and debug builds cross-check the
 // incremental state against a from-scratch rebuild every iteration.
 //
+// Superstep 2 has two scan directions (RefinerOptions::sweep_mode):
+//
+//  * pull — each recomputed vertex gathers the entry lists of all its
+//    adjacent queries (GainComputer::FindBestTarget). Exact reference path;
+//    bit-identical between the incremental and rebuild-everything variants.
+//  * push — the query-major affinity sweep (objective/affinity_sweep.h):
+//    per-vertex affinity accumulators are built by streaming the arena once
+//    in query order and then patched from the bucket-count delta records
+//    ApplyMoves emits, so a steady-state recompute is one sequential scan
+//    of the vertex's own accumulator instead of a random-access gather.
+//    Push changes float summation order, so its proposals match pull only
+//    up to accumulation error: same targets modulo gain ties ≤ ~1e-9,
+//    gains within rtol ~1e-6 (debug builds verify this per iteration; see
+//    docs/refinement.md for the tolerance story).
+//
 // Gains honor the MoveTopology constraint: direct k-way search uses the
 // sparse-affinity best-target scan (k-independent per-vertex cost); grouped
-// recursion evaluates each sibling candidate directly (O(r · deg(v))).
+// recursion evaluates each sibling candidate directly (O(r · deg(v))) and
+// always runs the pull path.
 #pragma once
 
 #include <cstdint>
@@ -31,6 +47,7 @@
 #include "core/move_topology.h"
 #include "core/partition.h"
 #include "graph/bipartite_graph.h"
+#include "objective/affinity_sweep.h"
 #include "objective/gain.h"
 #include "objective/neighbor_data.h"
 
@@ -55,10 +72,26 @@ struct RefinerOptions {
   /// exploration rate diversifies the proposal matrix. 0 disables
   /// (Algorithm 1 verbatim); the k-way driver defaults to a small value.
   double exploration_probability = 0.0;
+  /// Draw the ≈ n·exploration_probability exploring vertices up front into a
+  /// compact firing list (sampling with replacement over hashed indices)
+  /// instead of hashing every vertex per round. This lets the steady-state
+  /// pass iterate only the recompute list — blast radius ∪ last round's
+  /// explorers ∪ this round's firing list — never touching clean vertices.
+  /// The drawn set differs from the legacy per-vertex Bernoulli draw
+  /// (statistics match, trajectories don't), so the legacy draw stays
+  /// selectable. (Note: even with the legacy draw, trajectories can differ
+  /// from earlier revisions on exact affinity ties — the best-target scan
+  /// now tie-breaks on the lowest bucket id instead of first encounter, so
+  /// pull and push resolve ties identically.)
+  bool preselect_exploration = true;
+  /// Superstep-2 scan direction. kAuto uses push whenever it is available:
+  /// full-k topology and a nonzero pow base (p < 1 or future_splits > 1);
+  /// grouped topologies and the p = 1, t = 1 limit fall back to pull.
+  enum class SweepMode { kPull, kPush, kAuto };
+  SweepMode sweep_mode = SweepMode::kAuto;
   /// Maintain neighbor data and proposals incrementally across iterations
-  /// (identical results to a full rebuild; see the file comment). false
-  /// forces the rebuild-everything path — the quality/latency reference the
-  /// benchmarks compare against.
+  /// (see the file comment). false forces the rebuild-everything path — the
+  /// quality/latency reference the benchmarks compare against.
   bool incremental = true;
   /// High-churn fallback: when a round moves more than this fraction of the
   /// data vertices, patching the carried state costs more than the counting-
@@ -79,9 +112,14 @@ struct IterationStats {
   /// True when this iteration rebuilt the neighbor data from scratch rather
   /// than patching it (first iteration, or assignment/topology/anchor drift).
   bool full_rebuild = false;
+  /// True when superstep 2 ran the query-major push sweep this iteration.
+  bool push_sweep = false;
   /// Data vertices whose proposal was recomputed this iteration (equals
   /// num_data on a full rebuild; the incremental win is this shrinking).
   uint64_t num_recomputed = 0;
+  /// NeighborDelta records consumed by the affinity sweep (push only) —
+  /// proxy for the steady-state patch volume.
+  uint64_t num_delta_records = 0;
 };
 
 /// Interface over refinement iteration engines. The threaded in-memory
@@ -122,9 +160,22 @@ class Refiner : public RefinerInterface {
   /// Neighbor data from the most recent iteration (for diagnostics/tests).
   const QueryNeighborData& neighbor_data() const { return ndata_; }
 
+  /// Affinity accumulators from the most recent push iteration
+  /// (diagnostics/tests; content is stale while running in pull mode).
+  const AffinitySweep& affinity_sweep() const { return sweep_; }
+
+  /// Most recent proposals, indexed by vertex (targets()[v] = -1 for "no
+  /// proposal"). For diagnostics and the pull-vs-push equivalence harness.
+  const std::vector<BucketId>& targets() const { return targets_; }
+  const std::vector<double>& gains() const { return gains_; }
+
   /// From-scratch neighbor-data builds performed so far (diagnostics; an
   /// incremental steady state holds this at 1 per warm start).
   uint64_t num_full_rebuilds() const { return num_full_rebuilds_; }
+
+  /// Full query-major accumulator builds performed so far (push mode; an
+  /// incremental steady state holds this at 1 per warm start).
+  uint64_t num_sweep_builds() const { return num_sweep_builds_; }
 
  private:
   /// A vertex's move proposal: argmax target and its gain (anchor-adjusted,
@@ -134,20 +185,22 @@ class Refiner : public RefinerInterface {
     double gain = 0.0;
   };
 
-  /// Reusable per-thread scratch for the k-way affinity scan; allocated once
-  /// per (pool, k) shape instead of per chunk per iteration.
+  /// Reusable per-thread scratch for the k-way pull affinity scan; allocated
+  /// once per (pool, k) shape instead of per chunk per iteration.
   struct Workspace {
     std::vector<double> affinity;
     std::vector<BucketId> touched;
   };
 
-  /// Computes v's proposal from the current neighbor data — the single
-  /// source of truth shared by the full pass, the incremental pass, and the
-  /// debug cross-check. Sets *cacheable = false when the result depends on
-  /// this iteration's exploration draw.
+  /// Computes v's proposal from the current neighbor data (pull) or the
+  /// affinity accumulators (push) — the single source of truth shared by
+  /// the full pass, the steady-state pass, and the debug cross-checks.
+  /// `explore_target` ≥ 0 makes this an exploration proposal (random target
+  /// with its true gain); those depend on the iteration draw, so
+  /// *cacheable comes back false.
   Proposal ComputeProposal(const MoveTopology& topo,
                            const Partition& partition, VertexId v,
-                           uint64_t seed, uint64_t iteration,
+                           BucketId explore_target, bool push,
                            const std::vector<BucketId>* anchor,
                            double anchor_penalty, Workspace* ws,
                            bool* cacheable) const;
@@ -169,13 +222,23 @@ class Refiner : public RefinerInterface {
   // ---- state carried across iterations (valid while shadow matches) ----
   QueryNeighborData ndata_;
   bool ndata_valid_ = false;
+  AffinitySweep sweep_;       ///< push-mode affinity accumulators
+  bool sweep_valid_ = false;  ///< sweep_ reflects ndata_ (patched or built)
   std::vector<BucketId> shadow_assignment_;  ///< assignment ndata_ reflects
   std::vector<BucketId> targets_;   ///< cached proposal targets
   std::vector<double> gains_;       ///< cached proposal gains
   std::vector<uint8_t> cache_valid_;  ///< 0: must recompute (e.g. exploration)
   bool proposals_valid_ = false;
   std::vector<VertexId> dirty_list_;  ///< queries changed by last ApplyMoves
+  std::vector<NeighborDelta> deltas_;  ///< delta records of last ApplyMoves
   std::vector<uint8_t> recompute_;    ///< per-vertex recompute mark
+  std::vector<VertexId> stale_list_;  ///< last round's explorers (cache inv.)
+
+  // Per-iteration exploration/work-list scratch (reused across iterations).
+  std::vector<BucketId> explore_target_;  ///< preselected draw (-1 = none)
+  std::vector<VertexId> firing_list_;     ///< this round's exploring vertices
+  std::vector<VertexId> recompute_list_;  ///< compact steady-state work list
+  std::vector<std::vector<VertexId>> collect_;  ///< per-worker claim lists
 
   // Cached proposal context (proposals depend on these beyond the ndata).
   MoveTopology cached_topo_;
@@ -186,6 +249,7 @@ class Refiner : public RefinerInterface {
 
   std::vector<Workspace> workspaces_;
   uint64_t num_full_rebuilds_ = 0;
+  uint64_t num_sweep_builds_ = 0;
 };
 
 }  // namespace shp

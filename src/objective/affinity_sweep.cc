@@ -1,0 +1,305 @@
+#include "objective/affinity_sweep.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+
+namespace shp {
+
+namespace {
+
+/// Slack slots appended to every accumulator at Build/Compact time so the
+/// common "move occupies one new bucket" insert stays in place.
+constexpr uint32_t kSlackPad = 2;
+
+/// Contiguous vertex range owned by shard s of `shards` over n vertices.
+inline VertexId ShardBegin(VertexId n, size_t shards, size_t s) {
+  return static_cast<VertexId>(static_cast<uint64_t>(n) * s / shards);
+}
+
+/// Folds (support += sup, affinity += add, drop at support 0) into an owned
+/// (overflowed) accumulator vector.
+void ApplyToVec(std::vector<AffinityEntry>* vec, BucketId b, double add,
+                int32_t sup, int64_t* live_delta) {
+  auto it = std::lower_bound(
+      vec->begin(), vec->end(), b,
+      [](const AffinityEntry& e, BucketId bucket) { return e.bucket < bucket; });
+  if (it != vec->end() && it->bucket == b) {
+    it->affinity += add;
+    SHP_DCHECK(sup >= 0 || it->support > 0);
+    it->support = static_cast<uint32_t>(static_cast<int64_t>(it->support) + sup);
+    if (it->support == 0) {
+      vec->erase(it);
+      --*live_delta;
+    }
+    return;
+  }
+  SHP_DCHECK(sup == 1) << "accumulator entry absent for a non-insert delta";
+  vec->insert(it, {b, 1, add});
+  ++*live_delta;
+}
+
+}  // namespace
+
+void AffinitySweep::Build(const BipartiteGraph& graph,
+                          const QueryNeighborData& ndata, const PowTable& pow,
+                          ThreadPool* pool) {
+  const VertexId n = graph.num_data();
+  const VertexId nq = graph.num_queries();
+  if (pool == nullptr) pool = &GlobalThreadPool();
+  loc_.assign(n, Loc{});
+  garbage_ = 0;
+  live_entries_ = 0;
+  if (n == 0) {
+    entries_.clear();
+    return;
+  }
+
+  const size_t workers = std::max<size_t>(1, pool->num_threads());
+  const size_t shards = std::min<size_t>(workers, n);
+
+  // Query-major streaming pass, vertex-sharded: every shard streams the
+  // whole arena sequentially (it is small — Σ fanout entries — and shared
+  // read-only) but accumulates only for the vertices it owns, so no
+  // synchronization is needed and each vertex's contributions arrive in
+  // ascending query order (deterministic for any shard count).
+  std::vector<std::vector<AffinityEntry>> lists(n);
+  pool->ParallelFor(shards, [&](size_t sbegin, size_t send, size_t) {
+    std::vector<std::pair<BucketId, double>> contrib;
+    for (size_t s = sbegin; s < send; ++s) {
+      const VertexId vbegin = ShardBegin(n, shards, s);
+      const VertexId vend = ShardBegin(n, shards, s + 1);
+      if (vbegin == vend) continue;
+      for (VertexId q = 0; q < nq; ++q) {
+        const auto nbrs = graph.QueryNeighbors(q);
+        const auto lo = std::lower_bound(nbrs.begin(), nbrs.end(), vbegin);
+        if (lo == nbrs.end() || *lo >= vend) continue;
+        const auto hi = std::lower_bound(lo, nbrs.end(), vend);
+        // One contribution per occupied bucket, shared by every owned
+        // neighbor of q (this is the work the pull scan recomputes per
+        // vertex).
+        contrib.clear();
+        for (const BucketCount& e : ndata.Entries(q)) {
+          contrib.emplace_back(e.bucket, 1.0 - pow.Pow(e.count));
+        }
+        for (auto it = lo; it != hi; ++it) {
+          std::vector<AffinityEntry>& list = lists[*it];
+          // Both sides are bucket-ascending: single forward merge.
+          size_t i = 0;
+          for (const auto& [bucket, c] : contrib) {
+            while (i < list.size() && list[i].bucket < bucket) ++i;
+            if (i < list.size() && list[i].bucket == bucket) {
+              list[i].support += 1;
+              list[i].affinity += c;
+            } else {
+              list.insert(list.begin() + i, {bucket, 1, c});
+            }
+            ++i;
+          }
+        }
+      }
+    }
+  });
+
+  // Layout with per-vertex slack, then parallel copy into the arena.
+  uint64_t cursor = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    Loc& loc = loc_[v];
+    loc.begin = cursor;
+    loc.size = static_cast<uint32_t>(lists[v].size());
+    loc.cap = loc.size + kSlackPad;
+    cursor += loc.cap;
+    live_entries_ += loc.size;
+  }
+  entries_.assign(cursor, AffinityEntry{});
+  pool->ParallelFor(n, [&](size_t begin, size_t end, size_t) {
+    for (size_t v = begin; v < end; ++v) {
+      std::copy(lists[v].begin(), lists[v].end(),
+                entries_.begin() + static_cast<ptrdiff_t>(loc_[v].begin));
+    }
+  });
+}
+
+double AffinitySweep::AffinityFor(VertexId v, BucketId b) const {
+  const auto entries = Entries(v);
+  const auto it = std::lower_bound(
+      entries.begin(), entries.end(), b,
+      [](const AffinityEntry& e, BucketId bucket) { return e.bucket < bucket; });
+  if (it != entries.end() && it->bucket == b) return it->affinity;
+  return 0.0;
+}
+
+void AffinitySweep::ApplyDeltas(const BipartiteGraph& graph,
+                                std::span<const NeighborDelta> deltas,
+                                const PowTable& pow, ThreadPool* pool) {
+  if (deltas.empty()) return;
+  if (pool == nullptr) pool = &GlobalThreadPool();
+  const VertexId n = num_vertices();
+  if (n == 0) return;
+
+  std::span<const NeighborDelta> recs = deltas;
+  if (deterministic_) {
+    // Canonical application order: ascending (q, bucket), with each
+    // (q, bucket) chain kept in emission order (stable sort) — the per-
+    // vertex float accumulation order then no longer depends on how
+    // ApplyMoves sharded its emission across threads.
+    scratch_.sorted.assign(deltas.begin(), deltas.end());
+    std::stable_sort(scratch_.sorted.begin(), scratch_.sorted.end(),
+                     [](const NeighborDelta& a, const NeighborDelta& b) {
+                       if (a.q != b.q) return a.q < b.q;
+                       return a.bucket < b.bucket;
+                     });
+    recs = scratch_.sorted;
+  }
+
+  const size_t workers = std::max<size_t>(1, pool->num_threads());
+  const size_t shards = std::min<size_t>(workers, n);
+  std::vector<ShardOverflow>& overflow = scratch_.overflow;
+  std::vector<int64_t>& live_delta = scratch_.live_delta;
+  overflow.resize(std::max(overflow.size(), shards));
+  live_delta.assign(std::max(live_delta.size(), shards), 0);
+  for (size_t s = 0; s < shards; ++s) {
+    overflow[s].lists.clear();
+    overflow[s].index.clear();
+  }
+
+  // Every shard scans the (short, steady-state) record list and patches the
+  // accumulators of its own vertices; growth goes to a shard-local overflow
+  // store merged serially below.
+  pool->ParallelFor(shards, [&](size_t sbegin, size_t send, size_t) {
+    for (size_t s = sbegin; s < send; ++s) {
+      const VertexId vbegin = ShardBegin(n, shards, s);
+      const VertexId vend = ShardBegin(n, shards, s + 1);
+      if (vbegin == vend) continue;
+      ShardOverflow& ovf = overflow[s];
+      int64_t delta = 0;
+      for (const NeighborDelta& rec : recs) {
+        const double add = pow.Pow(rec.old_count) - pow.Pow(rec.new_count);
+        const int32_t sup = static_cast<int32_t>(rec.old_count == 0) -
+                            static_cast<int32_t>(rec.new_count == 0);
+        const auto nbrs = graph.QueryNeighbors(rec.q);
+        const auto lo = std::lower_bound(nbrs.begin(), nbrs.end(), vbegin);
+        if (lo == nbrs.end() || *lo >= vend) continue;
+        const auto hi = std::lower_bound(lo, nbrs.end(), vend);
+        for (auto it = lo; it != hi; ++it) {
+          const VertexId v = *it;
+          if (!ovf.index.empty()) {
+            const auto oit = ovf.index.find(v);
+            if (oit != ovf.index.end()) {
+              ApplyToVec(&ovf.lists[oit->second].second, rec.bucket, add, sup,
+                         &delta);
+              continue;
+            }
+          }
+          Loc& loc = loc_[v];
+          AffinityEntry* base = entries_.data() + loc.begin;
+          AffinityEntry* pos = std::lower_bound(
+              base, base + loc.size, rec.bucket,
+              [](const AffinityEntry& e, BucketId bucket) {
+                return e.bucket < bucket;
+              });
+          if (pos != base + loc.size && pos->bucket == rec.bucket) {
+            pos->affinity += add;
+            SHP_DCHECK(sup >= 0 || pos->support > 0);
+            pos->support =
+                static_cast<uint32_t>(static_cast<int64_t>(pos->support) + sup);
+            if (pos->support == 0) {
+              // Dropping the entry resets the float to an exact 0 — no
+              // cancellation drift survives an emptied bucket.
+              std::copy(pos + 1, base + loc.size, pos);
+              --loc.size;
+              --delta;
+            }
+            continue;
+          }
+          SHP_DCHECK(sup == 1)
+              << "accumulator entry absent for a non-insert delta";
+          if (loc.size == loc.cap) {
+            // Outgrew the slack: move to overflow with the insert applied.
+            std::vector<AffinityEntry> vec;
+            vec.reserve(loc.size + 2);
+            vec.insert(vec.end(), base, pos);
+            vec.push_back({rec.bucket, 1, add});
+            vec.insert(vec.end(), pos, base + loc.size);
+            ++delta;
+            ovf.index.emplace(v, ovf.lists.size());
+            ovf.lists.emplace_back(v, std::move(vec));
+            continue;
+          }
+          std::copy_backward(pos, base + loc.size, base + loc.size + 1);
+          *pos = {rec.bucket, 1, add};
+          ++loc.size;
+          ++delta;
+        }
+      }
+      live_delta[s] = delta;
+    }
+  });
+
+  // Merge: relocate overflowed accumulators to the arena tail (serial — the
+  // arena may reallocate) and fold the per-shard accounting.
+  int64_t total_delta = 0;
+  for (size_t s = 0; s < shards; ++s) {
+    total_delta += live_delta[s];
+    for (auto& [v, vec] : overflow[s].lists) {
+      const uint32_t sz = static_cast<uint32_t>(vec.size());
+      const uint32_t new_cap = sz + std::max(kSlackPad, sz / 2);
+      const uint64_t new_begin = entries_.size();
+      entries_.resize(new_begin + new_cap);
+      std::copy(vec.begin(), vec.end(),
+                entries_.begin() + static_cast<ptrdiff_t>(new_begin));
+      Loc& loc = loc_[v];
+      garbage_ += loc.cap;
+      loc.begin = new_begin;
+      loc.cap = new_cap;
+      loc.size = sz;
+    }
+  }
+  live_entries_ = static_cast<uint64_t>(
+      static_cast<int64_t>(live_entries_) + total_delta);
+  MaybeCompact();
+}
+
+void AffinitySweep::Compact() {
+  const VertexId n = num_vertices();
+  std::vector<AffinityEntry> fresh;
+  fresh.reserve(live_entries_ + static_cast<uint64_t>(kSlackPad) * n);
+  for (VertexId v = 0; v < n; ++v) {
+    const auto span = Entries(v);
+    Loc& loc = loc_[v];
+    loc.begin = fresh.size();
+    fresh.insert(fresh.end(), span.begin(), span.end());
+    loc.cap = loc.size + kSlackPad;
+    fresh.resize(fresh.size() + kSlackPad);
+  }
+  entries_ = std::move(fresh);
+  garbage_ = 0;
+}
+
+void AffinitySweep::MaybeCompact() {
+  if (garbage_ > live_entries_ / 2 + 1024) Compact();
+}
+
+bool AffinitySweep::ApproxEquals(const AffinitySweep& other, double atol,
+                                 double rtol) const {
+  if (num_vertices() != other.num_vertices()) return false;
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    const auto a = Entries(v);
+    const auto b = other.Entries(v);
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i].bucket != b[i].bucket || a[i].support != b[i].support) {
+        return false;
+      }
+      const double tol =
+          atol + rtol * std::max(std::fabs(a[i].affinity),
+                                 std::fabs(b[i].affinity));
+      if (std::fabs(a[i].affinity - b[i].affinity) > tol) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace shp

@@ -1,0 +1,152 @@
+// Query-major affinity sweep: per-vertex sparse affinity accumulators for
+// the superstep-2 gain scan, maintained by streaming the neighbor-data arena
+// (full pass) or by folding in ApplyMoves delta records (steady state).
+//
+// The pull-based gain scan (GainComputer::FindBestTarget) gathers, for every
+// recomputed vertex v, the entry lists of all its adjacent queries — a
+// random-access walk over the arena that dominates steady-state iteration
+// latency. The paper's superstep 2 is naturally query-major: each query q
+// contributes 1 − B^{n_j(q)} to the affinity of bucket j for *every* data
+// neighbor of q. This module inverts the scan accordingly and keeps the
+// result alive across iterations:
+//
+//   affinity_v[b] = Σ_{q ∈ N(v), n_b(q) > 0} (1 − B^{n_b(q)})
+//   support_v[b]  = #{q ∈ N(v) : n_b(q) > 0}
+//
+// Build streams the neighbor-data arena once in query order (sequential
+// reads; each query's per-bucket contribution is computed once and scattered
+// to all its data neighbors, instead of being recomputed per vertex). In
+// steady state, ApplyDeltas consumes the (q, bucket, old, new) records that
+// QueryNeighborData::ApplyMoves emits and patches only the accumulators of
+// vertices adjacent to a changed query — no rescan of untouched queries.
+//
+// The integer support count makes entry lifetime exact: an accumulator entry
+// exists iff some adjacent query occupies the bucket, and dropping the entry
+// at support == 0 resets the float to exactly 0, so cancellation drift never
+// fabricates phantom affinity. Patching changes float summation order
+// relative to a fresh build, so affinities (and the gains derived from them)
+// agree with the pull path only up to accumulation error — the refiner's
+// equivalence story is tolerance-based, not bit-exact (see docs/refinement.md).
+// With deterministic mode on (default), delta records are canonically sorted
+// before application, so accumulator contents are a pure function of the
+// build assignment and the executed move history, independent of thread count.
+//
+// Storage mirrors QueryNeighborData: one flat arena of entries plus a packed
+// per-vertex {begin, size, cap} record with slack, tail relocation on growth,
+// and epoch compaction.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "objective/neighbor_data.h"
+#include "objective/pow_table.h"
+
+namespace shp {
+
+class ThreadPool;
+
+/// One accumulator slot: bucket, number of adjacent queries occupying it,
+/// and their summed affinity contribution Σ (1 − B^{n_bucket(q)}).
+struct AffinityEntry {
+  BucketId bucket;
+  uint32_t support;
+  double affinity;
+
+  bool operator==(const AffinityEntry&) const = default;
+};
+
+class AffinitySweep {
+ public:
+  /// deterministic: sort delta records into canonical (q, bucket, old, new)
+  /// order before applying, making accumulator floats independent of the
+  /// emitting shard layout (thread count). The sort is O(R log R) over the
+  /// steady-state record count R — negligible; off saves only the sort.
+  explicit AffinitySweep(bool deterministic = true)
+      : deterministic_(deterministic) {}
+
+  /// Full query-major pass: streams ndata's arena once in query order and
+  /// scatters each query's per-bucket contributions to all its data
+  /// neighbors. Vertices are range-sharded across workers; each shard
+  /// streams the (cache-resident) arena sequentially and keeps only its own
+  /// vertices' accumulators.
+  void Build(const BipartiteGraph& graph, const QueryNeighborData& ndata,
+             const PowTable& pow, ThreadPool* pool = nullptr);
+
+  /// Steady-state patch: folds ApplyMoves delta records into the affected
+  /// accumulators. O(Σ_records deg(q)) — proportional to the move blast
+  /// radius, with no rescan of untouched queries. `pow` must match Build's.
+  void ApplyDeltas(const BipartiteGraph& graph,
+                   std::span<const NeighborDelta> deltas, const PowTable& pow,
+                   ThreadPool* pool = nullptr);
+
+  /// Accumulator entries of vertex v, sorted by bucket id ascending.
+  std::span<const AffinityEntry> Entries(VertexId v) const {
+    const Loc& loc = loc_[v];
+    return {entries_.data() + loc.begin,
+            entries_.data() + loc.begin + loc.size};
+  }
+
+  /// affinity_v[b] (0 if no adjacent query occupies b). O(log entries).
+  double AffinityFor(VertexId v, BucketId b) const;
+
+  VertexId num_vertices() const { return static_cast<VertexId>(loc_.size()); }
+
+  /// Total live accumulator entries Σ_v |occupied buckets of N(v)|.
+  uint64_t TotalEntries() const { return live_entries_; }
+
+  /// Arena slots including slack and relocation garbage (≥ TotalEntries()).
+  uint64_t ArenaSlots() const { return entries_.size(); }
+
+  bool deterministic() const { return deterministic_; }
+
+  /// Repacks the arena in vertex order with fresh slack, dropping relocation
+  /// garbage. Called automatically when garbage exceeds half the live
+  /// volume; public for tests and memory-pressure callers.
+  void Compact();
+
+  /// Tolerance comparison against another sweep (typically a fresh Build):
+  /// identical buckets and support everywhere, affinities equal within
+  /// |a − b| ≤ atol + rtol · max(|a|, |b|). The debug cross-check the
+  /// refiner runs per iteration.
+  bool ApproxEquals(const AffinitySweep& other, double atol,
+                    double rtol) const;
+
+ private:
+  /// Per-vertex accumulator location (same packing rationale as
+  /// QueryNeighborData::Loc: one record per random access).
+  struct Loc {
+    uint64_t begin;
+    uint32_t size;
+    uint32_t cap;
+  };
+
+  /// Shard-local store for accumulators that outgrew their slack during a
+  /// parallel ApplyDeltas (the shared arena cannot be grown concurrently).
+  struct ShardOverflow {
+    std::vector<std::pair<VertexId, std::vector<AffinityEntry>>> lists;
+    std::unordered_map<VertexId, size_t> index;
+  };
+
+  /// Reusable ApplyDeltas scratch (cleared, not reallocated, per call).
+  struct PatchScratch {
+    std::vector<NeighborDelta> sorted;
+    std::vector<ShardOverflow> overflow;
+    std::vector<int64_t> live_delta;
+  };
+
+  void MaybeCompact();
+
+  std::vector<AffinityEntry> entries_;  ///< flat arena (accumulators + slack)
+  std::vector<Loc> loc_;                ///< per-vertex accumulator location
+  uint64_t live_entries_ = 0;           ///< Σ_v loc_[v].size
+  uint64_t garbage_ = 0;                ///< arena slots abandoned by relocation
+  bool deterministic_ = true;
+  PatchScratch scratch_;
+};
+
+}  // namespace shp

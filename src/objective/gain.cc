@@ -6,6 +6,19 @@
 
 namespace shp {
 
+namespace {
+
+/// Candidate when no bucket in [begin, end) \ {from} holds any neighbor of
+/// v: every such bucket is as good as empty, so both scan paths pick the
+/// lowest non-`from` bucket in the window — the shared deterministic
+/// fallback. Returns -1 when the window contains no bucket besides `from`.
+BucketId EmptyWindowFallback(BucketId from, BucketId begin, BucketId end) {
+  const BucketId b = begin == from ? begin + 1 : begin;
+  return b < end ? b : -1;
+}
+
+}  // namespace
+
 GainComputer::GainComputer(double p, uint32_t max_query_degree,
                            uint32_t future_splits)
     : p_(p),
@@ -75,20 +88,24 @@ GainComputer::BestTarget GainComputer::FindBestTarget(
     // missing entirely — but `from` always contains v, so the entry exists.
   }
 
-  // Best touched bucket, deterministic tie-break on lower bucket id.
+  // Best touched bucket. Ties (within kAffinityTieEpsilon) must resolve to
+  // the lower bucket id on both scan paths, so scan candidates in ascending
+  // bucket order — `touched` is in first-encounter order, which depends on
+  // the adjacency layout, not the bucket ids.
+  std::sort(touched.begin(), touched.end());
   double best_affinity = 0.0;  // affinity of an empty bucket
   BucketId best_bucket = -1;
   for (BucketId b : touched) {
-    if (affinity[b] > best_affinity + 1e-15) {
+    if (affinity[b] > best_affinity + kAffinityTieEpsilon) {
       best_affinity = affinity[b];
       best_bucket = b;
     }
   }
   if (best_bucket == -1) {
-    // All candidates are as good as an empty bucket; pick the first
-    // non-`from` candidate (its gain is the empty-bucket gain).
-    best_bucket = bucket_begin == from ? bucket_begin + 1 : bucket_begin;
-    if (best_bucket >= bucket_end) {
+    // All candidates are as good as an empty bucket; shared deterministic
+    // fallback (its gain is the empty-bucket gain).
+    best_bucket = EmptyWindowFallback(from, bucket_begin, bucket_end);
+    if (best_bucket == -1) {
       for (BucketId b : touched) affinity[b] = 0.0;
       return BestTarget{-1, 0.0};
     }
@@ -98,6 +115,55 @@ GainComputer::BestTarget GainComputer::FindBestTarget(
 
   const double sum_pow_to = degree - best_affinity;
   return BestTarget{best_bucket, p_ * (base - sum_pow_to)};
+}
+
+GainComputer::BestTarget GainComputer::FindBestTargetPush(
+    const AffinitySweep& sweep, VertexId v, BucketId from,
+    BucketId bucket_begin, BucketId bucket_end, double degree) const {
+  SHP_DCHECK(bucket_begin < bucket_end);
+  SHP_DCHECK(SupportsPush());
+
+  // The accumulator already holds the sparse affinity of every occupied
+  // bucket, sorted ascending — the argmax is one sequential scan of v's own
+  // (contiguous) entries, with the same tie-break and fallback as the pull
+  // scan. The `from` entry always exists (v itself keeps each adjacent
+  // query's n_from ≥ 1) and yields the base term: affinity_v[from] =
+  // deg − Σ_q B^{n_from(q)}, so Σ_q B^{n_from(q)−1} = (deg − affinity)/B.
+  double from_affinity = -1.0;
+  double best_affinity = 0.0;  // affinity of an empty bucket
+  BucketId best_bucket = -1;
+  for (const AffinityEntry& entry : sweep.Entries(v)) {
+    if (entry.bucket == from) {
+      from_affinity = entry.affinity;
+      continue;
+    }
+    if (entry.bucket < bucket_begin || entry.bucket >= bucket_end) continue;
+    if (entry.affinity > best_affinity + kAffinityTieEpsilon) {
+      best_affinity = entry.affinity;
+      best_bucket = entry.bucket;
+    }
+  }
+  SHP_DCHECK(from_affinity >= 0.0)
+      << "from-bucket accumulator entry missing for v=" << v;
+  if (best_bucket == -1) {
+    best_bucket = EmptyWindowFallback(from, bucket_begin, bucket_end);
+    if (best_bucket == -1) return BestTarget{-1, 0.0};
+  }
+
+  const double base = (degree - from_affinity) / pow_table_.base();
+  const double sum_pow_to = degree - best_affinity;
+  return BestTarget{best_bucket, p_ * (base - sum_pow_to)};
+}
+
+double GainComputer::MoveGainPush(const AffinitySweep& sweep, VertexId v,
+                                  BucketId from, BucketId to,
+                                  double degree) const {
+  if (from == to) return 0.0;
+  SHP_DCHECK(SupportsPush());
+  const double base =
+      (degree - sweep.AffinityFor(v, from)) / pow_table_.base();
+  const double sum_pow_to = degree - sweep.AffinityFor(v, to);
+  return p_ * (base - sum_pow_to);
 }
 
 }  // namespace shp

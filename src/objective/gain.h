@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "graph/bipartite_graph.h"
+#include "objective/affinity_sweep.h"
 #include "objective/neighbor_data.h"
 #include "objective/pow_table.h"
 
@@ -27,12 +28,20 @@ namespace shp {
 
 class GainComputer {
  public:
+  /// Affinities within this absolute distance are treated as tied; ties
+  /// resolve to the lower bucket id in *both* the pull and push scans, so
+  /// the two paths pick the same target whenever their (float-order-
+  /// divergent) affinities agree to well above this epsilon.
+  static constexpr double kAffinityTieEpsilon = 1e-15;
   /// p in (0, 1]; future_splits t ≥ 1 (§3.4 projected-final objective).
   /// max_query_degree bounds the pow table (pass graph.MaxQueryDegree()).
   GainComputer(double p, uint32_t max_query_degree, uint32_t future_splits = 1);
 
   double p() const { return p_; }
   double pow_base() const { return pow_table_.base(); }
+  /// The B^n table shared with the affinity sweep (AffinitySweep::Build /
+  /// ApplyDeltas must use the same base as the gain formulas).
+  const PowTable& pow_table() const { return pow_table_; }
 
   /// B^n for the configured base.
   double Pow(uint32_t n) const { return pow_table_.Pow(n); }
@@ -64,6 +73,26 @@ class GainComputer {
                             BucketId bucket_end,
                             std::vector<double>* affinity_scratch,
                             std::vector<BucketId>* touched_scratch) const;
+
+  /// True iff the push-path gain formulas below are available: they divide
+  /// by the pow base B to recover Σ B^{n_from−1} from the maintained
+  /// affinity, so B must be nonzero (p < 1 or future_splits > 1). The p = 1,
+  /// t = 1 fanout limit must use the pull path.
+  bool SupportsPush() const { return pow_table_.base() > 0.0; }
+
+  /// Push-path best-target scan: one sequential pass over v's maintained
+  /// accumulator (O(|occupied buckets of N(v)|), no arena gather). Same
+  /// candidate window, tie-break, and empty-bucket fallback semantics as
+  /// FindBestTarget; gains agree with the pull path up to float summation
+  /// order. Requires SupportsPush(); `degree` = graph.DataDegree(v).
+  BestTarget FindBestTargetPush(const AffinitySweep& sweep, VertexId v,
+                                BucketId from, BucketId bucket_begin,
+                                BucketId bucket_end, double degree) const;
+
+  /// Push-path gain of moving v from `from` to a specific `to` (exploration
+  /// proposals). O(log entries). Requires SupportsPush().
+  double MoveGainPush(const AffinitySweep& sweep, VertexId v, BucketId from,
+                      BucketId to, double degree) const;
 
  private:
   double p_;

@@ -27,8 +27,9 @@ struct BuildScratch {
 };
 
 /// Applies (−1 at from, +1 at to) to an owned (overflowed) entry vector.
-void ApplyDeltaToVec(std::vector<BucketCount>* vec, BucketId from, BucketId to,
-                     int64_t* live_delta) {
+void ApplyDeltaToVec(VertexId q, std::vector<BucketCount>* vec, BucketId from,
+                     BucketId to, int64_t* live_delta,
+                     std::vector<NeighborDelta>* emitted) {
   auto lb = [&](BucketId b) {
     return std::lower_bound(
         vec->begin(), vec->end(), b,
@@ -37,14 +38,17 @@ void ApplyDeltaToVec(std::vector<BucketCount>* vec, BucketId from, BucketId to,
   auto it = lb(from);
   SHP_CHECK(it != vec->end() && it->bucket == from && it->count > 0)
       << "move source bucket absent from neighbor data";
+  if (emitted != nullptr) emitted->push_back({q, from, it->count, it->count - 1});
   if (--it->count == 0) {
     vec->erase(it);
     --*live_delta;
   }
   it = lb(to);
   if (it != vec->end() && it->bucket == to) {
+    if (emitted != nullptr) emitted->push_back({q, to, it->count, it->count + 1});
     ++it->count;
   } else {
+    if (emitted != nullptr) emitted->push_back({q, to, 0, 1});
     vec->insert(it, {to, 1});
     ++*live_delta;
   }
@@ -130,7 +134,8 @@ uint32_t QueryNeighborData::CountFor(VertexId q, BucketId b) const {
 }
 
 QueryNeighborData::DeltaResult QueryNeighborData::ApplyDeltaInPlace(
-    VertexId q, BucketId from, BucketId to, int64_t* live_delta) {
+    VertexId q, BucketId from, BucketId to, int64_t* live_delta,
+    std::vector<NeighborDelta>* emitted) {
   Loc& loc = loc_[q];
   BucketCount* base = entries_.data() + loc.begin;
   uint32_t n = loc.size;
@@ -143,6 +148,7 @@ QueryNeighborData::DeltaResult QueryNeighborData::ApplyDeltaInPlace(
   BucketCount* it = lb(from);
   SHP_CHECK(it != base + n && it->bucket == from && it->count > 0)
       << "move source bucket absent from neighbor data";
+  if (emitted != nullptr) emitted->push_back({q, from, it->count, it->count - 1});
   if (--it->count == 0) {
     std::copy(it + 1, base + n, it);
     loc.size = --n;
@@ -151,10 +157,12 @@ QueryNeighborData::DeltaResult QueryNeighborData::ApplyDeltaInPlace(
 
   it = lb(to);
   if (it != base + n && it->bucket == to) {
+    if (emitted != nullptr) emitted->push_back({q, to, it->count, it->count + 1});
     ++it->count;
     return DeltaResult::kDone;
   }
   if (n == loc.cap) return DeltaResult::kNeedsGrowth;
+  if (emitted != nullptr) emitted->push_back({q, to, 0, 1});
   std::copy_backward(it, base + n, base + n + 1);
   *it = {to, 1};
   loc.size = n + 1;
@@ -207,7 +215,8 @@ void QueryNeighborData::ApplyMove(const BipartiteGraph& graph, VertexId v,
 void QueryNeighborData::ApplyMoves(const BipartiteGraph& graph,
                                    std::span<const VertexMove> moves,
                                    ThreadPool* pool,
-                                   std::vector<VertexId>* touched_queries) {
+                                   std::vector<VertexId>* touched_queries,
+                                   std::vector<NeighborDelta>* deltas) {
   if (moves.empty()) return;
   if (pool == nullptr) pool = &GlobalThreadPool();
   const VertexId nq = num_queries();
@@ -242,31 +251,36 @@ void QueryNeighborData::ApplyMoves(const BipartiteGraph& graph,
   std::vector<ShardOverflow>& overflow = scratch_.overflow;
   std::vector<int64_t>& live_delta = scratch_.live_delta;
   std::vector<std::vector<VertexId>>& touched = scratch_.touched;
+  std::vector<std::vector<NeighborDelta>>& emitted = scratch_.emitted;
   overflow.resize(std::max(overflow.size(), shards));
   live_delta.assign(std::max(live_delta.size(), shards), 0);
   touched.resize(std::max(touched.size(), shards));
+  emitted.resize(std::max(emitted.size(), shards));
   for (size_t s = 0; s < shards; ++s) {
     overflow[s].lists.clear();
     overflow[s].index.clear();
     touched[s].clear();
+    emitted[s].clear();
   }
   pool->ParallelFor(shards, [&](size_t sbegin, size_t send, size_t) {
     for (size_t s = sbegin; s < send; ++s) {
       ShardOverflow& ovf = overflow[s];
       int64_t delta = 0;
       std::vector<VertexId>& touched_local = touched[s];
+      std::vector<NeighborDelta>* emit_local =
+          deltas != nullptr ? &emitted[s] : nullptr;
       for (size_t w = 0; w < workers; ++w) {
         for (const DeltaRec& rec : buffers[w * shards + s]) {
           touched_local.push_back(rec.q);
           if (!ovf.index.empty()) {
             const auto it = ovf.index.find(rec.q);
             if (it != ovf.index.end()) {
-              ApplyDeltaToVec(&ovf.lists[it->second].second, rec.from, rec.to,
-                              &delta);
+              ApplyDeltaToVec(rec.q, &ovf.lists[it->second].second, rec.from,
+                              rec.to, &delta, emit_local);
               continue;
             }
           }
-          if (ApplyDeltaInPlace(rec.q, rec.from, rec.to, &delta) ==
+          if (ApplyDeltaInPlace(rec.q, rec.from, rec.to, &delta, emit_local) ==
               DeltaResult::kNeedsGrowth) {
             // Move to overflow with the pending insert applied.
             const auto span = Entries(rec.q);
@@ -280,6 +294,7 @@ void QueryNeighborData::ApplyMoves(const BipartiteGraph& graph,
             vec.insert(vec.end(), span.begin(), insert_at);
             vec.push_back({rec.to, 1});
             vec.insert(vec.end(), insert_at, span.end());
+            if (emit_local != nullptr) emit_local->push_back({rec.q, rec.to, 0, 1});
             ++delta;
             ovf.index.emplace(rec.q, ovf.lists.size());
             ovf.lists.emplace_back(rec.q, std::move(vec));
@@ -319,6 +334,11 @@ void QueryNeighborData::ApplyMoves(const BipartiteGraph& graph,
     for (size_t s = 0; s < shards; ++s) {
       touched_queries->insert(touched_queries->end(), touched[s].begin(),
                               touched[s].end());
+    }
+  }
+  if (deltas != nullptr) {
+    for (size_t s = 0; s < shards; ++s) {
+      deltas->insert(deltas->end(), emitted[s].begin(), emitted[s].end());
     }
   }
   MaybeCompact();

@@ -50,6 +50,27 @@ struct VertexMove {
   bool operator==(const VertexMove&) const = default;
 };
 
+/// One observed bucket-count transition of a query during ApplyMoves:
+/// n_bucket(q) went from old_count to new_count (new_count = old_count ± 1).
+/// Records for the same (q, bucket) chain — a later record's old_count equals
+/// the previous record's new_count. The emission order preserves each chain:
+/// all of a query's records come from its owning shard, which drains the
+/// per-worker scatter buffers in move-list order (the ParallelFor split is a
+/// contiguous ascending range per worker), so a query's records appear in
+/// executed-move order for *any* thread count. Consumers that fold records
+/// into derived state (the affinity sweep) may interleave different queries'
+/// records freely but must keep each (q, bucket) chain in emission order —
+/// the occupancy transitions (old == 0 adds support, new == 0 removes it)
+/// are only well-formed along the chain.
+struct NeighborDelta {
+  VertexId q;
+  BucketId bucket;
+  uint32_t old_count;
+  uint32_t new_count;
+
+  bool operator==(const NeighborDelta&) const = default;
+};
+
 class QueryNeighborData {
  public:
   QueryNeighborData() = default;
@@ -93,9 +114,13 @@ class QueryNeighborData {
   /// place. O(Σ_v deg(v) · fanout) total work over the moved vertices —
   /// independent of |E|. If `touched_queries` is non-null, the ids of all
   /// queries whose entries changed are appended (each id once, ascending).
+  /// If `deltas` is non-null, every bucket-count transition is appended as a
+  /// NeighborDelta record (two per applied move × adjacent query) — the
+  /// steady-state feed of the query-major affinity sweep.
   void ApplyMoves(const BipartiteGraph& graph,
                   std::span<const VertexMove> moves, ThreadPool* pool = nullptr,
-                  std::vector<VertexId>* touched_queries = nullptr);
+                  std::vector<VertexId>* touched_queries = nullptr,
+                  std::vector<NeighborDelta>* deltas = nullptr);
 
   /// Repacks the arena in query order with fresh slack, dropping relocation
   /// garbage. Called automatically by ApplyMove/ApplyMoves when overhead
@@ -144,6 +169,7 @@ class QueryNeighborData {
     std::vector<ShardOverflow> overflow;
     std::vector<int64_t> live_delta;
     std::vector<std::vector<VertexId>> touched;
+    std::vector<std::vector<NeighborDelta>> emitted;
   };
 
   /// Outcome of an in-place delta application attempt.
@@ -152,9 +178,12 @@ class QueryNeighborData {
   /// Applies (−1 at `from`, +1 at `to`) to q's entry list, accumulating the
   /// entry-count change into *live_delta. The decrement always fits; if the
   /// increment must insert a new bucket and the list is at capacity, returns
-  /// kNeedsGrowth with the decrement applied and the insert still pending.
+  /// kNeedsGrowth with the decrement applied (and recorded in `emitted` if
+  /// non-null) and the insert still pending — the caller must record the
+  /// pending (to, 0, 1) transition itself after performing the insert.
   DeltaResult ApplyDeltaInPlace(VertexId q, BucketId from, BucketId to,
-                                int64_t* live_delta);
+                                int64_t* live_delta,
+                                std::vector<NeighborDelta>* emitted = nullptr);
 
   /// Serial growth path: relocates q's list to the arena tail with fresh
   /// slack and performs the pending insert of `to`.

@@ -1,0 +1,447 @@
+// Query-major affinity sweep tests: NeighborDelta emission from ApplyMoves
+// (record chains vs before/after CountFor diffs), accumulator build/patch
+// equivalence with a fresh query-major pass, deterministic-mode thread-count
+// independence, pull-vs-push best-target consistency (tie-breaks, restricted
+// windows, empty-window fallback), and the refiner-level pull-vs-push
+// tolerance harness across all three MoveBroker strategies.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/move_broker.h"
+#include "core/move_topology.h"
+#include "core/partition.h"
+#include "core/refiner.h"
+#include "graph/gen_powerlaw.h"
+#include "graph/gen_social.h"
+#include "graph/graph_builder.h"
+#include "objective/affinity_sweep.h"
+#include "objective/gain.h"
+#include "objective/neighbor_data.h"
+#include "objective/objective.h"
+#include "objective/pow_table.h"
+
+namespace shp {
+namespace {
+
+BipartiteGraph TestGraph(uint64_t seed = 3) {
+  PowerLawConfig config;
+  config.num_queries = 300;
+  config.num_data = 200;
+  config.target_edges = 1400;
+  config.seed = seed;
+  return GeneratePowerLaw(config);
+}
+
+/// Draws a random batch of distinct-vertex moves and mutates `assignment`.
+std::vector<VertexMove> RandomBatch(std::vector<BucketId>* assignment,
+                                    BucketId k, uint64_t seed, uint64_t round,
+                                    size_t batch_size) {
+  std::vector<VertexMove> moves;
+  const VertexId n = static_cast<VertexId>(assignment->size());
+  for (size_t i = 0; i < batch_size; ++i) {
+    const VertexId v = static_cast<VertexId>(
+        HashToBounded(seed ^ 0xbeef, round, i, n));
+    const BucketId from = (*assignment)[v];
+    bool duplicate = false;
+    for (const VertexMove& m : moves) duplicate |= m.v == v;
+    if (duplicate) continue;
+    const BucketId to = static_cast<BucketId>(
+        HashToBounded(seed ^ 0xf00d, round, i + 1000, static_cast<uint64_t>(k)));
+    if (to == from) continue;
+    moves.push_back({v, from, to});
+    (*assignment)[v] = to;
+  }
+  return moves;
+}
+
+uint64_t PackQB(VertexId q, BucketId b) {
+  return (static_cast<uint64_t>(q) << 32) | static_cast<uint32_t>(b);
+}
+
+// ------------------------------------------------------- delta emission API
+TEST(DeltaEmission, RecordsChainFromBeforeToAfterCounts) {
+  const BipartiteGraph g = TestGraph();
+  const BucketId k = 8;
+  std::vector<BucketId> assignment =
+      Partition::Random(g.num_data(), k, 11).assignment();
+  QueryNeighborData ndata;
+  ndata.Build(g, assignment);
+
+  for (uint64_t round = 0; round < 30; ++round) {
+    // Replay the records over a snapshot of the before-counts: each record's
+    // old_count must match the tracked value (the chains are emitted in
+    // order per (q, bucket)), and the replayed state must equal the after-
+    // counts exactly — no transition lost, none fabricated.
+    std::unordered_map<uint64_t, uint32_t> tracked;
+    for (VertexId q = 0; q < g.num_queries(); ++q) {
+      for (const BucketCount& e : ndata.Entries(q)) {
+        tracked[PackQB(q, e.bucket)] = e.count;
+      }
+    }
+
+    const size_t batch =
+        1 + static_cast<size_t>(HashToBounded(99, round, 0, 40));
+    const std::vector<VertexMove> moves =
+        RandomBatch(&assignment, k, 17, round, batch);
+    std::vector<NeighborDelta> deltas;
+    ndata.ApplyMoves(g, moves, nullptr, nullptr, &deltas);
+
+    for (const NeighborDelta& rec : deltas) {
+      ASSERT_TRUE(rec.new_count == rec.old_count + 1 ||
+                  rec.new_count + 1 == rec.old_count)
+          << "records are unit transitions";
+      const uint64_t key = PackQB(rec.q, rec.bucket);
+      const auto it = tracked.find(key);
+      const uint32_t current = it == tracked.end() ? 0 : it->second;
+      ASSERT_EQ(current, rec.old_count)
+          << "round " << round << " q=" << rec.q << " b=" << rec.bucket;
+      tracked[key] = rec.new_count;
+    }
+    for (VertexId q = 0; q < g.num_queries(); ++q) {
+      for (BucketId b = 0; b < k; ++b) {
+        const auto it = tracked.find(PackQB(q, b));
+        const uint32_t replayed = it == tracked.end() ? 0 : it->second;
+        ASSERT_EQ(replayed, ndata.CountFor(q, b))
+            << "round " << round << " q=" << q << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(DeltaEmission, UntouchedQueriesEmitNothing) {
+  const BipartiteGraph g = TestGraph(5);
+  const BucketId k = 4;
+  std::vector<BucketId> assignment =
+      Partition::Random(g.num_data(), k, 7).assignment();
+  QueryNeighborData ndata;
+  ndata.Build(g, assignment);
+
+  const VertexId v = 0;
+  const BucketId from = assignment[v];
+  const BucketId to = (from + 1) % k;
+  const VertexMove move{v, from, to};
+  std::vector<NeighborDelta> deltas;
+  ndata.ApplyMoves(g, {&move, 1}, nullptr, nullptr, &deltas);
+
+  const auto nbrs = g.DataNeighbors(v);
+  for (const NeighborDelta& rec : deltas) {
+    EXPECT_TRUE(std::binary_search(nbrs.begin(), nbrs.end(), rec.q))
+        << "delta for a query not adjacent to the moved vertex";
+    EXPECT_TRUE(rec.bucket == from || rec.bucket == to);
+  }
+  // Exactly two records (one per touched bucket) per adjacent query.
+  EXPECT_EQ(deltas.size(), 2 * nbrs.size());
+}
+
+// ------------------------------------------------------ accumulator content
+TEST(AffinitySweep, BuildMatchesBruteForce) {
+  const BipartiteGraph g = TestGraph(9);
+  const BucketId k = 8;
+  const double p = 0.5;
+  const auto assignment = Partition::Random(g.num_data(), k, 3).assignment();
+  QueryNeighborData ndata;
+  ndata.Build(g, assignment);
+  const PowTable pow(1.0 - p, static_cast<uint32_t>(g.MaxQueryDegree()) + 2);
+
+  AffinitySweep sweep;
+  sweep.Build(g, ndata, pow);
+
+  for (VertexId v = 0; v < g.num_data(); ++v) {
+    for (BucketId b = 0; b < k; ++b) {
+      double expected = 0.0;
+      uint32_t support = 0;
+      for (VertexId q : g.DataNeighbors(v)) {
+        const uint32_t c = ndata.CountFor(q, b);
+        if (c == 0) continue;
+        ++support;
+        expected += 1.0 - pow.Pow(c);
+      }
+      EXPECT_NEAR(sweep.AffinityFor(v, b), expected, 1e-12)
+          << "v=" << v << " b=" << b;
+      const auto entries = sweep.Entries(v);
+      const auto it = std::find_if(
+          entries.begin(), entries.end(),
+          [b](const AffinityEntry& e) { return e.bucket == b; });
+      EXPECT_EQ(it == entries.end() ? 0u : it->support, support);
+    }
+  }
+}
+
+TEST(AffinitySweep, ApplyDeltasMatchesFreshBuild) {
+  const BipartiteGraph g = TestGraph(13);
+  const BucketId k = 16;
+  const double p = 0.5;
+  // Start fully concentrated so early batches constantly occupy new buckets
+  // and exercise slack growth, overflow relocation, and entry removal.
+  std::vector<BucketId> assignment(g.num_data(), 0);
+  QueryNeighborData ndata;
+  ndata.Build(g, assignment);
+  const PowTable pow(1.0 - p, static_cast<uint32_t>(g.MaxQueryDegree()) + 2);
+
+  AffinitySweep sweep;
+  sweep.Build(g, ndata, pow);
+  for (uint64_t round = 0; round < 40; ++round) {
+    const std::vector<VertexMove> moves =
+        RandomBatch(&assignment, k, 23, round, 25);
+    std::vector<NeighborDelta> deltas;
+    ndata.ApplyMoves(g, moves, nullptr, nullptr, &deltas);
+    sweep.ApplyDeltas(g, deltas, pow);
+
+    AffinitySweep fresh;
+    fresh.Build(g, ndata, pow);
+    ASSERT_TRUE(sweep.ApproxEquals(fresh, 1e-9, 1e-9)) << "round " << round;
+    ASSERT_EQ(sweep.TotalEntries(), fresh.TotalEntries()) << "round " << round;
+  }
+
+  // Compaction preserves content and drops relocation garbage.
+  const uint64_t before = sweep.ArenaSlots();
+  sweep.Compact();
+  AffinitySweep fresh;
+  fresh.Build(g, ndata, pow);
+  EXPECT_TRUE(sweep.ApproxEquals(fresh, 1e-9, 1e-9));
+  EXPECT_LE(sweep.ArenaSlots(), before);
+  EXPECT_EQ(sweep.ArenaSlots(), fresh.ArenaSlots());
+}
+
+TEST(AffinitySweep, DeterministicModeIsThreadCountInvariant) {
+  const BipartiteGraph g = TestGraph(21);
+  const BucketId k = 8;
+  const double p = 0.3;
+  const PowTable pow(1.0 - p, static_cast<uint32_t>(g.MaxQueryDegree()) + 2);
+  ThreadPool pool1(1);
+  ThreadPool pool4(4);
+
+  std::vector<BucketId> a1 = Partition::Random(g.num_data(), k, 5).assignment();
+  std::vector<BucketId> a4 = a1;
+  QueryNeighborData nd1, nd4;
+  nd1.Build(g, a1, &pool1);
+  nd4.Build(g, a4, &pool4);
+  AffinitySweep s1(/*deterministic=*/true), s4(/*deterministic=*/true);
+  s1.Build(g, nd1, pow, &pool1);
+  s4.Build(g, nd4, pow, &pool4);
+
+  for (uint64_t round = 0; round < 10; ++round) {
+    const std::vector<VertexMove> moves = RandomBatch(&a1, k, 31, round, 20);
+    a4 = a1;
+    std::vector<NeighborDelta> d1, d4;
+    nd1.ApplyMoves(g, moves, &pool1, nullptr, &d1);
+    nd4.ApplyMoves(g, moves, &pool4, nullptr, &d4);
+    s1.ApplyDeltas(g, d1, pow, &pool1);
+    s4.ApplyDeltas(g, d4, pow, &pool4);
+    for (VertexId v = 0; v < g.num_data(); ++v) {
+      const auto e1 = s1.Entries(v);
+      const auto e4 = s4.Entries(v);
+      ASSERT_EQ(e1.size(), e4.size()) << "v=" << v;
+      for (size_t i = 0; i < e1.size(); ++i) {
+        // Bitwise-equal floats: canonical record order makes the patched
+        // accumulators independent of the emitting/applying thread counts.
+        ASSERT_EQ(e1[i], e4[i]) << "v=" << v << " i=" << i;
+      }
+    }
+  }
+}
+
+// ----------------------------------------- pull vs push target consistency
+TEST(PullPushTargets, AgreeOnRandomGraphsAndRestrictedWindows) {
+  for (const double p : {0.1, 0.5, 0.9}) {
+    const BipartiteGraph g = TestGraph(7);
+    const BucketId k = 8;
+    const auto assignment = Partition::Random(g.num_data(), k, 2).assignment();
+    QueryNeighborData ndata;
+    ndata.Build(g, assignment);
+    const GainComputer gain(p, static_cast<uint32_t>(g.MaxQueryDegree()));
+    AffinitySweep sweep;
+    sweep.Build(g, ndata, gain.pow_table());
+
+    std::vector<double> affinity(static_cast<size_t>(k), 0.0);
+    std::vector<BucketId> touched;
+    const std::pair<BucketId, BucketId> windows[] = {{0, k}, {2, 6}, {5, 6}};
+    for (const auto& [wb, we] : windows) {
+      for (VertexId v = 0; v < g.num_data(); ++v) {
+        if (g.DataDegree(v) == 0) continue;
+        const BucketId from = assignment[v];
+        const auto pull =
+            gain.FindBestTarget(g, ndata, v, from, wb, we, &affinity, &touched);
+        const auto push = gain.FindBestTargetPush(
+            sweep, v, from, wb, we, static_cast<double>(g.DataDegree(v)));
+        ASSERT_EQ(pull.bucket == -1, push.bucket == -1)
+            << "p=" << p << " v=" << v << " window [" << wb << "," << we << ")";
+        if (pull.bucket == -1) continue;
+        EXPECT_NEAR(pull.gain, push.gain,
+                    1e-9 + 1e-6 * std::fabs(pull.gain))
+            << "p=" << p << " v=" << v;
+        if (pull.bucket != push.bucket) {
+          // Divergent picks are legal only on an affinity tie ≤ 1e-9:
+          // evaluate both in the pull frame.
+          const double g_pull = gain.MoveGain(g, ndata, v, from, pull.bucket);
+          const double g_push = gain.MoveGain(g, ndata, v, from, push.bucket);
+          EXPECT_NEAR(g_pull, g_push, 1e-9)
+              << "p=" << p << " v=" << v << " pull->" << pull.bucket
+              << " push->" << push.bucket;
+        }
+      }
+    }
+  }
+}
+
+/// Graph where data vertex 0 has two queries with exactly symmetric mass in
+/// buckets 1 and 2: q0 = {0, 1}, q1 = {0, 2}, v1 -> bucket 1, v2 -> bucket 2.
+BipartiteGraph TieGraph() {
+  GraphBuilder builder;
+  builder.AddHyperedge(0, {0, 1});
+  builder.AddHyperedge(1, {0, 2});
+  return builder.Build();
+}
+
+TEST(PullPushTargets, ExactTieBreaksToLowerBucketOnBothPaths) {
+  const BipartiteGraph g = TieGraph();
+  const std::vector<BucketId> assignment = {0, 1, 2};
+  const BucketId k = 4;
+  QueryNeighborData ndata;
+  ndata.Build(g, assignment);
+  const GainComputer gain(0.5, static_cast<uint32_t>(g.MaxQueryDegree()));
+  AffinitySweep sweep;
+  sweep.Build(g, ndata, gain.pow_table());
+
+  std::vector<double> affinity(static_cast<size_t>(k), 0.0);
+  std::vector<BucketId> touched;
+  // Buckets 1 and 2 have identical affinity (one neighbor each, identical
+  // float contributions); both scan paths must deterministically pick the
+  // lower bucket id.
+  const auto pull =
+      gain.FindBestTarget(g, ndata, 0, 0, 0, k, &affinity, &touched);
+  const auto push = gain.FindBestTargetPush(sweep, 0, 0, 0, k, 2.0);
+  EXPECT_EQ(pull.bucket, 1);
+  EXPECT_EQ(push.bucket, 1);
+  EXPECT_NEAR(pull.gain, push.gain, 1e-12);
+}
+
+TEST(PullPushTargets, EmptyWindowFallbackIsSharedAndChecksFrom) {
+  const BipartiteGraph g = TieGraph();
+  const std::vector<BucketId> assignment = {0, 1, 2};
+  const BucketId k = 8;
+  QueryNeighborData ndata;
+  ndata.Build(g, assignment);
+  const GainComputer gain(0.5, static_cast<uint32_t>(g.MaxQueryDegree()));
+  AffinitySweep sweep;
+  sweep.Build(g, ndata, gain.pow_table());
+  std::vector<double> affinity(static_cast<size_t>(k), 0.0);
+  std::vector<BucketId> touched;
+
+  // Window [4, 8) holds no occupied bucket: both paths fall back to the
+  // lowest bucket of the window (4), with the empty-bucket gain.
+  {
+    const auto pull =
+        gain.FindBestTarget(g, ndata, 0, 0, 4, 8, &affinity, &touched);
+    const auto push = gain.FindBestTargetPush(sweep, 0, 0, 4, 8, 2.0);
+    EXPECT_EQ(pull.bucket, 4);
+    EXPECT_EQ(push.bucket, 4);
+    EXPECT_NEAR(pull.gain, push.gain, 1e-12);
+  }
+  // Window starting at `from` must skip it: [0, 4) with from = 0 and no
+  // touched candidate cannot return 0. (Buckets 1 and 2 are touched here,
+  // so restrict to [0, 1), where only `from` itself lies -> no target.)
+  {
+    const auto pull =
+        gain.FindBestTarget(g, ndata, 0, 0, 0, 1, &affinity, &touched);
+    const auto push = gain.FindBestTargetPush(sweep, 0, 0, 0, 1, 2.0);
+    EXPECT_EQ(pull.bucket, -1);
+    EXPECT_EQ(push.bucket, -1);
+  }
+  // Window [3, 8) with from = 3: fallback must pick 4, never `from`.
+  {
+    std::vector<BucketId> moved = assignment;
+    moved[0] = 3;
+    QueryNeighborData nd2;
+    nd2.Build(g, moved);
+    AffinitySweep sw2;
+    sw2.Build(g, nd2, gain.pow_table());
+    const auto pull =
+        gain.FindBestTarget(g, nd2, 0, 3, 3, 8, &affinity, &touched);
+    const auto push = gain.FindBestTargetPush(sw2, 0, 3, 3, 8, 2.0);
+    EXPECT_EQ(pull.bucket, 4);
+    EXPECT_EQ(push.bucket, 4);
+  }
+}
+
+// -------------------------------------- refiner-level tolerance equivalence
+BipartiteGraph RefinerGraph() {
+  SocialGraphConfig config;
+  config.num_users = 700;
+  config.avg_degree = 8;
+  config.seed = 21;
+  return GenerateSocialGraph(config);
+}
+
+class PullPushTrajectory
+    : public testing::TestWithParam<MoveBrokerOptions::Strategy> {};
+
+TEST_P(PullPushTrajectory, FanoutTrajectoriesAgreeWithinTolerance) {
+  const BipartiteGraph g = RefinerGraph();
+  const BucketId k = 8;
+  const MoveTopology topo = MoveTopology::FullK(k, g.num_data(), 0.05);
+
+  RefinerOptions pull_options;
+  pull_options.exploration_probability = 0.05;
+  pull_options.incremental_rebuild_fraction = 1.0;
+  pull_options.broker.strategy = GetParam();
+  pull_options.sweep_mode = RefinerOptions::SweepMode::kPull;
+  RefinerOptions push_options = pull_options;
+  push_options.sweep_mode = RefinerOptions::SweepMode::kPush;
+
+  Partition p_pull = Partition::BalancedRandom(g.num_data(), k, 2);
+  Partition p_push = p_pull;
+  Refiner pull(g, pull_options);
+  Refiner push(g, push_options);
+
+  for (uint64_t iter = 0; iter < 8; ++iter) {
+    const IterationStats a = pull.RunIteration(topo, &p_pull, 9, iter);
+    const IterationStats b = push.RunIteration(topo, &p_push, 9, iter);
+    EXPECT_FALSE(a.push_sweep);
+    EXPECT_TRUE(b.push_sweep);
+
+    // Tolerance harness: the two scan directions accumulate floats in
+    // different orders, so the trajectories agree to tolerance, not bits —
+    // per-vertex proposals match modulo gain ties (the Debug build asserts
+    // that inside RunIteration) and the end-to-end objective trajectory
+    // stays within rtol 1e-6.
+    const double f_pull = AveragePFanout(g, p_pull.assignment(), 0.5);
+    const double f_push = AveragePFanout(g, p_push.assignment(), 0.5);
+    ASSERT_NEAR(f_pull, f_push, 1e-6 * std::max(f_pull, f_push))
+        << "iteration " << iter;
+  }
+  EXPECT_EQ(push.num_full_rebuilds(), 1u);
+  EXPECT_EQ(push.num_sweep_builds(), 1u)
+      << "steady state must patch, not rebuild, the accumulators";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, PullPushTrajectory,
+    testing::Values(MoveBrokerOptions::Strategy::kPlainProbability,
+                    MoveBrokerOptions::Strategy::kHistogramMatching,
+                    MoveBrokerOptions::Strategy::kExactPairing));
+
+TEST(PullPushTrajectory, FanoutLimitFallsBackToPull) {
+  // p = 1, future_splits = 1 ⇒ pow base 0: the push gain formulas are
+  // unavailable (they divide by B), so kAuto must run the pull path.
+  const BipartiteGraph g = RefinerGraph();
+  const BucketId k = 4;
+  const MoveTopology topo = MoveTopology::FullK(k, g.num_data(), 0.05);
+  RefinerOptions options;
+  options.p = 1.0;
+  options.sweep_mode = RefinerOptions::SweepMode::kAuto;
+  Partition partition = Partition::BalancedRandom(g.num_data(), k, 3);
+  Refiner refiner(g, options);
+  const IterationStats stats = refiner.RunIteration(topo, &partition, 1, 0);
+  EXPECT_FALSE(stats.push_sweep);
+  EXPECT_EQ(refiner.num_sweep_builds(), 0u);
+}
+
+}  // namespace
+}  // namespace shp
