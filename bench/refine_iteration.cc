@@ -1,5 +1,7 @@
 // Steady-state refinement-iteration latency: full-rebuild reference vs the
-// incremental pull path vs the query-major push sweep.
+// incremental pull path vs the query-major push sweep, plus the BSP engine
+// in both superstep-2 exchange modes (full-reship pull vs delta exchange +
+// push sweep).
 //
 // Protocol: run SHP-k on a power-law generator workload until the moved
 // fraction decays below a steady-state threshold (default 0.2%, matching
@@ -29,6 +31,7 @@
 #include "core/partition.h"
 #include "core/refiner.h"
 #include "core/shp_k.h"
+#include "engine/shp_bsp.h"
 #include "graph/gen_powerlaw.h"
 #include "objective/objective.h"
 #include "harness.h"
@@ -41,6 +44,17 @@ struct PathTiming {
   uint64_t rebuilds = 0;
   uint64_t sweep_builds = 0;
   uint64_t recomputed = 0;
+  uint64_t delta_records = 0;
+};
+
+/// One BSP engine run: per-iteration latency plus per-superstep-2 remote
+/// bytes (the delta-exchange acceptance metric). `steady_s2_bytes` excludes
+/// iteration 0 — both modes bootstrap there with the same full reship.
+struct BspTiming {
+  std::vector<double> iteration_ms;
+  std::vector<uint64_t> s2_remote_bytes;
+  double mean_ms = 0.0;
+  uint64_t steady_s2_bytes = 0;
   uint64_t delta_records = 0;
 };
 
@@ -128,6 +142,39 @@ int main(int argc, char** argv) {
   const auto [push, push_assignment] =
       run_path(/*incremental=*/true, RefinerOptions::SweepMode::kPush);
 
+  // BSP engine series: the same steady-state iterations through the
+  // message-passing engine, full-reship pull vs delta exchange + push.
+  const int bsp_workers =
+      static_cast<int>(flags.GetInt("bsp_workers", 4));
+  auto run_bsp = [&](RefinerOptions::SweepMode mode) {
+    RefinerOptions options = base_options;
+    options.sweep_mode = mode;
+    BspConfig config;
+    config.num_workers = bsp_workers;
+    std::vector<SuperstepStats> log;
+    BspRefiner refiner(graph, options, config, &log);
+    Partition partition = Partition::FromAssignment(steady_start, k);
+    BspTiming timing;
+    for (uint32_t i = 0; i < timed_iterations; ++i) {
+      Timer timer;
+      const IterationStats stats = refiner.RunIteration(
+          topo, &partition, seed, warm_iterations + 1 + i);
+      timing.iteration_ms.push_back(timer.ElapsedMillis());
+      timing.delta_records += stats.num_delta_records;
+      const uint64_t s2 = log[i * 4 + 1].traffic.remote_bytes;
+      timing.s2_remote_bytes.push_back(s2);
+      if (i > 0) timing.steady_s2_bytes += s2;
+    }
+    timing.mean_ms = std::accumulate(timing.iteration_ms.begin(),
+                                     timing.iteration_ms.end(), 0.0) /
+                     static_cast<double>(timing.iteration_ms.size());
+    return std::make_pair(timing, partition.assignment());
+  };
+  const auto [bsp_pull, bsp_pull_assignment] =
+      run_bsp(RefinerOptions::SweepMode::kPull);
+  const auto [bsp_push, bsp_push_assignment] =
+      run_bsp(RefinerOptions::SweepMode::kPush);
+
   if (full_assignment != incremental_assignment) {
     std::fprintf(stderr,
                  "FAIL: incremental and full-rebuild paths diverged\n");
@@ -145,8 +192,41 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // BSP pull vs delta-exchange push: same tolerance contract as the
+  // threaded engines, plus the hard traffic gate — steady-state superstep-2
+  // remote bytes of the delta exchange must be strictly below the full
+  // reship (this is the whole point of the exchange; it is a deterministic
+  // byte count, not a timing, so it always gates).
+  const double bsp_fanout_pull = AverageFanout(graph, bsp_pull_assignment);
+  const double bsp_fanout_push = AverageFanout(graph, bsp_push_assignment);
+  const double bsp_fanout_rel_diff =
+      std::fabs(bsp_fanout_pull - bsp_fanout_push) /
+      std::max(bsp_fanout_pull, 1e-30);
+  if (bsp_fanout_rel_diff > 1e-4) {
+    std::fprintf(stderr,
+                 "FAIL: BSP push fanout %.8f vs pull %.8f (rel diff %.2e)\n",
+                 bsp_fanout_push, bsp_fanout_pull, bsp_fanout_rel_diff);
+    return 2;
+  }
+  // (With --iterations=1 there is no steady-state sample — only the
+  // bootstrap iteration, which both modes ship identically — so the gate
+  // has nothing to compare.)
+  if (bsp_pull.steady_s2_bytes > 0 &&
+      bsp_push.steady_s2_bytes >= bsp_pull.steady_s2_bytes) {
+    std::fprintf(stderr,
+                 "FAIL: delta-exchange superstep-2 bytes %llu not below "
+                 "full-reship %llu\n",
+                 static_cast<unsigned long long>(bsp_push.steady_s2_bytes),
+                 static_cast<unsigned long long>(bsp_pull.steady_s2_bytes));
+    return 2;
+  }
+
   const double speedup = full.mean_ms / incremental.mean_ms;
   const double push_speedup = incremental.mean_ms / push.mean_ms;
+  const double bsp_speedup = bsp_pull.mean_ms / bsp_push.mean_ms;
+  const double bsp_s2_reduction =
+      static_cast<double>(bsp_pull.steady_s2_bytes) /
+      static_cast<double>(std::max<uint64_t>(1, bsp_push.steady_s2_bytes));
   std::printf("\nfull rebuild : %.3f ms/iteration (%llu rebuilds, %llu "
               "proposals recomputed)\n",
               full.mean_ms, static_cast<unsigned long long>(full.rebuilds),
@@ -165,6 +245,18 @@ int main(int argc, char** argv) {
   std::printf("speedup      : %.2fx incremental/full, %.2fx push/incremental "
               "(fanout rel diff %.1e)\n",
               speedup, push_speedup, fanout_rel_diff);
+  std::printf("bsp pull     : %.3f ms/iteration (W=%d, steady S2 %llu remote "
+              "bytes)\n",
+              bsp_pull.mean_ms, bsp_workers,
+              static_cast<unsigned long long>(bsp_pull.steady_s2_bytes));
+  std::printf("bsp delta    : %.3f ms/iteration (W=%d, steady S2 %llu remote "
+              "bytes, %llu delta records)\n",
+              bsp_push.mean_ms, bsp_workers,
+              static_cast<unsigned long long>(bsp_push.steady_s2_bytes),
+              static_cast<unsigned long long>(bsp_push.delta_records));
+  std::printf("bsp          : %.2fx iteration speedup, %.2fx superstep-2 "
+              "traffic reduction (fanout rel diff %.1e)\n",
+              bsp_speedup, bsp_s2_reduction, bsp_fanout_rel_diff);
 
   const std::string out_path =
       flags.GetString("out", "BENCH_refine.json");
@@ -203,15 +295,44 @@ int main(int argc, char** argv) {
                steady_threshold,
                static_cast<unsigned long long>(warm_iterations),
                timed_iterations);
+  auto write_bsp_series = [&](const char* name, const BspTiming& t) {
+    std::fprintf(out,
+                 "  \"%s\": {\n"
+                 "    \"mean_iteration_ms\": %.6f,\n"
+                 "    \"workers\": %d,\n"
+                 "    \"steady_s2_remote_bytes\": %llu,\n"
+                 "    \"delta_records\": %llu,\n"
+                 "    \"iteration_ms\": [",
+                 name, t.mean_ms, bsp_workers,
+                 static_cast<unsigned long long>(t.steady_s2_bytes),
+                 static_cast<unsigned long long>(t.delta_records));
+    for (size_t i = 0; i < t.iteration_ms.size(); ++i) {
+      std::fprintf(out, "%s%.6f", i == 0 ? "" : ", ", t.iteration_ms[i]);
+    }
+    std::fprintf(out, "],\n    \"s2_remote_bytes\": [");
+    for (size_t i = 0; i < t.s2_remote_bytes.size(); ++i) {
+      std::fprintf(out, "%s%llu", i == 0 ? "" : ", ",
+                   static_cast<unsigned long long>(t.s2_remote_bytes[i]));
+    }
+    std::fprintf(out, "]\n  }");
+  };
   write_series("full_rebuild", full);
   std::fprintf(out, ",\n");
   write_series("incremental", incremental);
   std::fprintf(out, ",\n");
   write_series("push", push);
+  std::fprintf(out, ",\n");
+  write_bsp_series("bsp_pull", bsp_pull);
+  std::fprintf(out, ",\n");
+  write_bsp_series("bsp_push", bsp_push);
   std::fprintf(out,
                ",\n  \"speedup\": %.4f,\n  \"push_speedup\": %.4f,\n"
-               "  \"push_fanout_rel_diff\": %.6e\n}\n",
-               speedup, push_speedup, fanout_rel_diff);
+               "  \"push_fanout_rel_diff\": %.6e,\n"
+               "  \"bsp_speedup\": %.4f,\n"
+               "  \"bsp_s2_traffic_reduction\": %.4f,\n"
+               "  \"bsp_fanout_rel_diff\": %.6e\n}\n",
+               speedup, push_speedup, fanout_rel_diff, bsp_speedup,
+               bsp_s2_reduction, bsp_fanout_rel_diff);
   std::fclose(out);
   std::printf("wrote %s\n", out_path.c_str());
 
@@ -224,6 +345,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "FAIL: push speedup %.2fx below required %.2fx\n",
                  push_speedup, min_push_speedup);
+    return 3;
+  }
+  const double min_bsp_speedup = flags.GetDouble("min_bsp_speedup", 0.0);
+  if (bsp_speedup < min_bsp_speedup) {
+    std::fprintf(stderr, "FAIL: BSP speedup %.2fx below required %.2fx\n",
+                 bsp_speedup, min_bsp_speedup);
     return 3;
   }
   return 0;

@@ -87,6 +87,10 @@ struct RefinerOptions {
   /// Superstep-2 scan direction. kAuto uses push whenever it is available:
   /// full-k topology and a nonzero pow base (p < 1 or future_splits > 1);
   /// grouped topologies and the p = 1, t = 1 limit fall back to pull.
+  /// The BSP engine (engine/shp_bsp.h) keys its superstep-2 *exchange* off
+  /// the same switch: kPull reships dirty queries' full neighbor data (the
+  /// reference), kPush/kAuto ship sparse NeighborDelta records and run the
+  /// accumulator push sweep on the data workers (docs/distributed.md).
   enum class SweepMode { kPull, kPush, kAuto };
   SweepMode sweep_mode = SweepMode::kAuto;
   /// Maintain neighbor data and proposals incrementally across iterations
@@ -110,15 +114,21 @@ struct IterationStats {
   /// num_moved / num_data — the convergence signal (paper Fig. 7b).
   double moved_fraction = 0.0;
   /// True when this iteration rebuilt the neighbor data from scratch rather
-  /// than patching it (first iteration, or assignment/topology/anchor drift).
+  /// than patching it (first iteration, or assignment/topology/anchor
+  /// drift). The BSP engine reports its announce-everything superstep-1
+  /// scans here (it patches replicas instead of rebuilding).
   bool full_rebuild = false;
-  /// True when superstep 2 ran the query-major push sweep this iteration.
+  /// True when superstep 2 ran the query-major push sweep this iteration
+  /// (for the BSP engine: delta exchange + accumulator push).
   bool push_sweep = false;
   /// Data vertices whose proposal was recomputed this iteration (equals
   /// num_data on a full rebuild; the incremental win is this shrinking).
   uint64_t num_recomputed = 0;
   /// NeighborDelta records consumed by the affinity sweep (push only) —
-  /// proxy for the steady-state patch volume.
+  /// proxy for the steady-state patch volume. The BSP engine counts each
+  /// record once at its emitting query owner; the superstep-2 wire volume
+  /// is larger by the destination fan-out (records × touched workers, see
+  /// SuperstepStats traffic).
   uint64_t num_delta_records = 0;
 };
 

@@ -10,10 +10,14 @@
 // The router counts messages and bytes, separating worker-local deliveries
 // (free in Giraph: "replaced with a read from the local memory") from remote
 // ones, which is exactly the quantity the paper's communication-complexity
-// analysis bounds.
+// analysis bounds. Payloads are caller-defined; the steady-state refinement
+// supersteps route fixed-width delta records (superstep 1 bucket deltas,
+// superstep 2 NeighborDelta records) rather than variable-length state, so
+// wire volume is O(moved pins) per §3.3.
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "common/logging.h"
@@ -106,6 +110,50 @@ class MessageRouter {
   std::vector<std::vector<Message>> buffers_;
   std::vector<uint64_t> out_bytes_;
   std::vector<uint64_t> in_bytes_;
+};
+
+/// Giraph-style message combiner: during a superstep's send phase each source
+/// worker folds same-destination, same-key messages into one value before
+/// anything reaches the wire ("machine-pair message combining", paper §3.3).
+/// Layout mirrors MessageRouter: one map per (src, dst) cell, single-writer
+/// per src row. The maps are *cleared, not destroyed*, between supersteps —
+/// a W×W grid of fresh unordered_maps per iteration was measurable
+/// allocation churn in the BSP hot loop, and clear() keeps each map's bucket
+/// array for the next round.
+template <typename Value>
+class MessageCombiner {
+ public:
+  /// (Re)shapes to num_workers² cells and clears every map, keeping their
+  /// allocated bucket arrays. Call once per superstep before combining.
+  void Reset(int num_workers) {
+    SHP_CHECK_GT(num_workers, 0);
+    num_workers_ = num_workers;
+    const size_t cells =
+        static_cast<size_t>(num_workers) * static_cast<size_t>(num_workers);
+    if (maps_.size() < cells) maps_.resize(cells);
+    for (auto& m : maps_) m.clear();
+  }
+
+  /// Accumulation slot for `key` on the (src, dst) wire; value-initialized
+  /// (0 for arithmetic types) on first touch. Called by worker `src` only.
+  Value& Slot(int src, int dst, uint64_t key) {
+    return maps_[Index(src, dst)][key];
+  }
+
+  /// Combined (key, value) pairs queued from src to dst, ready to route.
+  const std::unordered_map<uint64_t, Value>& Cell(int src, int dst) const {
+    return maps_[Index(src, dst)];
+  }
+
+ private:
+  size_t Index(int src, int dst) const {
+    SHP_DCHECK(src >= 0 && src < num_workers_);
+    SHP_DCHECK(dst >= 0 && dst < num_workers_);
+    return static_cast<size_t>(src) * num_workers_ + dst;
+  }
+
+  int num_workers_ = 0;
+  std::vector<std::unordered_map<uint64_t, Value>> maps_;
 };
 
 }  // namespace shp

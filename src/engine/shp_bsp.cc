@@ -1,6 +1,9 @@
 #include "engine/shp_bsp.h"
 
 #include <algorithm>
+#include <cmath>
+#include <span>
+#include <type_traits>
 #include <unordered_map>
 
 #include "common/logging.h"
@@ -12,25 +15,38 @@ namespace shp {
 
 namespace {
 
-/// Superstep-1 payload: bucket-count delta of one query's neighbor data.
-/// Combined per (source worker, query, bucket): Giraph's combiner merges
-/// same-destination messages before the wire.
-struct BucketDeltaMsg {
-  VertexId query;
-  BucketId bucket;
-  int32_t delta;
-};
-
-/// Superstep-2 payload: one query's (restricted) neighbor data, shipped once
-/// per destination worker and fanned out locally.
+/// Superstep-2 payload of the pull (full-reship) path: one query's
+/// (restricted) neighbor data, shipped once per destination worker and
+/// fanned out locally. The delta-exchange path ships NeighborDelta records
+/// instead (see shp_bsp.h / docs/distributed.md).
 struct NeighborDataMsg {
   VertexId query;
   std::vector<BucketCount> entries;
 };
 
+/// Directed bucket-pair key for histograms and probability tables.
 uint64_t PackPair(BucketId a, BucketId b) {
   return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
          static_cast<uint32_t>(b);
+}
+
+/// Superstep-1 combiner key. Queries are VertexId — unsigned, with the full
+/// 2^32 range legal — so the pack must widen through uint64 directly; the
+/// old PackPair(static_cast<BucketId>(q), b) detour squeezed query ids
+/// through a signed 32-bit cast, which silently aliases once ids reach 2^31
+/// if VertexId ever widens. The static_asserts pin the layout.
+uint64_t PackQueryBucket(VertexId q, BucketId b) {
+  static_assert(sizeof(VertexId) == 4 && !std::is_signed_v<VertexId>,
+                "PackQueryBucket assumes 32-bit unsigned query ids");
+  static_assert(sizeof(BucketId) <= 4,
+                "PackQueryBucket assumes bucket ids fit 32 bits");
+  return (static_cast<uint64_t>(q) << 32) | static_cast<uint32_t>(b);
+}
+
+VertexId QueryOfKey(uint64_t key) { return static_cast<VertexId>(key >> 32); }
+
+BucketId BucketOfKey(uint64_t key) {
+  return static_cast<BucketId>(static_cast<uint32_t>(key));
 }
 
 uint32_t CountFor(const std::vector<BucketCount>& entries, BucketId b) {
@@ -49,19 +65,36 @@ BspRefiner::BspRefiner(const BipartiteGraph& graph,
     : graph_(graph),
       options_(options),
       config_(config),
-      pow_table_(1.0 - options.p / std::max<uint32_t>(1, options.future_splits),
-                 static_cast<uint32_t>(graph.MaxQueryDegree()) + 2),
+      gain_(options.p, static_cast<uint32_t>(graph.MaxQueryDegree()),
+            options.future_splits),
       sharding_(config.num_workers, config.shard_seed),
       log_(log) {
   SHP_CHECK_GT(config.num_workers, 0);
+  const size_t W = static_cast<size_t>(config.num_workers);
   data_shards_ = VertexSharding::BuildDataShards(sharding_, graph.num_data());
   query_shards_ =
       VertexSharding::BuildQueryShards(sharding_, graph.num_queries());
+  data_owner_.resize(graph.num_data());
+  for (VertexId v = 0; v < graph.num_data(); ++v) {
+    data_owner_[v] = sharding_.DataWorker(v);
+  }
   query_ndata_.resize(graph.num_queries());
   query_dirty_.assign(graph.num_queries(), 1);
   known_assignment_.assign(graph.num_data(), -1);
   cached_target_.assign(graph.num_data(), -1);
   cached_gain_.assign(graph.num_data(), 0.0);
+  worker_hist_.resize(W);
+  last_pair_.assign(graph.num_data(), kNoPair);
+  last_bin_.assign(graph.num_data(), 0);
+  s1_sorted_.resize(W);
+  s1_records_.resize(W);
+  s2_inbox_.resize(W);
+  recompute_.assign(graph.num_data(), 0);
+  recompute_lists_.resize(W);
+  mover_lists_.resize(W);
+  original_.assign(graph.num_data(), -1);
+  pull_affinity_.resize(W);
+  pull_touched_.resize(W);
 }
 
 uint64_t BspRefiner::MaxWorkerStateBytes() const {
@@ -70,6 +103,11 @@ uint64_t BspRefiner::MaxWorkerStateBytes() const {
     uint64_t bytes = 0;
     for (VertexId v : data_shards_[static_cast<size_t>(w)]) {
       bytes += graph_.DataDegree(v) * sizeof(VertexId) + 16;
+      if (sweep_valid_) {
+        // Delta-exchange replica: the vertex's accumulator entries replace
+        // the pull path's cached neighbor-data lists.
+        bytes += sweep_.Entries(v).size() * sizeof(AffinityEntry);
+      }
     }
     for (VertexId q : query_shards_[static_cast<size_t>(w)]) {
       bytes += graph_.QueryDegree(q) * sizeof(VertexId) +
@@ -80,84 +118,246 @@ uint64_t BspRefiner::MaxWorkerStateBytes() const {
   return worst;
 }
 
+bool BspRefiner::ContextMatches(const MoveTopology& topo,
+                                const std::vector<BucketId>* anchor,
+                                double anchor_penalty, bool push) const {
+  if (!has_cached_topo_ || cached_push_ != push) return false;
+  if (cached_topo_.k != topo.k || cached_topo_.full_k != topo.full_k ||
+      cached_topo_.group_of_bucket != topo.group_of_bucket ||
+      cached_topo_.group_children != topo.group_children) {
+    return false;
+  }
+  // Capacity is a broker concern; proposals do not depend on it.
+  const bool has_anchor = anchor != nullptr && anchor_penalty != 0.0;
+  if (has_anchor != cached_has_anchor_) return false;
+  if (has_anchor && (cached_anchor_penalty_ != anchor_penalty ||
+                     cached_anchor_ != *anchor)) {
+    return false;
+  }
+  return true;
+}
+
+void BspRefiner::SnapshotContext(const MoveTopology& topo,
+                                 const std::vector<BucketId>* anchor,
+                                 double anchor_penalty, bool push) {
+  cached_topo_ = topo;
+  has_cached_topo_ = true;
+  cached_has_anchor_ = anchor != nullptr && anchor_penalty != 0.0;
+  cached_anchor_ = cached_has_anchor_ ? *anchor : std::vector<BucketId>{};
+  cached_anchor_penalty_ = cached_has_anchor_ ? anchor_penalty : 0.0;
+  cached_push_ = push;
+}
+
+GainComputer::BestTarget BspRefiner::PullBestTarget(
+    const MoveTopology& topo, VertexId v, BucketId from,
+    std::vector<double>* affinity_scratch,
+    std::vector<BucketId>* touched_scratch, uint64_t* work) const {
+  std::vector<double>& affinity = *affinity_scratch;
+  std::vector<BucketId>& touched = *touched_scratch;
+  touched.clear();
+  double base = 0.0;
+  double degree = 0.0;
+  for (VertexId q : graph_.DataNeighbors(v)) {
+    degree += 1.0;
+    for (const BucketCount& e : query_ndata_[q]) {
+      ++*work;
+      if (e.bucket == from) {
+        base += gain_.Pow(e.count - 1);
+        continue;
+      }
+      if (affinity[static_cast<size_t>(e.bucket)] == 0.0) {
+        touched.push_back(e.bucket);
+      }
+      affinity[static_cast<size_t>(e.bucket)] += 1.0 - gain_.Pow(e.count);
+    }
+  }
+  // Candidates scan in ascending bucket order so near-ties resolve to the
+  // lower bucket id — the tie-break FindBestTarget/FindBestTargetPush share.
+  std::sort(touched.begin(), touched.end());
+  double best_affinity = 0.0;
+  BucketId best_bucket = -1;
+  for (BucketId b : touched) {
+    if (affinity[static_cast<size_t>(b)] >
+        best_affinity + GainComputer::kAffinityTieEpsilon) {
+      best_affinity = affinity[static_cast<size_t>(b)];
+      best_bucket = b;
+    }
+  }
+  for (BucketId b : touched) affinity[static_cast<size_t>(b)] = 0.0;
+  if (best_bucket == -1) {
+    // Every candidate is as good as empty: shared deterministic fallback —
+    // the lowest non-`from` bucket in the window.
+    best_bucket = from == 0 ? 1 : 0;
+    if (best_bucket >= topo.k) return {-1, 0.0};
+  }
+  return {best_bucket, gain_.p() * (base - (degree - best_affinity))};
+}
+
 IterationStats BspRefiner::RunIteration(const MoveTopology& topo,
                                         Partition* partition, uint64_t seed,
                                         uint64_t iteration, ThreadPool* pool,
                                         const std::vector<BucketId>* anchor,
                                         double anchor_penalty) {
+  SHP_CHECK_EQ(partition->num_data(), graph_.num_data());
   if (pool == nullptr) pool = &GlobalThreadPool();
   const int W = config_.num_workers;
   const uint64_t base_superstep =
       log_ == nullptr ? 0 : static_cast<uint64_t>(log_->size());
+  IterationStats stats;
+
+  // Superstep-2 exchange mode for this iteration: delta exchange + push
+  // sweep needs the full-k sparse window and a nonzero pow base (same
+  // support condition as the threaded Refiner); everything else runs the
+  // pull reference path.
+  const bool push =
+      options_.sweep_mode != RefinerOptions::SweepMode::kPull &&
+      topo.full_k && gain_.SupportsPush();
+  stats.push_sweep = push;
 
   // ---------------------------------------------------------------- S1 ---
   // data -> query: bucket deltas from vertices whose bucket differs from
-  // what their queries last saw. First iteration: everyone announces.
+  // what their queries last saw. Steady state announces only last round's
+  // net movers (the compact pending list); the O(n) per-vertex diff scan
+  // runs only on the first iteration or when the partition was mutated
+  // behind our back (detected below, never assumed — the diff scan then
+  // self-heals the replicas).
   MessageRouter<BucketDeltaMsg> router1(W);
-  std::vector<uint64_t> s1_send_work =
+  s1_combiner_.Reset(W);
+  for (int w = 0; w < W; ++w) s1_records_[static_cast<size_t>(w)].clear();
+
+  bool full_scan = !state_valid_;
+  std::vector<uint64_t> s1_send_work(static_cast<size_t>(W), 0);
+  if (!full_scan) {
+    s1_send_work = RunPhase(W, pool, [&](int w) -> uint64_t {
+      uint64_t work = 0;
+      for (const VertexMove& m : pending_announce_) {
+        if (data_owner_[m.v] != w) continue;
+        const BucketId before = known_assignment_[m.v];
+        const BucketId now = partition->bucket_of(m.v);
+        if (now == before) continue;
+        for (VertexId q : graph_.DataNeighbors(m.v)) {
+          const int dst = sharding_.QueryWorker(q);
+          if (before >= 0) {
+            --s1_combiner_.Slot(w, dst, PackQueryBucket(q, before));
+          }
+          ++s1_combiner_.Slot(w, dst, PackQueryBucket(q, now));
+          work += 2;
+        }
+        known_assignment_[m.v] = now;
+      }
+      return work;
+    });
+    // Driver-level replica guard (int compare, not simulated work): after
+    // folding the pending moves, anything still differing means the caller
+    // mutated the partition externally.
+    if (known_assignment_ != partition->assignment()) full_scan = true;
+  }
+  if (full_scan) {
+    const std::vector<uint64_t> diff_work =
+        RunPhase(W, pool, [&](int w) -> uint64_t {
+          uint64_t work = 0;
+          for (VertexId v : data_shards_[static_cast<size_t>(w)]) {
+            const BucketId now = partition->bucket_of(v);
+            const BucketId before = known_assignment_[v];
+            if (now == before) continue;
+            for (VertexId q : graph_.DataNeighbors(v)) {
+              const int dst = sharding_.QueryWorker(q);
+              if (before >= 0) {
+                --s1_combiner_.Slot(w, dst, PackQueryBucket(q, before));
+              }
+              ++s1_combiner_.Slot(w, dst, PackQueryBucket(q, now));
+              work += 2;
+            }
+            known_assignment_[v] = now;
+          }
+          return work;
+        });
+    for (int w = 0; w < W; ++w) {
+      s1_send_work[static_cast<size_t>(w)] +=
+          diff_work[static_cast<size_t>(w)];
+    }
+    proposals_valid_ = false;
+    hist_valid_ = false;
+  }
+  pending_announce_.clear();
+
+  // Flush each source row of the combiner onto the wire.
+  RunPhase(W, pool, [&](int w) -> uint64_t {
+    for (int dst = 0; dst < W; ++dst) {
+      for (const auto& [key, delta] : s1_combiner_.Cell(w, dst)) {
+        if (delta == 0) continue;
+        router1.Send(w, dst,
+                     BucketDeltaMsg{QueryOfKey(key), BucketOfKey(key), delta});
+      }
+    }
+    return 0;
+  });
+
+  // Receive: owner workers fold deltas into their queries' neighbor data,
+  // emitting the (q, bucket, old, new) NeighborDelta records superstep 2
+  // ships in delta-exchange mode. Incoming deltas are stably sorted by
+  // (query, bucket) first, so each query's records come out contiguous (for
+  // the grouped send) and the fold order does not depend on the message
+  // arrival interleaving.
+  std::vector<uint64_t> s1_recv_work =
       RunPhase(W, pool, [&](int w) -> uint64_t {
         uint64_t work = 0;
-        // Combine deltas per (dst worker, query, bucket) before "sending".
-        std::vector<std::unordered_map<uint64_t, int32_t>> combined(
-            static_cast<size_t>(W));
-        for (VertexId v : data_shards_[static_cast<size_t>(w)]) {
-          const BucketId now = partition->bucket_of(v);
-          const BucketId before = known_assignment_[v];
-          if (now == before) continue;
-          for (VertexId q : graph_.DataNeighbors(v)) {
-            const int dst = sharding_.QueryWorker(q);
-            auto& slot = combined[static_cast<size_t>(dst)];
-            if (before >= 0) {
-              --slot[PackPair(static_cast<BucketId>(q), before)];
-            }
-            ++slot[PackPair(static_cast<BucketId>(q), now)];
-            work += 2;
-          }
-          known_assignment_[v] = now;
+        std::vector<BucketDeltaMsg>& sorted =
+            s1_sorted_[static_cast<size_t>(w)];
+        sorted.clear();
+        for (int src = 0; src < W; ++src) {
+          const auto& in = router1.Incoming(src, w);
+          sorted.insert(sorted.end(), in.begin(), in.end());
         }
-        for (int dst = 0; dst < W; ++dst) {
-          for (const auto& [key, delta] : combined[static_cast<size_t>(dst)]) {
-            if (delta == 0) continue;
-            router1.Send(w, dst,
-                         BucketDeltaMsg{static_cast<VertexId>(key >> 32),
-                                        static_cast<BucketId>(key &
-                                                              0xffffffffULL),
-                                        delta});
+        std::stable_sort(sorted.begin(), sorted.end(),
+                         [](const BucketDeltaMsg& a, const BucketDeltaMsg& b) {
+                           if (a.query != b.query) return a.query < b.query;
+                           return a.bucket < b.bucket;
+                         });
+        // Records are only worth emitting when valid accumulator replicas
+        // will consume them; after a high-churn round the replicas were
+        // dropped and superstep 2 re-bootstraps instead.
+        std::vector<NeighborDelta>* emit =
+            push && sweep_valid_ ? &s1_records_[static_cast<size_t>(w)]
+                                 : nullptr;
+        for (const BucketDeltaMsg& m : sorted) {
+          auto& entries = query_ndata_[m.query];
+          auto it = std::lower_bound(
+              entries.begin(), entries.end(), m.bucket,
+              [](const BucketCount& e, BucketId b) { return e.bucket < b; });
+          const uint32_t old_count =
+              it != entries.end() && it->bucket == m.bucket ? it->count : 0;
+          const int64_t next = static_cast<int64_t>(old_count) + m.delta;
+          SHP_DCHECK(next >= 0);
+          const uint32_t new_count = static_cast<uint32_t>(next);
+          if (old_count != 0 && new_count == 0) {
+            entries.erase(it);
+          } else if (old_count != 0) {
+            it->count = new_count;
+          } else {
+            SHP_DCHECK(m.delta > 0);
+            entries.insert(it, {m.bucket, new_count});
           }
+          if (emit != nullptr) {
+            emit->push_back({m.query, m.bucket, old_count, new_count});
+          }
+          query_dirty_[m.query] = 1;
+          ++work;
         }
         return work;
       });
 
-  // Receive: owner workers fold deltas into their queries' neighbor data.
-  std::vector<uint64_t> s1_recv_work =
-      RunPhase(W, pool, [&](int w) -> uint64_t {
-        uint64_t work = 0;
-        for (int src = 0; src < W; ++src) {
-          for (const BucketDeltaMsg& m : router1.Incoming(src, w)) {
-            auto& entries = query_ndata_[m.query];
-            auto it = std::lower_bound(
-                entries.begin(), entries.end(), m.bucket,
-                [](const BucketCount& e, BucketId b) { return e.bucket < b; });
-            if (it != entries.end() && it->bucket == m.bucket) {
-              const int64_t next =
-                  static_cast<int64_t>(it->count) + m.delta;
-              SHP_DCHECK(next >= 0);
-              if (next == 0) {
-                entries.erase(it);
-              } else {
-                it->count = static_cast<uint32_t>(next);
-              }
-            } else {
-              SHP_DCHECK(m.delta > 0);
-              entries.insert(it,
-                             {m.bucket, static_cast<uint32_t>(m.delta)});
-            }
-            query_dirty_[m.query] = 1;
-            ++work;
-          }
-        }
-        return work;
-      });
+  // Records are emitted exactly when push && sweep_valid_ — superstep 2
+  // then patches the accumulator replicas with them. If the fold changed
+  // any query replica *without* emitting (pull/grouped iteration, or the
+  // p = 1 fallback), the data-side accumulators are stale from this moment:
+  // drop them so the next push iteration re-bootstraps. s1_recv_work counts
+  // exactly the applied folds.
+  if (sweep_valid_ && !push) {
+    uint64_t folded = 0;
+    for (int w = 0; w < W; ++w) folded += s1_recv_work[static_cast<size_t>(w)];
+    if (folded > 0) sweep_valid_ = false;
+  }
 
   SuperstepStats s1;
   s1.label = "1:collect-neighbor-data";
@@ -170,159 +370,296 @@ IterationStats BspRefiner::RunIteration(const MoveTopology& topo,
         s1_recv_work[static_cast<size_t>(w)];
   }
 
+#ifndef NDEBUG
+  {
+    // The delta-patched query replicas must be bit-identical to a rebuild
+    // from the current assignment.
+    QueryNeighborData fresh;
+    fresh.Build(graph_, partition->assignment(), pool);
+    for (VertexId q = 0; q < graph_.num_queries(); ++q) {
+      const auto span = fresh.Entries(q);
+      SHP_CHECK(span.size() == query_ndata_[q].size() &&
+                std::equal(span.begin(), span.end(), query_ndata_[q].begin()))
+          << "BSP query replica diverged from rebuild for q=" << q;
+    }
+  }
+#endif
+
   // ---------------------------------------------------------------- S2 ---
-  // query -> data: dirty queries ship their topology-relevant neighbor data,
-  // one combined message per destination worker.
+  const bool context_ok = ContextMatches(topo, anchor, anchor_penalty, push);
+  const bool bootstrap = push && !sweep_valid_;
+  const bool recompute_all =
+      full_scan || !proposals_valid_ || !context_ok || bootstrap;
+  if (!context_ok) SnapshotContext(topo, anchor, anchor_penalty, push);
+  for (int w = 0; w < W; ++w) recompute_lists_[static_cast<size_t>(w)].clear();
+  if (!push && recompute_all) {
+    // The pull path's data-side caches hold topology-restricted lists; a
+    // context change may activate buckets they never received, so charge a
+    // full reship (on iteration 0 every query is dirty anyway).
+    std::fill(query_dirty_.begin(), query_dirty_.end(), 1);
+  }
+
+  stats.full_rebuild = full_scan;
+  for (int w = 0; w < W; ++w) {
+    stats.num_delta_records += s1_records_[static_cast<size_t>(w)].size();
+  }
+
+  // Routers for both exchange flavors (only one carries traffic per mode).
   MessageRouter<NeighborDataMsg> router2(W);
-  std::vector<uint64_t> s2_send_work =
-      RunPhase(W, pool, [&](int w) -> uint64_t {
-        uint64_t work = 0;
-        std::vector<uint8_t> dst_mask(static_cast<size_t>(W));
-        for (VertexId q : query_shards_[static_cast<size_t>(w)]) {
-          if (!query_dirty_[q]) continue;
-          // Restrict to buckets active in this topology (recursion sends
-          // "at most r values" per §3.3).
-          std::vector<BucketCount> restricted;
-          restricted.reserve(query_ndata_[q].size());
-          for (const BucketCount& e : query_ndata_[q]) {
-            if (topo.group_of_bucket[static_cast<size_t>(e.bucket)] >= 0) {
-              restricted.push_back(e);
+  MessageRouter<NeighborDelta> router2d(W);
+  std::vector<uint64_t> s2_send_work(static_cast<size_t>(W), 0);
+  std::vector<uint64_t> s2_recv_work(static_cast<size_t>(W), 0);
+  std::vector<uint64_t> s2_patch_work(static_cast<size_t>(W), 0);
+
+  if (!push || bootstrap) {
+    // Full-reship send: dirty queries ship their topology-relevant neighbor
+    // data, one combined message per destination worker. The delta-exchange
+    // bootstrap charges the same volume — the accumulator replicas are built
+    // from exactly this shipment.
+    s2_send_work = RunPhase(W, pool, [&](int w) -> uint64_t {
+      uint64_t work = 0;
+      std::vector<uint8_t> dst_mask(static_cast<size_t>(W));
+      for (VertexId q : query_shards_[static_cast<size_t>(w)]) {
+        if (!query_dirty_[q] && !bootstrap) continue;
+        // Restrict to buckets active in this topology (recursion sends
+        // "at most r values" per §3.3).
+        std::vector<BucketCount> restricted;
+        restricted.reserve(query_ndata_[q].size());
+        for (const BucketCount& e : query_ndata_[q]) {
+          if (topo.group_of_bucket[static_cast<size_t>(e.bucket)] >= 0) {
+            restricted.push_back(e);
+          }
+        }
+        if (restricted.empty()) continue;
+        std::fill(dst_mask.begin(), dst_mask.end(), 0);
+        for (VertexId v : graph_.QueryNeighbors(q)) {
+          dst_mask[static_cast<size_t>(data_owner_[v])] = 1;
+        }
+        for (int dst = 0; dst < W; ++dst) {
+          if (!dst_mask[static_cast<size_t>(dst)]) continue;
+          router2.Send(w, dst, NeighborDataMsg{q, restricted});
+          work += restricted.size();
+        }
+      }
+      return work;
+    });
+    // Receive: mark data vertices adjacent to dirty queries — plus last
+    // round's movers, whose own `from` changed even if every adjacent count
+    // delta cancelled — for proposal recomputation (unused on a
+    // recompute-all pass).
+    s2_recv_work = RunPhase(W, pool, [&](int w) -> uint64_t {
+      uint64_t work = 0;
+      for (int src = 0; src < W; ++src) {
+        for (const NeighborDataMsg& m : router2.Incoming(src, w)) {
+          if (!recompute_all) {
+            for (VertexId v : graph_.QueryNeighbors(m.query)) {
+              if (data_owner_[v] == w && !recompute_[v]) {
+                recompute_[v] = 1;
+                recompute_lists_[static_cast<size_t>(w)].push_back(v);
+              }
             }
           }
-          if (restricted.empty()) continue;
-          std::fill(dst_mask.begin(), dst_mask.end(), 0);
-          for (VertexId v : graph_.QueryNeighbors(q)) {
-            dst_mask[static_cast<size_t>(sharding_.DataWorker(v))] = 1;
-          }
-          for (int dst = 0; dst < W; ++dst) {
-            if (!dst_mask[static_cast<size_t>(dst)]) continue;
-            router2.Send(w, dst, NeighborDataMsg{q, restricted});
-            work += restricted.size();
+          work += m.entries.size();
+        }
+      }
+      if (!recompute_all) {
+        for (VertexId v : last_movers_) {
+          if (data_owner_[v] == w && !recompute_[v]) {
+            recompute_[v] = 1;
+            recompute_lists_[static_cast<size_t>(w)].push_back(v);
+            ++work;
           }
         }
-        return work;
-      });
+      }
+      return work;
+    });
+    if (bootstrap) {
+      // Build each data worker's accumulator replica from the shipment, one
+      // query-major pass over its own shard.
+      const std::vector<uint64_t> build_work = sweep_.BuildSharded(
+          graph_,
+          [this](VertexId q) {
+            return std::span<const BucketCount>(query_ndata_[q]);
+          },
+          gain_.pow_table(), data_owner_, W, pool);
+      for (int w = 0; w < W; ++w) {
+        s2_patch_work[static_cast<size_t>(w)] =
+            build_work[static_cast<size_t>(w)];
+      }
+      sweep_valid_ = true;
+    }
+  } else {
+    // Delta-exchange send: each dirty query's owner ships the sparse
+    // NeighborDelta records produced while folding superstep 1 — O(delta
+    // records × touched workers) on the wire, not O(Σ deg(dirty q) ×
+    // touched workers). Records are grouped by query (the fold sorted
+    // them), so the destination mask is computed once per query.
+    s2_send_work = RunPhase(W, pool, [&](int w) -> uint64_t {
+      uint64_t work = 0;
+      std::vector<uint8_t> dst_mask(static_cast<size_t>(W));
+      const std::vector<NeighborDelta>& records =
+          s1_records_[static_cast<size_t>(w)];
+      size_t i = 0;
+      while (i < records.size()) {
+        size_t j = i;
+        while (j < records.size() && records[j].q == records[i].q) ++j;
+        const VertexId q = records[i].q;
+        std::fill(dst_mask.begin(), dst_mask.end(), 0);
+        for (VertexId v : graph_.QueryNeighbors(q)) {
+          dst_mask[static_cast<size_t>(data_owner_[v])] = 1;
+        }
+        for (int dst = 0; dst < W; ++dst) {
+          if (!dst_mask[static_cast<size_t>(dst)]) continue;
+          for (size_t r = i; r < j; ++r) router2d.Send(w, dst, records[r]);
+          work += j - i;
+        }
+        i = j;
+      }
+      return work;
+    });
+    // Receive: drain each worker's inbox (src order keeps every per-(q,
+    // bucket) chain intact — a query's records come from its single owner),
+    // mark the blast radius, and patch the accumulator replicas.
+    s2_recv_work = RunPhase(W, pool, [&](int w) -> uint64_t {
+      uint64_t work = 0;
+      std::vector<NeighborDelta>& inbox = s2_inbox_[static_cast<size_t>(w)];
+      inbox.clear();
+      for (int src = 0; src < W; ++src) {
+        const auto& in = router2d.Incoming(src, w);
+        inbox.insert(inbox.end(), in.begin(), in.end());
+      }
+      if (!recompute_all) {
+        VertexId last_q = static_cast<VertexId>(-1);
+        for (const NeighborDelta& rec : inbox) {
+          if (rec.q == last_q) continue;
+          last_q = rec.q;
+          for (VertexId v : graph_.QueryNeighbors(rec.q)) {
+            if (data_owner_[v] == w && !recompute_[v]) {
+              recompute_[v] = 1;
+              recompute_lists_[static_cast<size_t>(w)].push_back(v);
+              ++work;
+            }
+          }
+        }
+        // Movers recompute unconditionally (their `from` changed even when
+        // offsetting moves cancelled every adjacent count delta).
+        for (VertexId v : last_movers_) {
+          if (data_owner_[v] == w && !recompute_[v]) {
+            recompute_[v] = 1;
+            recompute_lists_[static_cast<size_t>(w)].push_back(v);
+            ++work;
+          }
+        }
+      }
+      return work;
+    });
+    std::vector<std::span<const NeighborDelta>> inboxes;
+    inboxes.reserve(static_cast<size_t>(W));
+    for (int w = 0; w < W; ++w) {
+      inboxes.emplace_back(s2_inbox_[static_cast<size_t>(w)]);
+    }
+    s2_patch_work = sweep_.ApplyDeltasSharded(graph_, inboxes,
+                                              gain_.pow_table(), data_owner_,
+                                              pool);
+  }
 
-  // Receive: mark data vertices adjacent to dirty queries for gain
-  // recomputation, then recompute their proposals.
-  std::vector<uint8_t> recompute(graph_.num_data(), 0);
-  RunPhase(W, pool, [&](int w) -> uint64_t {
-    uint64_t work = 0;
-    for (int src = 0; src < W; ++src) {
-      for (const NeighborDataMsg& m : router2.Incoming(src, w)) {
-        for (VertexId v : graph_.QueryNeighbors(m.query)) {
-          if (sharding_.DataWorker(v) == w) recompute[v] = 1;
-        }
-        work += m.entries.size();
+  // Proposal recomputation. Shared finalization: anchor adjustment (paper
+  // §5(i)) and the nonpositive filter — one copy, also used by the Debug
+  // pull-comparison below.
+  const auto finalize_value = [&](VertexId v, BucketId from,
+                                  GainComputer::BestTarget best) {
+    if (best.bucket >= 0 && anchor != nullptr && anchor_penalty != 0.0) {
+      const BucketId home = (*anchor)[v];
+      if (from == home && best.bucket != home) best.gain -= anchor_penalty;
+      if (from != home && best.bucket == home) best.gain += anchor_penalty;
+    }
+    if (best.bucket >= 0 && !options_.propose_nonpositive &&
+        best.gain <= 0.0) {
+      best.bucket = -1;
+    }
+    if (best.bucket < 0) best.gain = 0.0;
+    return best;
+  };
+  const auto finalize = [&](VertexId v, BucketId from,
+                            GainComputer::BestTarget best) {
+    best = finalize_value(v, from, best);
+    cached_target_[v] = best.bucket;
+    cached_gain_[v] = best.gain;
+  };
+  const auto recompute_vertex = [&](int w, VertexId v,
+                                    uint64_t* work) {
+    const BucketId from = partition->bucket_of(v);
+    const int32_t group = topo.group_of_bucket[static_cast<size_t>(from)];
+    if (group < 0 || graph_.DataDegree(v) == 0) {
+      cached_target_[v] = -1;
+      cached_gain_[v] = 0.0;
+      return;
+    }
+    if (push) {
+      *work += sweep_.Entries(v).size();
+      finalize(v, from,
+               gain_.FindBestTargetPush(
+                   sweep_, v, from, 0, topo.k,
+                   static_cast<double>(graph_.DataDegree(v))));
+      return;
+    }
+    if (topo.full_k) {
+      std::vector<double>& affinity = pull_affinity_[static_cast<size_t>(w)];
+      std::vector<BucketId>& touched = pull_touched_[static_cast<size_t>(w)];
+      if (affinity.size() < static_cast<size_t>(topo.k)) {
+        affinity.assign(static_cast<size_t>(topo.k), 0.0);
+      }
+      finalize(v, from,
+               PullBestTarget(topo, v, from, &affinity, &touched, work));
+      return;
+    }
+    // Grouped recursion window: evaluate each sibling candidate directly.
+    const auto& children = topo.group_children[static_cast<size_t>(group)];
+    GainComputer::BestTarget best;
+    bool first = true;
+    for (BucketId candidate : children) {
+      if (candidate == from) continue;
+      double g = 0.0;
+      for (VertexId q : graph_.DataNeighbors(v)) {
+        const uint32_t n_from = CountFor(query_ndata_[q], from);
+        const uint32_t n_to = CountFor(query_ndata_[q], candidate);
+        SHP_DCHECK(n_from >= 1);
+        g += gain_.Pow(n_from - 1) - gain_.Pow(n_to);
+        *work += 2;
+      }
+      g *= gain_.p();
+      if (first || g > best.gain) {
+        best.gain = g;
+        best.bucket = candidate;
+        first = false;
       }
     }
-    return work;
-  });
+    finalize(v, from, best);
+  };
 
-  std::vector<uint64_t> s2_gain_work =
-      RunPhase(W, pool, [&](int w) -> uint64_t {
-        uint64_t work = 0;
-        std::vector<double> affinity;
-        std::vector<BucketId> touched;
-        if (topo.full_k) {
-          affinity.assign(static_cast<size_t>(topo.k), 0.0);
-        }
-        const double p = options_.p;
-        for (VertexId v : data_shards_[static_cast<size_t>(w)]) {
-          const BucketId from = partition->bucket_of(v);
-          const int32_t group =
-              topo.group_of_bucket[static_cast<size_t>(from)];
-          if (group < 0) {
-            cached_target_[v] = -1;
-            continue;
-          }
-          if (!recompute[v] && cached_target_[v] >= 0) continue;  // clean
-          if (graph_.DataDegree(v) == 0) {
-            cached_target_[v] = -1;
-            continue;
-          }
-
-          BucketId best_target = -1;
-          double best_gain = 0.0;
-          if (topo.full_k) {
-            // Sparse affinity scan over the received neighbor data.
-            touched.clear();
-            double base = 0.0;
-            double degree = 0.0;
-            for (VertexId q : graph_.DataNeighbors(v)) {
-              degree += 1.0;
-              for (const BucketCount& e : query_ndata_[q]) {
-                work += 1;
-                if (e.bucket == from) {
-                  base += pow_table_.Pow(e.count - 1);
-                  continue;
-                }
-                if (affinity[static_cast<size_t>(e.bucket)] == 0.0) {
-                  touched.push_back(e.bucket);
-                }
-                affinity[static_cast<size_t>(e.bucket)] +=
-                    1.0 - pow_table_.Pow(e.count);
-              }
-            }
-            double best_affinity = 0.0;
-            for (BucketId b : touched) {
-              if (affinity[static_cast<size_t>(b)] > best_affinity + 1e-15) {
-                best_affinity = affinity[static_cast<size_t>(b)];
-                best_target = b;
-              }
-            }
-            if (best_target == -1) {
-              best_target = from == 0 ? 1 : 0;
-              if (best_target >= topo.k) best_target = -1;
-            }
-            for (BucketId b : touched) {
-              affinity[static_cast<size_t>(b)] = 0.0;
-            }
-            if (best_target >= 0) {
-              best_gain = p * (base - (degree - best_affinity));
-            }
-          } else {
-            const auto& children =
-                topo.group_children[static_cast<size_t>(group)];
-            bool first = true;
-            for (BucketId candidate : children) {
-              if (candidate == from) continue;
-              double gain = 0.0;
-              for (VertexId q : graph_.DataNeighbors(v)) {
-                const uint32_t n_from = CountFor(query_ndata_[q], from);
-                const uint32_t n_to = CountFor(query_ndata_[q], candidate);
-                SHP_DCHECK(n_from >= 1);
-                gain += pow_table_.Pow(n_from - 1) - pow_table_.Pow(n_to);
-                work += 2;
-              }
-              gain *= p;
-              if (first || gain > best_gain) {
-                best_gain = gain;
-                best_target = candidate;
-                first = false;
-              }
-            }
-          }
-
-          if (best_target >= 0 && anchor != nullptr &&
-              anchor_penalty != 0.0) {
-            const BucketId home = (*anchor)[v];
-            if (from == home && best_target != home) {
-              best_gain -= anchor_penalty;
-            }
-            if (from != home && best_target == home) {
-              best_gain += anchor_penalty;
-            }
-          }
-          if (best_target >= 0 && !options_.propose_nonpositive &&
-              best_gain <= 0.0) {
-            best_target = -1;
-          }
-          cached_target_[v] = best_target;
-          cached_gain_[v] = best_target >= 0 ? best_gain : 0.0;
-        }
-        return work;
-      });
+  std::vector<uint64_t> s2_gain_work;
+  if (recompute_all) {
+    s2_gain_work = RunPhase(W, pool, [&](int w) -> uint64_t {
+      uint64_t work = 0;
+      for (VertexId v : data_shards_[static_cast<size_t>(w)]) {
+        recompute_vertex(w, v, &work);
+      }
+      return work;
+    });
+    stats.num_recomputed = graph_.num_data();
+  } else {
+    s2_gain_work = RunPhase(W, pool, [&](int w) -> uint64_t {
+      uint64_t work = 0;
+      for (VertexId v : recompute_lists_[static_cast<size_t>(w)]) {
+        recompute_vertex(w, v, &work);
+      }
+      return work;
+    });
+    for (int w = 0; w < W; ++w) {
+      stats.num_recomputed += recompute_lists_[static_cast<size_t>(w)].size();
+    }
+  }
+  proposals_valid_ = true;
 
   // Queries consumed their dirty flag by sending.
   RunPhase(W, pool, [&](int w) -> uint64_t {
@@ -333,35 +670,170 @@ IterationStats BspRefiner::RunIteration(const MoveTopology& topo,
   });
 
   SuperstepStats s2;
-  s2.label = "2:ship-neighbor-data+gains";
+  s2.label = push && !bootstrap ? "2:ship-deltas+gains"
+                                : "2:ship-neighbor-data+gains";
   s2.superstep = base_superstep + 1;
   s2.traffic = router2.CollectAndClearSized([](const NeighborDataMsg& m) {
     return sizeof(VertexId) + m.entries.size() * sizeof(BucketCount);
   });
+  s2.traffic += router2d.CollectAndClear(sizeof(NeighborDelta));
   s2.work_units.resize(static_cast<size_t>(W));
   for (int w = 0; w < W; ++w) {
     s2.work_units[static_cast<size_t>(w)] =
         s2_send_work[static_cast<size_t>(w)] +
+        s2_recv_work[static_cast<size_t>(w)] +
+        s2_patch_work[static_cast<size_t>(w)] +
         s2_gain_work[static_cast<size_t>(w)];
   }
 
+#ifndef NDEBUG
+  if (push) {
+    // The delta-patched accumulator replicas must match a fresh owner-
+    // sharded build up to float summation order.
+    AffinitySweep fresh(sweep_.deterministic());
+    fresh.BuildSharded(
+        graph_,
+        [this](VertexId q) {
+          return std::span<const BucketCount>(query_ndata_[q]);
+        },
+        gain_.pow_table(), data_owner_, W, pool);
+    SHP_CHECK(sweep_.ApproxEquals(fresh, 1e-9, 1e-9))
+        << "patched BSP accumulator replicas diverged from a fresh build";
+  }
+  {
+    // Every cached proposal — recomputed or carried — must equal a fresh
+    // recompute in the active scan direction (cache-staleness guard), and
+    // in push mode must match a pull recompute within the PR 2 tolerance
+    // contract (same target modulo gain ties ≤ 1e-9; gains within
+    // 1e-9 + rtol 1e-6).
+    RunPhase(W, pool, [&](int w) -> uint64_t {
+      std::vector<double> affinity(static_cast<size_t>(topo.k), 0.0);
+      std::vector<BucketId> touched;
+      uint64_t scratch_work = 0;
+      for (VertexId v : data_shards_[static_cast<size_t>(w)]) {
+        const BucketId cached_t = cached_target_[v];
+        const double cached_g = cached_gain_[v];
+        recompute_vertex(w, v, &scratch_work);
+        SHP_CHECK(cached_target_[v] == cached_t && cached_gain_[v] == cached_g)
+            << "stale cached BSP proposal for v=" << v;
+        if (!push) continue;
+        const BucketId from = partition->bucket_of(v);
+        if (topo.group_of_bucket[static_cast<size_t>(from)] < 0 ||
+            graph_.DataDegree(v) == 0) {
+          continue;
+        }
+        const GainComputer::BestTarget pull_best = finalize_value(
+            v, from,
+            PullBestTarget(topo, v, from, &affinity, &touched, &scratch_work));
+        const BucketId pull_t = pull_best.bucket;
+        const double pull_g = pull_best.gain;
+        const double gtol =
+            1e-9 + 1e-6 * std::max(std::fabs(pull_g), std::fabs(cached_g));
+        if (pull_t == cached_t) {
+          SHP_CHECK(cached_t < 0 || std::fabs(pull_g - cached_g) <= gtol)
+              << "BSP pull/push gain divergence for v=" << v;
+        } else if (pull_t >= 0 && cached_t >= 0) {
+          // Different targets are legal only on a gain tie, evaluated in
+          // the pull frame.
+          const auto pull_gain_to = [&](BucketId to) {
+            double g = 0.0;
+            for (VertexId q : graph_.DataNeighbors(v)) {
+              const uint32_t n_from = CountFor(query_ndata_[q], from);
+              const uint32_t n_to = CountFor(query_ndata_[q], to);
+              g += gain_.Pow(n_from - 1) - gain_.Pow(n_to);
+            }
+            return g * gain_.p();
+          };
+          SHP_CHECK(std::fabs(pull_gain_to(pull_t) - pull_gain_to(cached_t)) <=
+                    1e-9)
+              << "BSP pull/push target divergence beyond tie tolerance for v="
+              << v;
+        } else {
+          SHP_CHECK(std::fabs(pull_g) <= gtol && std::fabs(cached_g) <= gtol)
+              << "BSP pull/push proposal presence mismatch for v=" << v;
+        }
+      }
+      return 0;
+    });
+  }
+#endif
+
   // ---------------------------------------------------------------- S3 ---
-  // data -> master: per-worker histograms of (pair, bin) proposal counts.
+  // data -> master: per-worker (bucket-pair, gain-bin) histograms,
+  // maintained incrementally from the compact changed-proposal list. Each
+  // worker still uploads its full live histogram — the master's matching
+  // needs every pair's totals — so bytes stay O(active pairs × bins); only
+  // the accumulation work shrinks to the blast radius.
   const GainBinning& binning = options_.broker.binning;
-  std::vector<std::unordered_map<uint64_t, DirectedGainHistogram>>
-      worker_histograms(static_cast<size_t>(W));
-  std::vector<uint64_t> s3_work = RunPhase(W, pool, [&](int w) -> uint64_t {
-    uint64_t work = 0;
-    auto& local = worker_histograms[static_cast<size_t>(w)];
-    for (VertexId v : data_shards_[static_cast<size_t>(w)]) {
-      if (cached_target_[v] < 0) continue;
-      auto& h = local[PackPair(partition->bucket_of(v), cached_target_[v])];
-      if (h.counts.empty()) h.Init(binning);
-      h.Add(binning, cached_gain_[v]);
-      ++work;
+  const auto hist_remove = [&](int w, VertexId v) {
+    if (last_pair_[v] == kNoPair) return;
+    auto& hist = worker_hist_[static_cast<size_t>(w)];
+    const auto it = hist.find(last_pair_[v]);
+    SHP_DCHECK(it != hist.end());
+    --it->second.hist.counts[static_cast<size_t>(last_bin_[v])];
+    if (--it->second.total == 0) hist.erase(it);
+    last_pair_[v] = kNoPair;
+  };
+  const auto hist_add = [&](int w, VertexId v) {
+    if (cached_target_[v] < 0) return;
+    const uint64_t key =
+        PackPair(partition->bucket_of(v), cached_target_[v]);
+    PairHistogram& ph = worker_hist_[static_cast<size_t>(w)][key];
+    if (ph.hist.counts.empty()) ph.hist.Init(binning);
+    const int bin = binning.BinFor(cached_gain_[v]);
+    ++ph.hist.counts[static_cast<size_t>(bin)];
+    ++ph.total;
+    last_pair_[v] = key;
+    last_bin_[v] = bin;
+  };
+  std::vector<uint64_t> s3_work;
+  if (recompute_all || !hist_valid_) {
+    s3_work = RunPhase(W, pool, [&](int w) -> uint64_t {
+      uint64_t work = 0;
+      worker_hist_[static_cast<size_t>(w)].clear();
+      for (VertexId v : data_shards_[static_cast<size_t>(w)]) {
+        last_pair_[v] = kNoPair;
+        hist_add(w, v);
+        ++work;
+      }
+      return work;
+    });
+    hist_valid_ = true;
+  } else {
+    s3_work = RunPhase(W, pool, [&](int w) -> uint64_t {
+      uint64_t work = 0;
+      for (VertexId v : recompute_lists_[static_cast<size_t>(w)]) {
+        hist_remove(w, v);
+        hist_add(w, v);
+        work += 2;
+      }
+      return work;
+    });
+  }
+
+#ifndef NDEBUG
+  {
+    // The incrementally maintained histograms must equal a from-scratch
+    // accumulation over the current proposals.
+    for (int w = 0; w < W; ++w) {
+      std::unordered_map<uint64_t, DirectedGainHistogram> check;
+      for (VertexId v : data_shards_[static_cast<size_t>(w)]) {
+        if (cached_target_[v] < 0) continue;
+        auto& h = check[PackPair(partition->bucket_of(v), cached_target_[v])];
+        if (h.counts.empty()) h.Init(binning);
+        h.Add(binning, cached_gain_[v]);
+      }
+      const auto& live = worker_hist_[static_cast<size_t>(w)];
+      SHP_CHECK(live.size() == check.size())
+          << "incremental histogram pair set diverged on worker " << w;
+      for (const auto& [key, h] : check) {
+        const auto it = live.find(key);
+        SHP_CHECK(it != live.end() && it->second.hist.counts == h.counts)
+            << "incremental histogram diverged on worker " << w;
+      }
     }
-    return work;
-  });
+  }
+#endif
 
   // Master merge (the master is a distinct machine; every worker's
   // histogram entries cross the wire).
@@ -369,13 +841,13 @@ IterationStats BspRefiner::RunIteration(const MoveTopology& topo,
   uint64_t s3_remote_entries = 0;
   uint64_t num_proposals = 0;
   for (int w = 0; w < W; ++w) {
-    for (const auto& [key, h] : worker_histograms[static_cast<size_t>(w)]) {
-      s3_remote_entries += h.counts.size();
+    for (const auto& [key, ph] : worker_hist_[static_cast<size_t>(w)]) {
+      s3_remote_entries += ph.hist.counts.size();
       auto& merged = histograms[key];
       if (merged.counts.empty()) merged.Init(binning);
-      for (size_t bin = 0; bin < h.counts.size(); ++bin) {
-        merged.counts[bin] += h.counts[bin];
-        num_proposals += h.counts[bin];
+      for (size_t bin = 0; bin < ph.hist.counts.size(); ++bin) {
+        merged.counts[bin] += ph.hist.counts[bin];
+        num_proposals += ph.hist.counts[bin];
       }
     }
   }
@@ -389,13 +861,17 @@ IterationStats BspRefiner::RunIteration(const MoveTopology& topo,
 
   // ---------------------------------------------------------------- S4 ---
   // master -> data: probabilities; vertices draw and move; master repairs.
+  // Every active proposal draws (the paper's semantics), but the drawn
+  // movers land in compact per-worker lists, so execution, repair, and next
+  // round's superstep 1 touch O(moved) state.
   const PairProbabilityTable table =
       ComputePairProbabilities(topo, binning, histograms, *partition,
                                options_.broker.use_capacity_slack);
 
-  std::vector<uint8_t> decided(graph_.num_data(), 0);
+  for (int w = 0; w < W; ++w) mover_lists_[static_cast<size_t>(w)].clear();
   std::vector<uint64_t> s4_work = RunPhase(W, pool, [&](int w) -> uint64_t {
     uint64_t work = 0;
+    std::vector<VertexId>& movers = mover_lists_[static_cast<size_t>(w)];
     for (VertexId v : data_shards_[static_cast<size_t>(w)]) {
       if (cached_target_[v] < 0) continue;
       const double prob =
@@ -404,7 +880,7 @@ IterationStats BspRefiner::RunIteration(const MoveTopology& topo,
                    options_.broker.max_move_probability) *
           options_.broker.probability_damping;
       if (HashToUnitDouble(seed ^ 0x5108e77a, iteration, v) < prob) {
-        decided[v] = 1;
+        movers.push_back(v);
       }
       ++work;
     }
@@ -413,19 +889,47 @@ IterationStats BspRefiner::RunIteration(const MoveTopology& topo,
 
   MoveOutcome outcome;
   outcome.num_proposals = num_proposals;
-  std::vector<VertexId> moved;
-  std::vector<BucketId> original(graph_.num_data(), -1);
-  for (VertexId v = 0; v < graph_.num_data(); ++v) {
-    if (!decided[v]) continue;
-    original[v] = partition->bucket_of(v);
+  movers_.clear();
+  for (int w = 0; w < W; ++w) {
+    movers_.insert(movers_.end(), mover_lists_[static_cast<size_t>(w)].begin(),
+                   mover_lists_[static_cast<size_t>(w)].end());
+  }
+  std::sort(movers_.begin(), movers_.end());
+  for (VertexId v : movers_) {
+    original_[v] = partition->bucket_of(v);
     partition->Move(v, cached_target_[v]);
-    moved.push_back(v);
     ++outcome.num_moved;
     outcome.gain_moved += cached_gain_[v];
   }
-  MoveBroker::RepairBalance(topo, moved, original, cached_gain_, partition,
+  MoveBroker::RepairBalance(topo, movers_, original_, cached_gain_, partition,
                             &outcome);
-  MoveBroker::CollectNetMoves(moved, original, *partition, &outcome);
+  MoveBroker::CollectNetMoves(movers_, original_, *partition, &outcome);
+  pending_announce_ = std::move(outcome.moves);
+  last_movers_.clear();
+  for (const VertexMove& m : pending_announce_) last_movers_.push_back(m.v);
+  state_valid_ = true;
+  if (push &&
+      static_cast<double>(pending_announce_.size()) >
+          options_.incremental_rebuild_fraction *
+              static_cast<double>(graph_.num_data())) {
+    // High-churn fallback (mirrors the threaded refiner): with this many
+    // moved pins, the delta records outweigh the full restricted lists and
+    // patching costs more than rebuilding — drop the accumulator replicas
+    // and re-bootstrap next iteration.
+    sweep_valid_ = false;
+  }
+  // (A pull/grouped iteration's own moves need no action here: they are
+  // folded at the next superstep 1, which either emits records that patch
+  // the replicas — push next — or trips the fold-without-emission guard
+  // above and re-bootstraps.)
+
+  // Clear this round's recompute marks through the compact lists — the mark
+  // array stays all-zero between iterations without an O(n) sweep.
+  for (int w = 0; w < W; ++w) {
+    for (VertexId v : recompute_lists_[static_cast<size_t>(w)]) {
+      recompute_[v] = 0;
+    }
+  }
 
   SuperstepStats s4;
   s4.label = "4:probabilities+moves";
@@ -447,7 +951,6 @@ IterationStats BspRefiner::RunIteration(const MoveTopology& topo,
     log_->push_back(std::move(s4));
   }
 
-  IterationStats stats;
   stats.num_proposals = outcome.num_proposals;
   stats.num_moved = outcome.num_moved;
   stats.num_reverted = outcome.num_reverted;

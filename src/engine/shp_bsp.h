@@ -5,30 +5,72 @@
 //   1. data → query : current bucket (delta messages; a vertex that did not
 //      move "does not send messages on superstep 1 for the next iteration").
 //      Queries fold the deltas into their sparse neighbor data.
-//   2. query → data : dirty queries send their neighbor data, restricted to
-//      buckets active in the current move topology, ONE combined message per
-//      destination worker (Giraph's machine-pair message combining);
-//      receiving data vertices recompute move gains. Clean vertices keep
-//      their cached proposal — their gains cannot have changed.
-//   3. data → master: per-worker (bucket-pair, gain-bin) histograms.
+//   2. query → data : two exchange modes, selected by
+//      RefinerOptions::sweep_mode (the same switch that picks the threaded
+//      Refiner's scan direction):
+//        * pull (kPull, and the fallback whenever push is unsupported) —
+//          dirty queries send their neighbor data, restricted to buckets
+//          active in the current move topology, ONE combined message per
+//          destination worker (Giraph's machine-pair message combining);
+//          receiving data vertices re-gather move gains. The reference path.
+//        * delta exchange + push sweep (kPush/kAuto on full-k topologies
+//          with a nonzero pow base) — dirty queries ship only the sparse
+//          (q, bucket, old, new) NeighborDelta records produced while
+//          folding superstep 1, O(moved pins) on the wire instead of
+//          O(Σ deg(dirty q) × touched workers). Each data worker keeps an
+//          AffinitySweep accumulator replica over its own shard: built
+//          query-major once (bootstrap iteration, charged as a full reship),
+//          patched from incoming deltas thereafter, and proposals are one
+//          sequential scan of the vertex's own accumulator
+//          (GainComputer::FindBestTargetPush — shared tie-break and
+//          empty-window fallback with the pull scan).
+//      In either mode, clean vertices keep their cached proposal — their
+//      gains cannot have changed.
+//   3. data → master: per-worker (bucket-pair, gain-bin) histograms. The
+//      histograms are maintained *incrementally* from the compact
+//      changed-proposal list (this round's recomputed vertices), so the
+//      accumulation work is O(blast radius), not O(n); each worker still
+//      ships its full live histogram (that is what the master's matching
+//      needs) — bytes are O(active pairs × bins), independent of n.
 //   4. master → data: per-pair-and-bin move probabilities; vertices draw and
-//      move; the master repairs any capacity overshoot.
+//      move (every active proposal draws, per the paper's semantics); the
+//      drawn movers are collected into compact per-worker lists, so move
+//      execution, balance repair, and the next superstep 1 all touch
+//      O(moved) state instead of rescanning n-sized arrays.
 //
 // The implementation plugs into the SHP drivers through RefinerInterface, so
 // SHP-k and SHP-2/r run unmodified on top of it. All message and byte counts
 // are exact; engine/cost_model.h converts them into simulated cluster time.
+// docs/distributed.md documents the delta-exchange wire format and the
+// replica-consistency invariants.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
+#include "core/gain_histogram.h"
+#include "core/move_topology.h"
 #include "core/refiner.h"
 #include "engine/bsp_engine.h"
+#include "engine/message_router.h"
 #include "graph/bipartite_graph.h"
-#include "objective/pow_table.h"
+#include "objective/affinity_sweep.h"
+#include "objective/gain.h"
+#include "objective/neighbor_data.h"
 
 namespace shp {
+
+/// Superstep-1 wire record: one bucket-count delta of one query's neighbor
+/// data, combined per (source worker, query, bucket) before the wire
+/// (Giraph's combiner). Folding these at the query owner is what produces
+/// the NeighborDelta records superstep 2 ships in delta-exchange mode.
+struct BucketDeltaMsg {
+  VertexId query;
+  BucketId bucket;
+  int32_t delta;
+};
 
 class BspRefiner : public RefinerInterface {
  public:
@@ -45,17 +87,48 @@ class BspRefiner : public RefinerInterface {
                               double anchor_penalty = 0.0) override;
 
   /// Estimated peak bytes of distributed state on the most loaded worker
-  /// (adjacency shard + neighbor-data cache + proposal vectors).
+  /// (adjacency shard + neighbor-data or accumulator replicas + proposal
+  /// vectors).
   uint64_t MaxWorkerStateBytes() const;
 
  private:
+  /// last_pair_ sentinel: the vertex currently contributes to no histogram.
+  static constexpr uint64_t kNoPair = ~0ull;
+
+  /// Per-(bucket-pair) histogram kept alive across iterations on its worker;
+  /// `total` tracks live proposals so emptied pairs can be pruned from the
+  /// superstep-3 upload.
+  struct PairHistogram {
+    DirectedGainHistogram hist;
+    uint64_t total = 0;
+  };
+
+  /// True iff the cached proposals were computed under an identical
+  /// topology / anchor / scan-direction context.
+  bool ContextMatches(const MoveTopology& topo,
+                      const std::vector<BucketId>* anchor,
+                      double anchor_penalty, bool push) const;
+  void SnapshotContext(const MoveTopology& topo,
+                       const std::vector<BucketId>* anchor,
+                       double anchor_penalty, bool push);
+
+  /// Pull-path proposal of v from the query replicas (the reference scan;
+  /// shared tie-break and empty-window fallback with FindBestTargetPush).
+  /// Adds the sparse-affinity scan cost to *work.
+  GainComputer::BestTarget PullBestTarget(const MoveTopology& topo, VertexId v,
+                                          BucketId from,
+                                          std::vector<double>* affinity,
+                                          std::vector<BucketId>* touched,
+                                          uint64_t* work) const;
+
   const BipartiteGraph& graph_;
   RefinerOptions options_;
   BspConfig config_;
-  PowTable pow_table_;
+  GainComputer gain_;
   VertexSharding sharding_;
   std::vector<std::vector<VertexId>> data_shards_;
   std::vector<std::vector<VertexId>> query_shards_;
+  std::vector<int32_t> data_owner_;  ///< data vertex -> owning worker
 
   // Distributed state. Each query's neighbor data lives on its owner worker
   // and is updated only by that worker (single-writer); the flat vectors
@@ -63,11 +136,56 @@ class BspRefiner : public RefinerInterface {
   std::vector<std::vector<BucketCount>> query_ndata_;
   std::vector<uint8_t> query_dirty_;
   std::vector<BucketId> known_assignment_;  ///< last state sent upstream
-  bool initialized_ = false;
+  /// Net executed moves of the previous superstep 4, still to be announced
+  /// on the next superstep 1 — the compact replacement for the per-vertex
+  /// "did I move" rescan.
+  std::vector<VertexMove> pending_announce_;
+  /// Last round's net movers: always recomputed in superstep 2. A mover's
+  /// `from` changed even when offsetting moves cancel all of its queries'
+  /// count deltas (A→B and B→A among one query's pins), in which case no
+  /// dirty flag or delta record would ever reach it.
+  std::vector<VertexId> last_movers_;
+  bool state_valid_ = false;  ///< known_assignment_/query_ndata_ live
+
+  // Data-worker accumulator replicas (delta-exchange mode): per-vertex
+  // sparse (bucket, support, affinity) lists over each worker's own shard.
+  AffinitySweep sweep_;
+  bool sweep_valid_ = false;
 
   // Cached per-vertex proposals (clean vertices re-propose unchanged).
   std::vector<BucketId> cached_target_;
   std::vector<double> cached_gain_;
+  bool proposals_valid_ = false;
+
+  // Cached proposal context (proposals depend on these beyond the replicas).
+  MoveTopology cached_topo_;
+  bool has_cached_topo_ = false;
+  std::vector<BucketId> cached_anchor_;
+  bool cached_has_anchor_ = false;
+  double cached_anchor_penalty_ = 0.0;
+  bool cached_push_ = false;
+
+  // Incrementally maintained superstep-3 histograms plus each vertex's last
+  // contribution (pair key / bin), so one changed proposal costs two counter
+  // updates instead of an O(n) rebuild.
+  std::vector<std::unordered_map<uint64_t, PairHistogram>> worker_hist_;
+  std::vector<uint64_t> last_pair_;  ///< kNoPair when not contributing
+  std::vector<int32_t> last_bin_;
+  bool hist_valid_ = false;
+
+  // Reusable per-iteration scratch (satellite of the delta-exchange work:
+  // none of these are reallocated per call).
+  MessageCombiner<int32_t> s1_combiner_;
+  std::vector<std::vector<BucketDeltaMsg>> s1_sorted_;  ///< per query owner
+  std::vector<std::vector<NeighborDelta>> s1_records_;  ///< per query owner
+  std::vector<std::vector<NeighborDelta>> s2_inbox_;    ///< per data worker
+  std::vector<uint8_t> recompute_;  ///< per-vertex mark, zeroed after use
+  std::vector<std::vector<VertexId>> recompute_lists_;  ///< per data worker
+  std::vector<std::vector<VertexId>> mover_lists_;      ///< per data worker
+  std::vector<VertexId> movers_;       ///< merged, ascending
+  std::vector<BucketId> original_;     ///< pre-move bucket (mover slots only)
+  std::vector<std::vector<double>> pull_affinity_;   ///< per-worker scratch
+  std::vector<std::vector<BucketId>> pull_touched_;  ///< per-worker scratch
 
   std::vector<SuperstepStats>* log_;
 };

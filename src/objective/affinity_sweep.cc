@@ -103,7 +103,13 @@ void AffinitySweep::Build(const BipartiteGraph& graph,
     }
   });
 
+  LayoutFromLists(lists, pool);
+}
+
+void AffinitySweep::LayoutFromLists(
+    const std::vector<std::vector<AffinityEntry>>& lists, ThreadPool* pool) {
   // Layout with per-vertex slack, then parallel copy into the arena.
+  const VertexId n = static_cast<VertexId>(lists.size());
   uint64_t cursor = 0;
   for (VertexId v = 0; v < n; ++v) {
     Loc& loc = loc_[v];
@@ -120,6 +126,72 @@ void AffinitySweep::Build(const BipartiteGraph& graph,
                 entries_.begin() + static_cast<ptrdiff_t>(loc_[v].begin));
     }
   });
+}
+
+std::vector<uint64_t> AffinitySweep::BuildSharded(
+    const BipartiteGraph& graph, const EntriesFn& entries_of,
+    const PowTable& pow, const std::vector<int32_t>& owner_of, int num_shards,
+    ThreadPool* pool) {
+  const VertexId n = graph.num_data();
+  const VertexId nq = graph.num_queries();
+  if (pool == nullptr) pool = &GlobalThreadPool();
+  SHP_CHECK_GT(num_shards, 0);
+  SHP_CHECK_EQ(owner_of.size(), static_cast<size_t>(n));
+  loc_.assign(n, Loc{});
+  garbage_ = 0;
+  live_entries_ = 0;
+  std::vector<uint64_t> work(static_cast<size_t>(num_shards), 0);
+  if (n == 0) {
+    entries_.clear();
+    return work;
+  }
+
+  // Query-major streaming pass, ownership-filtered: every shard streams the
+  // whole replica source (the shared-memory stand-in for the neighbor data
+  // it received on the bootstrap reship) but merges only into its own
+  // vertices' accumulators — single-writer per vertex, and each vertex's
+  // contributions arrive in ascending query order regardless of shard count.
+  // Only the merges are charged as work: the redundant per-shard adjacency
+  // scan is a simulation artifact a real worker never pays.
+  std::vector<std::vector<AffinityEntry>> lists(n);
+  pool->ParallelForEach(static_cast<size_t>(num_shards), [&](size_t s) {
+    const int32_t shard = static_cast<int32_t>(s);
+    std::vector<std::pair<BucketId, double>> contrib;
+    uint64_t merged = 0;
+    for (VertexId q = 0; q < nq; ++q) {
+      bool contrib_ready = false;
+      for (VertexId v : graph.QueryNeighbors(q)) {
+        if (owner_of[v] != shard) continue;
+        if (!contrib_ready) {
+          // One contribution per occupied bucket, computed once per query
+          // and shared by every owned neighbor.
+          contrib.clear();
+          for (const BucketCount& e : entries_of(q)) {
+            contrib.emplace_back(e.bucket, 1.0 - pow.Pow(e.count));
+          }
+          contrib_ready = true;
+        }
+        std::vector<AffinityEntry>& list = lists[v];
+        // Both sides are bucket-ascending: single forward merge.
+        size_t i = 0;
+        for (const auto& [bucket, c] : contrib) {
+          while (i < list.size() && list[i].bucket < bucket) ++i;
+          if (i < list.size() && list[i].bucket == bucket) {
+            list[i].support += 1;
+            list[i].affinity += c;
+          } else {
+            list.insert(list.begin() + i, {bucket, 1, c});
+          }
+          ++i;
+        }
+        merged += contrib.size();
+      }
+    }
+    work[s] = merged;
+  });
+
+  LayoutFromLists(lists, pool);
+  return work;
 }
 
 double AffinitySweep::AffinityFor(VertexId v, BucketId b) const {
@@ -184,66 +256,72 @@ void AffinitySweep::ApplyDeltas(const BipartiteGraph& graph,
         if (lo == nbrs.end() || *lo >= vend) continue;
         const auto hi = std::lower_bound(lo, nbrs.end(), vend);
         for (auto it = lo; it != hi; ++it) {
-          const VertexId v = *it;
-          if (!ovf.index.empty()) {
-            const auto oit = ovf.index.find(v);
-            if (oit != ovf.index.end()) {
-              ApplyToVec(&ovf.lists[oit->second].second, rec.bucket, add, sup,
-                         &delta);
-              continue;
-            }
-          }
-          Loc& loc = loc_[v];
-          AffinityEntry* base = entries_.data() + loc.begin;
-          AffinityEntry* pos = std::lower_bound(
-              base, base + loc.size, rec.bucket,
-              [](const AffinityEntry& e, BucketId bucket) {
-                return e.bucket < bucket;
-              });
-          if (pos != base + loc.size && pos->bucket == rec.bucket) {
-            pos->affinity += add;
-            SHP_DCHECK(sup >= 0 || pos->support > 0);
-            pos->support =
-                static_cast<uint32_t>(static_cast<int64_t>(pos->support) + sup);
-            if (pos->support == 0) {
-              // Dropping the entry resets the float to an exact 0 — no
-              // cancellation drift survives an emptied bucket.
-              std::copy(pos + 1, base + loc.size, pos);
-              --loc.size;
-              --delta;
-            }
-            continue;
-          }
-          SHP_DCHECK(sup == 1)
-              << "accumulator entry absent for a non-insert delta";
-          if (loc.size == loc.cap) {
-            // Outgrew the slack: move to overflow with the insert applied.
-            std::vector<AffinityEntry> vec;
-            vec.reserve(loc.size + 2);
-            vec.insert(vec.end(), base, pos);
-            vec.push_back({rec.bucket, 1, add});
-            vec.insert(vec.end(), pos, base + loc.size);
-            ++delta;
-            ovf.index.emplace(v, ovf.lists.size());
-            ovf.lists.emplace_back(v, std::move(vec));
-            continue;
-          }
-          std::copy_backward(pos, base + loc.size, base + loc.size + 1);
-          *pos = {rec.bucket, 1, add};
-          ++loc.size;
-          ++delta;
+          PatchEntry(*it, rec.bucket, add, sup, &ovf, &delta);
         }
       }
       live_delta[s] = delta;
     }
   });
 
-  // Merge: relocate overflowed accumulators to the arena tail (serial — the
-  // arena may reallocate) and fold the per-shard accounting.
+  MergeOverflow(shards);
+}
+
+void AffinitySweep::PatchEntry(VertexId v, BucketId bucket, double add,
+                               int32_t sup, ShardOverflow* ovf,
+                               int64_t* live_delta) {
+  if (!ovf->index.empty()) {
+    const auto oit = ovf->index.find(v);
+    if (oit != ovf->index.end()) {
+      ApplyToVec(&ovf->lists[oit->second].second, bucket, add, sup,
+                 live_delta);
+      return;
+    }
+  }
+  Loc& loc = loc_[v];
+  AffinityEntry* base = entries_.data() + loc.begin;
+  AffinityEntry* pos = std::lower_bound(
+      base, base + loc.size, bucket,
+      [](const AffinityEntry& e, BucketId b) { return e.bucket < b; });
+  if (pos != base + loc.size && pos->bucket == bucket) {
+    pos->affinity += add;
+    SHP_DCHECK(sup >= 0 || pos->support > 0);
+    pos->support =
+        static_cast<uint32_t>(static_cast<int64_t>(pos->support) + sup);
+    if (pos->support == 0) {
+      // Dropping the entry resets the float to an exact 0 — no cancellation
+      // drift survives an emptied bucket.
+      std::copy(pos + 1, base + loc.size, pos);
+      --loc.size;
+      --*live_delta;
+    }
+    return;
+  }
+  SHP_DCHECK(sup == 1) << "accumulator entry absent for a non-insert delta";
+  if (loc.size == loc.cap) {
+    // Outgrew the slack: move to overflow with the insert applied.
+    std::vector<AffinityEntry> vec;
+    vec.reserve(loc.size + 2);
+    vec.insert(vec.end(), base, pos);
+    vec.push_back({bucket, 1, add});
+    vec.insert(vec.end(), pos, base + loc.size);
+    ++*live_delta;
+    ovf->index.emplace(v, ovf->lists.size());
+    ovf->lists.emplace_back(v, std::move(vec));
+    return;
+  }
+  std::copy_backward(pos, base + loc.size, base + loc.size + 1);
+  *pos = {bucket, 1, add};
+  ++loc.size;
+  ++*live_delta;
+}
+
+void AffinitySweep::MergeOverflow(size_t count) {
+  // Relocate overflowed accumulators to the arena tail (serial — the arena
+  // may reallocate) and fold the per-shard accounting.
   int64_t total_delta = 0;
-  for (size_t s = 0; s < shards; ++s) {
-    total_delta += live_delta[s];
-    for (auto& [v, vec] : overflow[s].lists) {
+  for (size_t s = 0; s < count; ++s) {
+    total_delta += scratch_.live_delta[s];
+    for (auto& [v, vec] : scratch_.overflow[s].lists) {
       const uint32_t sz = static_cast<uint32_t>(vec.size());
       const uint32_t new_cap = sz + std::max(kSlackPad, sz / 2);
       const uint64_t new_begin = entries_.size();
@@ -260,6 +338,96 @@ void AffinitySweep::ApplyDeltas(const BipartiteGraph& graph,
   live_entries_ = static_cast<uint64_t>(
       static_cast<int64_t>(live_entries_) + total_delta);
   MaybeCompact();
+}
+
+std::vector<uint64_t> AffinitySweep::ApplyDeltasSharded(
+    const BipartiteGraph& graph,
+    const std::vector<std::span<const NeighborDelta>>& records,
+    const PowTable& pow, const std::vector<int32_t>& owner_of,
+    ThreadPool* pool) {
+  std::vector<uint64_t> work(records.size(), 0);
+  const VertexId n = num_vertices();
+  if (n == 0 || records.empty()) return work;
+  if (pool == nullptr) pool = &GlobalThreadPool();
+  SHP_CHECK_EQ(owner_of.size(), static_cast<size_t>(n));
+
+  // Host sub-sharding weights: Σ deg(q) over each worker's records is that
+  // inbox's patch cost, so a hub-query-heavy inbox gets proportionally more
+  // vertex-range subtasks instead of serializing the phase on one thread.
+  // Per-record scan cost is charged once per worker (the sub-task rescans
+  // are host parallelization, not simulated work).
+  std::vector<uint64_t> weight(records.size(), 0);
+  uint64_t total_weight = 0;
+  for (size_t s = 0; s < records.size(); ++s) {
+    for (const NeighborDelta& rec : records[s]) {
+      weight[s] += graph.QueryDegree(rec.q);
+    }
+    total_weight += weight[s];
+    work[s] = records[s].size();
+  }
+  if (total_weight == 0) return work;
+
+  struct Task {
+    int32_t shard;
+    VertexId vbegin;
+    VertexId vend;
+  };
+  const uint64_t host = std::max<uint64_t>(1, pool->num_threads());
+  std::vector<Task> tasks;
+  for (size_t s = 0; s < records.size(); ++s) {
+    if (weight[s] == 0) continue;
+    const uint64_t splits = std::min<uint64_t>(
+        host, 1 + weight[s] * host / total_weight);
+    for (uint64_t t = 0; t < splits; ++t) {
+      tasks.push_back({static_cast<int32_t>(s),
+                       ShardBegin(n, static_cast<size_t>(splits),
+                                  static_cast<size_t>(t)),
+                       ShardBegin(n, static_cast<size_t>(splits),
+                                  static_cast<size_t>(t) + 1)});
+    }
+  }
+
+  std::vector<ShardOverflow>& overflow = scratch_.overflow;
+  std::vector<int64_t>& live_delta = scratch_.live_delta;
+  overflow.resize(std::max(overflow.size(), tasks.size()));
+  live_delta.assign(std::max(live_delta.size(), tasks.size()), 0);
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    overflow[t].lists.clear();
+    overflow[t].index.clear();
+  }
+  std::vector<uint64_t> patched(tasks.size(), 0);
+
+  // (worker shard, vertex range) tasks: a vertex belongs to one shard and
+  // one range, so the arena stays single-writer per accumulator.
+  pool->ParallelForEach(tasks.size(), [&](size_t t) {
+    const Task& task = tasks[t];
+    if (task.vbegin == task.vend) return;
+    ShardOverflow& ovf = overflow[t];
+    int64_t delta = 0;
+    uint64_t ops = 0;
+    for (const NeighborDelta& rec : records[static_cast<size_t>(task.shard)]) {
+      const double add = pow.Pow(rec.old_count) - pow.Pow(rec.new_count);
+      const int32_t sup = static_cast<int32_t>(rec.old_count == 0) -
+                          static_cast<int32_t>(rec.new_count == 0);
+      const auto nbrs = graph.QueryNeighbors(rec.q);
+      const auto lo = std::lower_bound(nbrs.begin(), nbrs.end(), task.vbegin);
+      if (lo == nbrs.end() || *lo >= task.vend) continue;
+      const auto hi = std::lower_bound(lo, nbrs.end(), task.vend);
+      for (auto it = lo; it != hi; ++it) {
+        if (owner_of[*it] != task.shard) continue;
+        PatchEntry(*it, rec.bucket, add, sup, &ovf, &delta);
+        ++ops;
+      }
+    }
+    live_delta[t] = delta;
+    patched[t] = ops;
+  });
+
+  MergeOverflow(tasks.size());
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    work[static_cast<size_t>(tasks[t].shard)] += patched[t];
+  }
+  return work;
 }
 
 void AffinitySweep::Compact() {

@@ -37,6 +37,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <unordered_map>
 #include <utility>
@@ -83,6 +84,39 @@ class AffinitySweep {
   void ApplyDeltas(const BipartiteGraph& graph,
                    std::span<const NeighborDelta> deltas, const PowTable& pow,
                    ThreadPool* pool = nullptr);
+
+  /// Source of one query's replica neighbor data for the sharded build —
+  /// lets the BSP engine (per-worker replica lists, not a QueryNeighborData
+  /// arena) reuse the accumulator machinery.
+  using EntriesFn = std::function<std::span<const BucketCount>(VertexId)>;
+
+  /// Owner-sharded build for the BSP engine: data vertices are distributed
+  /// over `num_shards` simulated workers by `owner_of` (hash placement, not
+  /// contiguous ranges), and shard s keeps accumulators only for its own
+  /// vertices — vertices it does not own stay empty. Returns per-shard
+  /// simulated work units (accumulator merge operations; the redundant
+  /// adjacency scan every shard performs is a shared-memory-simulation
+  /// artifact and is not charged).
+  std::vector<uint64_t> BuildSharded(const BipartiteGraph& graph,
+                                     const EntriesFn& entries_of,
+                                     const PowTable& pow,
+                                     const std::vector<int32_t>& owner_of,
+                                     int num_shards,
+                                     ThreadPool* pool = nullptr);
+
+  /// Owner-sharded patch for the BSP engine: shard s applies `records[s]` —
+  /// the worker's incoming superstep-2 wire records, each (q, bucket) chain
+  /// in emission order — to the accumulators of its own vertices. Shards are
+  /// single-writer (disjoint ownership); on the host, each shard's patch is
+  /// sub-split into vertex ranges sized by Σ deg(q) of its records, so one
+  /// hub-query-heavy inbox spreads over threads instead of serializing the
+  /// phase. Returns per-shard simulated work units (records scanned + patch
+  /// operations).
+  std::vector<uint64_t> ApplyDeltasSharded(
+      const BipartiteGraph& graph,
+      const std::vector<std::span<const NeighborDelta>>& records,
+      const PowTable& pow, const std::vector<int32_t>& owner_of,
+      ThreadPool* pool = nullptr);
 
   /// Accumulator entries of vertex v, sorted by bucket id ascending.
   std::span<const AffinityEntry> Entries(VertexId v) const {
@@ -138,6 +172,22 @@ class AffinitySweep {
     std::vector<ShardOverflow> overflow;
     std::vector<int64_t> live_delta;
   };
+
+  /// Shared Build/BuildSharded tail: lays the per-vertex lists out into the
+  /// arena with fresh slack and parallel-copies them in.
+  void LayoutFromLists(const std::vector<std::vector<AffinityEntry>>& lists,
+                       ThreadPool* pool);
+
+  /// Folds one (bucket, affinity-add, support-delta) contribution into v's
+  /// accumulator: in place while the slack lasts, else via `ovf` (the shared
+  /// arena cannot grow concurrently). Shared by ApplyDeltas and the
+  /// owner-sharded BSP patch.
+  void PatchEntry(VertexId v, BucketId bucket, double add, int32_t sup,
+                  ShardOverflow* ovf, int64_t* live_delta);
+
+  /// Serial post-patch merge: relocates overflowed accumulators of
+  /// overflow[0..count) to the arena tail and folds live_delta[0..count).
+  void MergeOverflow(size_t count);
 
   void MaybeCompact();
 

@@ -224,26 +224,58 @@ void QueryNeighborData::ApplyMoves(const BipartiteGraph& graph,
 
   const size_t workers = std::max<size_t>(1, pool->num_threads());
   const size_t shards = std::min<size_t>(workers, nq);
-  const auto shard_of = [&](VertexId q) {
-    return static_cast<size_t>(static_cast<uint64_t>(q) * shards / nq);
+  // Over-decompose the query space so the apply pass can be balanced by the
+  // *measured* delta volume instead of uniform id ranges: one hub query
+  // adjacent to many moved pins otherwise serializes its whole shard.
+  const size_t minis = std::min<size_t>(static_cast<size_t>(nq), shards * 8);
+  const auto mini_of = [&](VertexId q) {
+    return static_cast<size_t>(static_cast<uint64_t>(q) * minis / nq);
   };
 
   // Scatter: expand each move into per-adjacent-query deltas, binned by the
-  // shard that owns the query. buffers[w * shards + s] keeps worker-local
-  // append-only vectors, so no synchronization is needed. All scratch lives
-  // in the reusable member workspace (cleared, not reallocated, per call).
+  // mini-shard that owns the query. buffers[w * minis + m] keeps worker-
+  // local append-only vectors, so no synchronization is needed. All scratch
+  // lives in the reusable member workspace (cleared, not reallocated, per
+  // call).
   std::vector<std::vector<DeltaRec>>& buffers = scratch_.buffers;
-  buffers.resize(std::max(buffers.size(), workers * shards));
+  buffers.resize(std::max(buffers.size(), workers * minis));
   for (auto& b : buffers) b.clear();
   pool->ParallelFor(moves.size(), [&](size_t begin, size_t end, size_t w) {
     for (size_t i = begin; i < end; ++i) {
       const VertexMove& m = moves[i];
       SHP_DCHECK(m.from != m.to);
       for (VertexId q : graph.DataNeighbors(m.v)) {
-        buffers[w * shards + shard_of(q)].push_back({q, m.from, m.to});
+        buffers[w * minis + mini_of(q)].push_back({q, m.from, m.to});
       }
     }
   });
+
+  // Group contiguous mini-shards into per-worker apply ranges balanced by
+  // their scattered delta counts (= Σ over dirty queries of their adjacent
+  // moved pins — the Σ-deg-of-dirty-queries measure). Boundary g is the
+  // first mini-shard whose weight prefix reaches g/shards of the total.
+  std::vector<uint64_t>& mini_weight = scratch_.mini_weight;
+  std::vector<size_t>& group_begin = scratch_.group_begin;
+  mini_weight.assign(minis, 0);
+  uint64_t total_weight = 0;
+  for (size_t w = 0; w < workers; ++w) {
+    for (size_t m = 0; m < minis; ++m) {
+      mini_weight[m] += buffers[w * minis + m].size();
+    }
+  }
+  for (size_t m = 0; m < minis; ++m) total_weight += mini_weight[m];
+  group_begin.assign(shards + 1, minis);
+  group_begin[0] = 0;
+  {
+    size_t g = 1;
+    uint64_t prefix = 0;
+    for (size_t m = 0; m < minis && g < shards; ++m) {
+      while (g < shards && prefix * shards >= total_weight * g) {
+        group_begin[g++] = m;
+      }
+      prefix += mini_weight[m];
+    }
+  }
 
   // Apply: each shard splices its own queries' entry lists in place. Lists
   // that outgrow their slack are moved to a shard-local overflow store (the
@@ -269,35 +301,41 @@ void QueryNeighborData::ApplyMoves(const BipartiteGraph& graph,
       std::vector<VertexId>& touched_local = touched[s];
       std::vector<NeighborDelta>* emit_local =
           deltas != nullptr ? &emitted[s] : nullptr;
-      for (size_t w = 0; w < workers; ++w) {
-        for (const DeltaRec& rec : buffers[w * shards + s]) {
-          touched_local.push_back(rec.q);
-          if (!ovf.index.empty()) {
-            const auto it = ovf.index.find(rec.q);
-            if (it != ovf.index.end()) {
-              ApplyDeltaToVec(rec.q, &ovf.lists[it->second].second, rec.from,
-                              rec.to, &delta, emit_local);
-              continue;
+      // Mini-shards drain in ascending order, and within one mini-shard the
+      // per-worker buffers drain in worker order — a query's deltas (its
+      // mini-shard is unique) still apply in executed-move order for any
+      // thread count.
+      for (size_t m = group_begin[s]; m < group_begin[s + 1]; ++m) {
+        for (size_t w = 0; w < workers; ++w) {
+          for (const DeltaRec& rec : buffers[w * minis + m]) {
+            touched_local.push_back(rec.q);
+            if (!ovf.index.empty()) {
+              const auto it = ovf.index.find(rec.q);
+              if (it != ovf.index.end()) {
+                ApplyDeltaToVec(rec.q, &ovf.lists[it->second].second, rec.from,
+                                rec.to, &delta, emit_local);
+                continue;
+              }
             }
-          }
-          if (ApplyDeltaInPlace(rec.q, rec.from, rec.to, &delta, emit_local) ==
-              DeltaResult::kNeedsGrowth) {
-            // Move to overflow with the pending insert applied.
-            const auto span = Entries(rec.q);
-            std::vector<BucketCount> vec;
-            vec.reserve(span.size() + 2);
-            const auto insert_at = std::lower_bound(
-                span.begin(), span.end(), rec.to,
-                [](const BucketCount& e, BucketId bucket) {
-                  return e.bucket < bucket;
-                });
-            vec.insert(vec.end(), span.begin(), insert_at);
-            vec.push_back({rec.to, 1});
-            vec.insert(vec.end(), insert_at, span.end());
-            if (emit_local != nullptr) emit_local->push_back({rec.q, rec.to, 0, 1});
-            ++delta;
-            ovf.index.emplace(rec.q, ovf.lists.size());
-            ovf.lists.emplace_back(rec.q, std::move(vec));
+            if (ApplyDeltaInPlace(rec.q, rec.from, rec.to, &delta, emit_local) ==
+                DeltaResult::kNeedsGrowth) {
+              // Move to overflow with the pending insert applied.
+              const auto span = Entries(rec.q);
+              std::vector<BucketCount> vec;
+              vec.reserve(span.size() + 2);
+              const auto insert_at = std::lower_bound(
+                  span.begin(), span.end(), rec.to,
+                  [](const BucketCount& e, BucketId bucket) {
+                    return e.bucket < bucket;
+                  });
+              vec.insert(vec.end(), span.begin(), insert_at);
+              vec.push_back({rec.to, 1});
+              vec.insert(vec.end(), insert_at, span.end());
+              if (emit_local != nullptr) emit_local->push_back({rec.q, rec.to, 0, 1});
+              ++delta;
+              ovf.index.emplace(rec.q, ovf.lists.size());
+              ovf.lists.emplace_back(rec.q, std::move(vec));
+            }
           }
         }
       }

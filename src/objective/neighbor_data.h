@@ -108,10 +108,14 @@ class QueryNeighborData {
   void ApplyMove(const BipartiteGraph& graph, VertexId v, BucketId from,
                  BucketId to);
 
-  /// Applies a batch of executed moves in parallel: queries are range-
-  /// sharded across workers, per-query bucket-count deltas are scattered to
-  /// their owning shard, and each shard splices its queries' entry lists in
-  /// place. O(Σ_v deg(v) · fanout) total work over the moved vertices —
+  /// Applies a batch of executed moves in parallel: the query space is
+  /// over-decomposed into contiguous mini-shards, per-query bucket-count
+  /// deltas are scattered to their owning mini-shard, and mini-shards are
+  /// then grouped into per-worker apply ranges *weighted by their scattered
+  /// delta counts* (the Σ-deg-of-dirty-queries measure) — uniform ranges let
+  /// one hub query serialize a whole shard. Each worker splices its queries'
+  /// entry lists in place. O(Σ_v deg(v) · fanout) total work over the moved
+  /// vertices —
   /// independent of |E|. If `touched_queries` is non-null, the ids of all
   /// queries whose entries changed are appended (each id once, ascending).
   /// If `deltas` is non-null, every bucket-count transition is appended as a
@@ -170,6 +174,8 @@ class QueryNeighborData {
     std::vector<int64_t> live_delta;
     std::vector<std::vector<VertexId>> touched;
     std::vector<std::vector<NeighborDelta>> emitted;
+    std::vector<uint64_t> mini_weight;  ///< scattered deltas per mini-shard
+    std::vector<size_t> group_begin;    ///< weighted mini-shard → worker map
   };
 
   /// Outcome of an in-place delta application attempt.

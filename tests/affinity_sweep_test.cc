@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -207,6 +208,82 @@ TEST(AffinitySweep, ApplyDeltasMatchesFreshBuild) {
   EXPECT_TRUE(sweep.ApproxEquals(fresh, 1e-9, 1e-9));
   EXPECT_LE(sweep.ArenaSlots(), before);
   EXPECT_EQ(sweep.ArenaSlots(), fresh.ArenaSlots());
+}
+
+TEST(AffinitySweepSharded, BuildShardedMatchesUnshardedBuild) {
+  // The owner-sharded build (BSP hash placement) merges each vertex's
+  // contributions in the same ascending query order as the contiguous-range
+  // Build, so the accumulators are bit-identical — only the ownership
+  // filter differs.
+  const BipartiteGraph g = TestGraph(17);
+  const BucketId k = 8;
+  const double p = 0.5;
+  const PowTable pow(1.0 - p, static_cast<uint32_t>(g.MaxQueryDegree()) + 2);
+  const std::vector<BucketId> assignment =
+      Partition::Random(g.num_data(), k, 3).assignment();
+  QueryNeighborData ndata;
+  ndata.Build(g, assignment);
+
+  AffinitySweep base;
+  base.Build(g, ndata, pow);
+  const int num_shards = 3;
+  std::vector<int32_t> owner(g.num_data());
+  for (VertexId v = 0; v < g.num_data(); ++v) {
+    owner[v] = static_cast<int32_t>(HashToBounded(77, v, 1, num_shards));
+  }
+  AffinitySweep sharded;
+  const std::vector<uint64_t> work = sharded.BuildSharded(
+      g, [&](VertexId q) { return ndata.Entries(q); }, pow, owner, num_shards);
+  ASSERT_EQ(work.size(), static_cast<size_t>(num_shards));
+  EXPECT_GT(work[0] + work[1] + work[2], 0u);
+  EXPECT_EQ(sharded.TotalEntries(), base.TotalEntries());
+  for (VertexId v = 0; v < g.num_data(); ++v) {
+    const auto a = base.Entries(v);
+    const auto b = sharded.Entries(v);
+    ASSERT_EQ(a.size(), b.size()) << "v=" << v;
+    for (size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i], b[i]) << "v=" << v << " i=" << i;
+    }
+  }
+}
+
+TEST(AffinitySweepSharded, ApplyDeltasShardedMatchesFreshBuild) {
+  // BSP wiring: every worker receives the records of queries with neighbors
+  // in its shard and patches only owned vertices. Broadcasting the full
+  // record list to every shard must therefore be equivalent to a fresh
+  // owner-sharded build (the ownership filter discards the rest).
+  const BipartiteGraph g = TestGraph(29);
+  const BucketId k = 16;
+  const double p = 0.5;
+  const PowTable pow(1.0 - p, static_cast<uint32_t>(g.MaxQueryDegree()) + 2);
+  std::vector<BucketId> assignment(g.num_data(), 0);
+  QueryNeighborData ndata;
+  ndata.Build(g, assignment);
+  const int num_shards = 4;
+  std::vector<int32_t> owner(g.num_data());
+  for (VertexId v = 0; v < g.num_data(); ++v) {
+    owner[v] = static_cast<int32_t>(HashToBounded(13, v, 2, num_shards));
+  }
+  const auto entries_of = [&](VertexId q) { return ndata.Entries(q); };
+
+  AffinitySweep sweep;
+  sweep.BuildSharded(g, entries_of, pow, owner, num_shards);
+  for (uint64_t round = 0; round < 30; ++round) {
+    const std::vector<VertexMove> moves =
+        RandomBatch(&assignment, k, 41, round, 25);
+    std::vector<NeighborDelta> deltas;
+    ndata.ApplyMoves(g, moves, nullptr, nullptr, &deltas);
+    const std::vector<std::span<const NeighborDelta>> inboxes(
+        num_shards, std::span<const NeighborDelta>(deltas));
+    const std::vector<uint64_t> work =
+        sweep.ApplyDeltasSharded(g, inboxes, pow, owner);
+    ASSERT_EQ(work.size(), static_cast<size_t>(num_shards));
+
+    AffinitySweep fresh;
+    fresh.BuildSharded(g, entries_of, pow, owner, num_shards);
+    ASSERT_TRUE(sweep.ApproxEquals(fresh, 1e-9, 1e-9)) << "round " << round;
+    ASSERT_EQ(sweep.TotalEntries(), fresh.TotalEntries()) << "round " << round;
+  }
 }
 
 TEST(AffinitySweep, DeterministicModeIsThreadCountInvariant) {

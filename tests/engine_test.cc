@@ -3,6 +3,11 @@
 // supersteps, message combining), and the cost model.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+#include <vector>
+
 #include "core/recursive.h"
 #include "core/shp_k.h"
 #include "engine/bsp_engine.h"
@@ -10,6 +15,7 @@
 #include "engine/distributed_shp.h"
 #include "engine/message_router.h"
 #include "engine/shp_bsp.h"
+#include "graph/gen_powerlaw.h"
 #include "graph/gen_social.h"
 #include "objective/objective.h"
 
@@ -46,6 +52,58 @@ TEST(MessageRouter, PerWorkerByteCounters) {
   EXPECT_EQ(router.in_bytes()[1], 10u);
   router.ResetByteCounters();
   EXPECT_EQ(router.out_bytes()[0], 0u);
+}
+
+TEST(MessageRouter, SizedCollectionCountsOnlyRemoteBytes) {
+  // Local deliveries are free in Giraph ("replaced with a read from the
+  // local memory"): they must count as local messages and zero bytes.
+  MessageRouter<std::vector<int>> router(2);
+  router.Send(0, 0, {1, 2, 3, 4});  // local
+  router.Send(1, 0, {5});           // remote
+  const RouteStats stats = router.CollectAndClearSized(
+      [](const std::vector<int>& m) { return m.size() * sizeof(int); });
+  EXPECT_EQ(stats.local_messages, 1u);
+  EXPECT_EQ(stats.remote_messages, 1u);
+  EXPECT_EQ(stats.remote_bytes, 4u);
+  EXPECT_EQ(router.out_bytes()[0], 0u) << "local bytes never hit the wire";
+  EXPECT_EQ(router.out_bytes()[1], 4u);
+  EXPECT_EQ(router.in_bytes()[0], 4u);
+}
+
+TEST(MessageRouter, ByteCountersAccumulateAcrossSupersteps) {
+  // The cost model's max-over-workers term reads the counters after several
+  // supersteps; each CollectAndClear* must add, not overwrite.
+  MessageRouter<int> router(3);
+  router.Send(0, 1, 1);
+  router.Send(0, 2, 2);
+  const RouteStats first = router.CollectAndClear(8);
+  EXPECT_EQ(first.remote_bytes, 16u);
+  router.Send(0, 1, 3);
+  router.Send(2, 1, 4);
+  const RouteStats second = router.CollectAndClearSized(
+      [](const int&) { return size_t{4}; });
+  EXPECT_EQ(second.remote_bytes, 8u);
+  EXPECT_EQ(router.out_bytes()[0], 8u + 8u + 4u);
+  EXPECT_EQ(router.out_bytes()[2], 4u);
+  EXPECT_EQ(router.in_bytes()[1], 8u + 4u + 4u);
+  EXPECT_EQ(router.in_bytes()[2], 8u);
+  router.ResetByteCounters();
+  EXPECT_EQ(router.in_bytes()[1], 0u);
+}
+
+TEST(MessageCombiner, CombinesPerDestinationAndSurvivesReset) {
+  MessageCombiner<int32_t> combiner;
+  combiner.Reset(2);
+  ++combiner.Slot(0, 1, 7);
+  ++combiner.Slot(0, 1, 7);
+  --combiner.Slot(0, 1, 9);
+  ++combiner.Slot(1, 1, 7);  // different source row: independent
+  EXPECT_EQ(combiner.Cell(0, 1).at(7), 2);
+  EXPECT_EQ(combiner.Cell(0, 1).at(9), -1);
+  EXPECT_EQ(combiner.Cell(1, 1).at(7), 1);
+  EXPECT_TRUE(combiner.Cell(0, 0).empty());
+  combiner.Reset(2);
+  EXPECT_TRUE(combiner.Cell(0, 1).empty()) << "Reset clears combined state";
 }
 
 TEST(Sharding, CoversAllVerticesExactlyOnce) {
@@ -155,6 +213,242 @@ TEST(BspRefiner, Superstep2VolumeBoundedByFanoutTimesEdges) {
   const uint64_t entries_upper =
       static_cast<uint64_t>(8) * g.num_edges();  // k·|E| hard bound
   EXPECT_LT(s2.traffic.remote_bytes / sizeof(BucketCount), entries_upper);
+}
+
+// Delta exchange + push sweep (sweep_mode kPush) vs the full-reship pull
+// reference, across all three broker strategies and several cluster widths.
+// The two exchanges accumulate floats in different orders, so the
+// trajectories agree to tolerance, not bits (PR 2's contract): the Debug
+// build additionally asserts the per-vertex proposal tolerance and the
+// replica bit-equality inside RunIteration.
+class BspDeltaExchange
+    : public testing::TestWithParam<
+          std::tuple<MoveBrokerOptions::Strategy, int>> {};
+
+TEST_P(BspDeltaExchange, PushTrajectoryMatchesPullWithinTolerance) {
+  const auto [strategy, workers] = GetParam();
+  const BipartiteGraph g = TestGraph();
+  const BucketId k = 8;
+  const MoveTopology topo = MoveTopology::FullK(k, g.num_data(), 0.05);
+
+  RefinerOptions pull_options;
+  pull_options.broker.strategy = strategy;
+  pull_options.sweep_mode = RefinerOptions::SweepMode::kPull;
+  // Always patch (no high-churn re-bootstrap) so every steady-state
+  // iteration exercises the delta wire + accumulator patch path.
+  pull_options.incremental_rebuild_fraction = 1.0;
+  RefinerOptions push_options = pull_options;
+  push_options.sweep_mode = RefinerOptions::SweepMode::kPush;
+  BspConfig config;
+  config.num_workers = workers;
+
+  std::vector<SuperstepStats> pull_log;
+  std::vector<SuperstepStats> push_log;
+  BspRefiner pull(g, pull_options, config, &pull_log);
+  BspRefiner push(g, push_options, config, &push_log);
+  Partition p_pull = Partition::BalancedRandom(g.num_data(), k, 2);
+  Partition p_push = p_pull;
+
+  for (uint64_t iter = 0; iter < 6; ++iter) {
+    const IterationStats a = pull.RunIteration(topo, &p_pull, 9, iter);
+    const IterationStats b = push.RunIteration(topo, &p_push, 9, iter);
+    EXPECT_FALSE(a.push_sweep);
+    EXPECT_TRUE(b.push_sweep);
+    const double f_pull = AveragePFanout(g, p_pull.assignment(), 0.5);
+    const double f_push = AveragePFanout(g, p_push.assignment(), 0.5);
+    ASSERT_NEAR(f_pull, f_push, 1e-6 * std::max(f_pull, f_push))
+        << "iteration " << iter << " (strategy "
+        << static_cast<int>(strategy) << ", W=" << workers << ")";
+    if (iter > 0) {
+      EXPECT_GT(b.num_delta_records, 0u)
+          << "steady-state iterations must flow delta records";
+    }
+  }
+  ASSERT_EQ(pull_log.size(), push_log.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategiesAndWidths, BspDeltaExchange,
+    testing::Combine(
+        testing::Values(MoveBrokerOptions::Strategy::kPlainProbability,
+                        MoveBrokerOptions::Strategy::kHistogramMatching,
+                        MoveBrokerOptions::Strategy::kExactPairing),
+        testing::Values(1, 3, 8)));
+
+TEST(BspRefiner, DeltaExchangeShrinksSteadyStateSuperstep2Traffic) {
+  // The point of the delta exchange: steady-state superstep 2 moves
+  // O(delta records), not O(Σ deg(dirty q) × touched workers). High-churn
+  // early rounds re-bootstrap (full reship — the records would outweigh the
+  // lists there); once movement decays, the delta supersteps must undercut
+  // the full reship, and every delta-superstep remote byte must be a
+  // fixed-width NeighborDelta record. The win scales with query fanout, so
+  // measure on a power-law workload (hub queries with near-k fanout — the
+  // paper's regime) rather than the low-degree social graph.
+  PowerLawConfig pcfg;
+  pcfg.num_queries = 4000;
+  pcfg.num_data = 3000;
+  pcfg.target_edges = 30000;
+  pcfg.seed = 7;
+  const BipartiteGraph g = GeneratePowerLaw(pcfg);
+  const BucketId k = 32;
+  const MoveTopology topo = MoveTopology::FullK(k, g.num_data(), 0.05);
+  BspConfig config;
+  config.num_workers = 4;
+  const uint64_t iterations = 14;
+
+  auto run = [&](RefinerOptions::SweepMode mode) {
+    RefinerOptions options;
+    options.sweep_mode = mode;
+    std::vector<SuperstepStats> log;
+    BspRefiner refiner(g, options, config, &log);
+    Partition partition = Partition::BalancedRandom(g.num_data(), k, 2);
+    for (uint64_t iter = 0; iter < iterations; ++iter) {
+      refiner.RunIteration(topo, &partition, 9, iter);
+    }
+    return log;
+  };
+  const auto pull_log = run(RefinerOptions::SweepMode::kPull);
+  const auto push_log = run(RefinerOptions::SweepMode::kPush);
+  ASSERT_EQ(pull_log.size(), push_log.size());
+  ASSERT_EQ(push_log.size(), iterations * 4);
+
+  // Steady state: the last half of the run.
+  uint64_t pull_s2 = 0;
+  uint64_t push_s2 = 0;
+  uint64_t delta_supersteps = 0;
+  for (size_t iter = iterations / 2; iter < iterations; ++iter) {
+    pull_s2 += pull_log[iter * 4 + 1].traffic.remote_bytes;
+    const SuperstepStats& s2 = push_log[iter * 4 + 1];
+    push_s2 += s2.traffic.remote_bytes;
+    if (s2.label == "2:ship-deltas+gains") {
+      ++delta_supersteps;
+      EXPECT_EQ(s2.traffic.remote_bytes,
+                s2.traffic.remote_messages * sizeof(NeighborDelta))
+          << "delta-mode superstep 2 ships fixed-width records";
+    }
+  }
+  EXPECT_GT(delta_supersteps, 0u)
+      << "movement must decay into the delta-exchange regime";
+  EXPECT_GT(pull_s2, 0u);
+  EXPECT_LT(push_s2, pull_s2)
+      << "delta exchange must undercut the full reship in steady state";
+  // The first iteration bootstraps in both modes with the same reship.
+  EXPECT_EQ(pull_log[1].traffic.remote_bytes,
+            push_log[1].traffic.remote_bytes);
+}
+
+TEST(BspRefiner, GroupedPullIterationsInvalidateAccumulatorReplicas) {
+  // kAuto on one refiner instance alternating full-k (delta exchange +
+  // push) and grouped (pull fallback) topologies: the grouped iterations
+  // change the query replicas without emitting delta records, so the
+  // accumulator replicas must re-bootstrap — not be patched stale — on the
+  // next full-k iteration (Debug builds assert replica equality inside
+  // RunIteration).
+  const BipartiteGraph g = TestGraph();
+  const BucketId k = 8;
+  const MoveTopology full = MoveTopology::FullK(k, g.num_data(), 0.05);
+  MoveTopology grouped;
+  grouped.k = k;
+  grouped.full_k = false;
+  grouped.group_children = {{0, 1, 2, 3}, {4, 5, 6, 7}};
+  grouped.group_of_bucket = {0, 0, 0, 0, 1, 1, 1, 1};
+  grouped.capacity.assign(static_cast<size_t>(k),
+                          MoveTopology::BucketCapacity(g.num_data(), k, 1,
+                                                       0.05));
+  RefinerOptions options;
+  options.sweep_mode = RefinerOptions::SweepMode::kAuto;
+  BspConfig config;
+  config.num_workers = 3;
+  BspRefiner refiner(g, options, config);
+  Partition partition = Partition::BalancedRandom(g.num_data(), k, 6);
+  for (uint64_t iter = 0; iter < 8; ++iter) {
+    const bool full_k_round = iter % 4 < 2;
+    const IterationStats stats = refiner.RunIteration(
+        full_k_round ? full : grouped, &partition, 9, iter);
+    EXPECT_EQ(stats.push_sweep, full_k_round);
+  }
+  EXPECT_TRUE(Partition::FromAssignment(partition.assignment(), k)
+                  .IsBalanced(0.051));
+}
+
+TEST(BspRefiner, ZeroMoveGroupedRoundStillInvalidatesReplicas) {
+  // The subtle staleness hole: a grouped (pull) round that *folds* the
+  // previous push round's moves — with no record emission — but itself
+  // executes zero moves. The replicas must be dropped at the fold, not
+  // inferred stale from the grouped round's own (empty) move list; Debug
+  // builds assert replica equality on the next push iteration.
+  const BipartiteGraph g = TestGraph();
+  const BucketId k = 8;
+  const MoveTopology full = MoveTopology::FullK(k, g.num_data(), 0.05);
+  MoveTopology grouped;
+  grouped.k = k;
+  grouped.full_k = false;
+  grouped.group_children = {{0, 1, 2, 3}, {4, 5, 6, 7}};
+  grouped.group_of_bucket = {0, 0, 0, 0, 1, 1, 1, 1};
+  grouped.capacity.assign(static_cast<size_t>(k),
+                          MoveTopology::BucketCapacity(g.num_data(), k, 1,
+                                                       0.05));
+  RefinerOptions options;
+  options.sweep_mode = RefinerOptions::SweepMode::kAuto;
+  BspConfig config;
+  config.num_workers = 3;
+  BspRefiner refiner(g, options, config);
+  Partition partition = Partition::BalancedRandom(g.num_data(), k, 6);
+  // Reach a LOW-churn push round: high-churn rounds drop the replicas via
+  // the rebuild-fraction fallback anyway, masking the fold-staleness hole.
+  uint64_t iter = 0;
+  IterationStats stats;
+  do {
+    stats = refiner.RunIteration(full, &partition, 9, iter++);
+  } while (iter < 40 &&
+           (stats.num_moved == 0 ||
+            static_cast<double>(stats.num_moved) >
+                options.incremental_rebuild_fraction *
+                    static_cast<double>(g.num_data())));
+  ASSERT_GT(stats.num_moved, 0u) << "need moves pending for the grouped fold";
+  ASSERT_LE(static_cast<double>(stats.num_moved),
+            options.incremental_rebuild_fraction *
+                static_cast<double>(g.num_data()))
+      << "need a low-churn round so the replicas survive it";
+  // Grouped round: folds the push round's moves; a prohibitive anchor
+  // penalty on leaving the current assignment keeps every pair sum negative,
+  // so nothing moves.
+  const std::vector<BucketId> anchor = partition.assignment();
+  stats = refiner.RunIteration(grouped, &partition, 9, iter++, nullptr,
+                               &anchor, 1e9);
+  EXPECT_FALSE(stats.push_sweep);
+  EXPECT_EQ(stats.num_moved, 0u) << "the repro needs a zero-move fold round";
+  // Next push iteration must re-bootstrap from consistent replicas (Debug
+  // SHP_CHECK inside RunIteration is the assertion).
+  stats = refiner.RunIteration(full, &partition, 9, iter++);
+  EXPECT_TRUE(stats.push_sweep);
+}
+
+TEST(BspRefiner, ExternalPartitionMutationSelfHeals) {
+  // The replica guard must detect an externally mutated partition, re-sync
+  // the query replicas through the per-vertex diff scan, and keep the
+  // delta-patched accumulators consistent (Debug builds assert replica
+  // equality inside RunIteration).
+  const BipartiteGraph g = TestGraph();
+  const BucketId k = 4;
+  const MoveTopology topo = MoveTopology::FullK(k, g.num_data(), 0.05);
+  RefinerOptions options;
+  options.sweep_mode = RefinerOptions::SweepMode::kPush;
+  BspConfig config;
+  config.num_workers = 3;
+  BspRefiner refiner(g, options, config);
+  Partition partition = Partition::BalancedRandom(g.num_data(), k, 5);
+  refiner.RunIteration(topo, &partition, 9, 0);
+  refiner.RunIteration(topo, &partition, 9, 1);
+  // Mutate behind the refiner's back (the recursive driver does this when
+  // redistributing between levels).
+  for (VertexId v = 0; v < 50; ++v) {
+    partition.Move(v, (partition.bucket_of(v) + 1) % k);
+  }
+  const IterationStats healed = refiner.RunIteration(topo, &partition, 9, 2);
+  EXPECT_TRUE(healed.full_rebuild) << "mutation must trigger the diff scan";
+  const IterationStats steady = refiner.RunIteration(topo, &partition, 9, 3);
+  EXPECT_FALSE(steady.full_rebuild) << "healed state carries incrementally";
 }
 
 TEST(BspRefiner, WorkerStateEstimatePositive) {
