@@ -3,10 +3,14 @@
 // and the FM pass of the multilevel baseline.
 #include <benchmark/benchmark.h>
 
+#include <span>
+#include <vector>
+
 #include "baseline/fm_refiner.h"
 #include "core/partition.h"
 #include "core/refiner.h"
 #include "graph/gen_social.h"
+#include "objective/affinity_sweep.h"
 #include "objective/gain.h"
 #include "objective/neighbor_data.h"
 
@@ -113,6 +117,54 @@ void BM_NeighborDataApplyMoves(benchmark::State& state) {
 }
 BENCHMARK(BM_NeighborDataApplyMoves)->Arg(64)->Arg(1024)
     ->Unit(benchmark::kMicrosecond);
+
+void BM_BestTargetPushGroupedScan(benchmark::State& state) {
+  // Group-restricted push scan (SHP-2/r recursion): one merge over the
+  // sibling candidates and the accumulator window spanning them.
+  const BucketId k = static_cast<BucketId>(state.range(0));
+  const BipartiteGraph graph = MakeGraph(20000, 16);
+  const auto partition = Partition::Random(graph.num_data(), k, 1);
+  QueryNeighborData ndata;
+  ndata.Build(graph, partition.assignment());
+  const GainComputer gain(0.5,
+                          static_cast<uint32_t>(graph.MaxQueryDegree()));
+  AffinitySweep sweep;
+  sweep.Build(graph, ndata, gain.pow_table());
+  // Sibling pairs {2i, 2i+1} — the final recursion level.
+  std::vector<std::vector<BucketId>> pairs;
+  for (BucketId b = 0; b + 1 < k; b += 2) pairs.push_back({b, b + 1});
+  uint64_t v = 0;
+  for (auto _ : state) {
+    const VertexId vertex = static_cast<VertexId>(v++ % graph.num_data());
+    const BucketId from = partition.bucket_of(vertex);
+    const auto& siblings = pairs[static_cast<size_t>(from / 2)];
+    benchmark::DoNotOptimize(gain.FindBestTargetPushGrouped(
+        sweep, vertex, from, std::span<const BucketId>(siblings),
+        static_cast<double>(graph.DataDegree(vertex))));
+  }
+}
+BENCHMARK(BM_BestTargetPushGroupedScan)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_GroupedPullSiblingScan(benchmark::State& state) {
+  // The pull reference the grouped push scan replaces: per-sibling MoveGain
+  // over the neighbor-data arena (random-access gather per candidate).
+  const BucketId k = static_cast<BucketId>(state.range(0));
+  const BipartiteGraph graph = MakeGraph(20000, 16);
+  const auto partition = Partition::Random(graph.num_data(), k, 1);
+  QueryNeighborData ndata;
+  ndata.Build(graph, partition.assignment());
+  const GainComputer gain(0.5,
+                          static_cast<uint32_t>(graph.MaxQueryDegree()));
+  uint64_t v = 0;
+  for (auto _ : state) {
+    const VertexId vertex = static_cast<VertexId>(v++ % graph.num_data());
+    const BucketId from = partition.bucket_of(vertex);
+    const BucketId sibling = from % 2 == 0 ? from + 1 : from - 1;
+    benchmark::DoNotOptimize(
+        gain.MoveGain(graph, ndata, vertex, from, sibling));
+  }
+}
+BENCHMARK(BM_GroupedPullSiblingScan)->Arg(8)->Arg(64)->Arg(512);
 
 void RefinerIterationBench(benchmark::State& state, bool incremental) {
   const BipartiteGraph graph = MakeGraph(20000, 16);

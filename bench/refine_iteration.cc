@@ -1,7 +1,10 @@
 // Steady-state refinement-iteration latency: full-rebuild reference vs the
 // incremental pull path vs the query-major push sweep, plus the BSP engine
 // in both superstep-2 exchange modes (full-reship pull vs delta exchange +
-// push sweep).
+// push sweep) — on the full-k topology AND on a grouped SHP-2 recursion
+// window (sibling pairs), the configuration production recursion runs. The
+// grouped series gate the deterministic steady-state superstep-2 byte
+// reduction and the rtol 1e-4 fanout contract.
 //
 // Protocol: run SHP-k on a power-law generator workload until the moved
 // fraction decays below a steady-state threshold (default 0.2%, matching
@@ -143,22 +146,26 @@ int main(int argc, char** argv) {
       run_path(/*incremental=*/true, RefinerOptions::SweepMode::kPush);
 
   // BSP engine series: the same steady-state iterations through the
-  // message-passing engine, full-reship pull vs delta exchange + push.
+  // message-passing engine, full-reship pull vs delta exchange + push —
+  // once on the full-k topology and once on a grouped SHP-2 recursion
+  // window (sibling pairs), the configuration production recursion runs.
   const int bsp_workers =
       static_cast<int>(flags.GetInt("bsp_workers", 4));
-  auto run_bsp = [&](RefinerOptions::SweepMode mode) {
+  auto run_bsp = [&](RefinerOptions::SweepMode mode, const MoveTopology& t,
+                     const std::vector<BucketId>& start,
+                     uint64_t iteration_offset) {
     RefinerOptions options = base_options;
     options.sweep_mode = mode;
     BspConfig config;
     config.num_workers = bsp_workers;
     std::vector<SuperstepStats> log;
     BspRefiner refiner(graph, options, config, &log);
-    Partition partition = Partition::FromAssignment(steady_start, k);
+    Partition partition = Partition::FromAssignment(start, k);
     BspTiming timing;
     for (uint32_t i = 0; i < timed_iterations; ++i) {
       Timer timer;
       const IterationStats stats = refiner.RunIteration(
-          topo, &partition, seed, warm_iterations + 1 + i);
+          t, &partition, seed, iteration_offset + 1 + i);
       timing.iteration_ms.push_back(timer.ElapsedMillis());
       timing.delta_records += stats.num_delta_records;
       const uint64_t s2 = log[i * 4 + 1].traffic.remote_bytes;
@@ -170,10 +177,38 @@ int main(int argc, char** argv) {
                      static_cast<double>(timing.iteration_ms.size());
     return std::make_pair(timing, partition.assignment());
   };
-  const auto [bsp_pull, bsp_pull_assignment] =
-      run_bsp(RefinerOptions::SweepMode::kPull);
-  const auto [bsp_push, bsp_push_assignment] =
-      run_bsp(RefinerOptions::SweepMode::kPush);
+  const auto [bsp_pull, bsp_pull_assignment] = run_bsp(
+      RefinerOptions::SweepMode::kPull, topo, steady_start, warm_iterations);
+  const auto [bsp_push, bsp_push_assignment] = run_bsp(
+      RefinerOptions::SweepMode::kPush, topo, steady_start, warm_iterations);
+
+  // Grouped series: a final-level SHP-2 window over the same graph —
+  // sibling pairs {2i, 2i+1}. Warm into the grouped steady state from the
+  // full-k snapshot with the threaded pull reference, then time both BSP
+  // exchange modes from the identical grouped warm start.
+  std::vector<std::vector<BucketId>> sibling_pairs;
+  for (BucketId b = 0; b + 1 < k; b += 2) sibling_pairs.push_back({b, b + 1});
+  const MoveTopology grouped_topo = MoveTopology::Grouped(
+      k, graph.num_data(), 0.05, std::move(sibling_pairs));
+  Partition grouped_warmup = Partition::FromAssignment(steady_start, k);
+  uint64_t grouped_warm_iterations = 0;
+  {
+    RefinerOptions warm_options = base_options;
+    warm_options.sweep_mode = RefinerOptions::SweepMode::kPull;
+    Refiner warm_refiner(graph, warm_options);
+    for (; grouped_warm_iterations < 100; ++grouped_warm_iterations) {
+      const IterationStats stats = warm_refiner.RunIteration(
+          grouped_topo, &grouped_warmup, seed, grouped_warm_iterations);
+      if (stats.moved_fraction <= steady_threshold) break;
+    }
+  }
+  const std::vector<BucketId> grouped_start = grouped_warmup.assignment();
+  const auto [bsp_pull_grouped, bsp_pull_grouped_assignment] =
+      run_bsp(RefinerOptions::SweepMode::kPull, grouped_topo, grouped_start,
+              grouped_warm_iterations);
+  const auto [bsp_push_grouped, bsp_push_grouped_assignment] =
+      run_bsp(RefinerOptions::SweepMode::kPush, grouped_topo, grouped_start,
+              grouped_warm_iterations);
 
   if (full_assignment != incremental_assignment) {
     std::fprintf(stderr,
@@ -221,6 +256,35 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Grouped recursion window: the same two gates — rtol 1e-4 trajectory
+  // equivalence and the deterministic steady-state superstep-2 byte
+  // comparison (grouped delta exchange strictly below the grouped full
+  // reship; the SHP-2/r acceptance criterion).
+  const double grouped_fanout_pull =
+      AverageFanout(graph, bsp_pull_grouped_assignment);
+  const double grouped_fanout_push =
+      AverageFanout(graph, bsp_push_grouped_assignment);
+  const double grouped_fanout_rel_diff =
+      std::fabs(grouped_fanout_pull - grouped_fanout_push) /
+      std::max(grouped_fanout_pull, 1e-30);
+  if (grouped_fanout_rel_diff > 1e-4) {
+    std::fprintf(
+        stderr,
+        "FAIL: grouped BSP push fanout %.8f vs pull %.8f (rel diff %.2e)\n",
+        grouped_fanout_push, grouped_fanout_pull, grouped_fanout_rel_diff);
+    return 2;
+  }
+  if (bsp_pull_grouped.steady_s2_bytes > 0 &&
+      bsp_push_grouped.steady_s2_bytes >= bsp_pull_grouped.steady_s2_bytes) {
+    std::fprintf(
+        stderr,
+        "FAIL: grouped delta-exchange superstep-2 bytes %llu not below "
+        "grouped full-reship %llu\n",
+        static_cast<unsigned long long>(bsp_push_grouped.steady_s2_bytes),
+        static_cast<unsigned long long>(bsp_pull_grouped.steady_s2_bytes));
+    return 2;
+  }
+
   const double speedup = full.mean_ms / incremental.mean_ms;
   const double push_speedup = incremental.mean_ms / push.mean_ms;
   const double bsp_speedup = bsp_pull.mean_ms / bsp_push.mean_ms;
@@ -257,9 +321,36 @@ int main(int argc, char** argv) {
   std::printf("bsp          : %.2fx iteration speedup, %.2fx superstep-2 "
               "traffic reduction (fanout rel diff %.1e)\n",
               bsp_speedup, bsp_s2_reduction, bsp_fanout_rel_diff);
+  const double grouped_bsp_speedup =
+      bsp_pull_grouped.mean_ms / bsp_push_grouped.mean_ms;
+  const double grouped_s2_reduction =
+      static_cast<double>(bsp_pull_grouped.steady_s2_bytes) /
+      static_cast<double>(
+          std::max<uint64_t>(1, bsp_push_grouped.steady_s2_bytes));
+  std::printf("bsp grouped pull : %.3f ms/iteration (steady S2 %llu remote "
+              "bytes, %llu grouped warm-up iterations)\n",
+              bsp_pull_grouped.mean_ms,
+              static_cast<unsigned long long>(
+                  bsp_pull_grouped.steady_s2_bytes),
+              static_cast<unsigned long long>(grouped_warm_iterations));
+  std::printf("bsp grouped delta: %.3f ms/iteration (steady S2 %llu remote "
+              "bytes, %llu delta records)\n",
+              bsp_push_grouped.mean_ms,
+              static_cast<unsigned long long>(
+                  bsp_push_grouped.steady_s2_bytes),
+              static_cast<unsigned long long>(
+                  bsp_push_grouped.delta_records));
+  std::printf("bsp grouped      : %.2fx iteration speedup, %.2fx superstep-2 "
+              "traffic reduction (fanout rel diff %.1e)\n",
+              grouped_bsp_speedup, grouped_s2_reduction,
+              grouped_fanout_rel_diff);
 
+  // Default output deliberately differs from the committed baseline
+  // (BENCH_refine.json): an ad-hoc run from the repo root must not clobber
+  // the file the CI regression gate diffs against. Refresh the baseline
+  // explicitly with --out=BENCH_refine.json when that is the intent.
   const std::string out_path =
-      flags.GetString("out", "BENCH_refine.json");
+      flags.GetString("out", "BENCH_refine_fresh.json");
   std::FILE* out = std::fopen(out_path.c_str(), "wb");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
@@ -325,14 +416,25 @@ int main(int argc, char** argv) {
   write_bsp_series("bsp_pull", bsp_pull);
   std::fprintf(out, ",\n");
   write_bsp_series("bsp_push", bsp_push);
+  std::fprintf(out, ",\n");
+  write_bsp_series("bsp_pull_grouped", bsp_pull_grouped);
+  std::fprintf(out, ",\n");
+  write_bsp_series("bsp_push_grouped", bsp_push_grouped);
   std::fprintf(out,
                ",\n  \"speedup\": %.4f,\n  \"push_speedup\": %.4f,\n"
                "  \"push_fanout_rel_diff\": %.6e,\n"
                "  \"bsp_speedup\": %.4f,\n"
                "  \"bsp_s2_traffic_reduction\": %.4f,\n"
-               "  \"bsp_fanout_rel_diff\": %.6e\n}\n",
+               "  \"bsp_fanout_rel_diff\": %.6e,\n"
+               "  \"grouped_warmup_iterations\": %llu,\n"
+               "  \"bsp_grouped_speedup\": %.4f,\n"
+               "  \"bsp_grouped_s2_traffic_reduction\": %.4f,\n"
+               "  \"bsp_grouped_fanout_rel_diff\": %.6e\n}\n",
                speedup, push_speedup, fanout_rel_diff, bsp_speedup,
-               bsp_s2_reduction, bsp_fanout_rel_diff);
+               bsp_s2_reduction, bsp_fanout_rel_diff,
+               static_cast<unsigned long long>(grouped_warm_iterations),
+               grouped_bsp_speedup, grouped_s2_reduction,
+               grouped_fanout_rel_diff);
   std::fclose(out);
   std::printf("wrote %s\n", out_path.c_str());
 

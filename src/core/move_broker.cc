@@ -164,22 +164,36 @@ MoveOutcome MoveBroker::ApplyPlain(const MoveTopology& topo,
 
   // "Change buckets": move with probability min(S_ij, S_ji)/S_ij. The random
   // draw is a pure hash of (seed, iteration, v) so the outcome is
-  // independent of thread scheduling.
+  // independent of thread scheduling. Per-pair probabilities are computed
+  // once; the draw floor skips pairs at probability 0 (no reciprocal
+  // demand) — those draws can never fire, so the trajectory is unchanged.
+  std::unordered_map<uint64_t, double> pair_prob;
+  pair_prob.reserve(matrix.num_pairs());
+  for (const auto& [i, j] : matrix.SortedPairs()) {
+    pair_prob[PackPair(i, j)] = matrix.MoveProbability(i, j);
+  }
+  const bool skip_dead = options_.skip_zero_probability_pairs;
   std::vector<uint8_t> decided(n, 0);
-  pool->ParallelFor(n, [&](size_t begin, size_t end, size_t) {
+  const size_t num_workers = std::max<size_t>(1, pool->num_threads());
+  std::vector<uint64_t> draws_per_worker(num_workers, 0);
+  pool->ParallelFor(n, [&](size_t begin, size_t end, size_t w) {
+    uint64_t draws = 0;
     for (size_t v = begin; v < end; ++v) {
       if (targets[v] < 0 || gains[v] <= 0.0) continue;
-      const double prob =
-          std::min(matrix.MoveProbability(
-                       partition->bucket_of(static_cast<VertexId>(v)),
-                       targets[v]),
-                   options_.max_move_probability) *
-          options_.probability_damping;
+      const BucketId from =
+          partition->bucket_of(static_cast<VertexId>(v));
+      const double pair = pair_prob.at(PackPair(from, targets[v]));
+      if (skip_dead && pair <= 0.0) continue;
+      ++draws;
+      const double prob = std::min(pair, options_.max_move_probability) *
+                          options_.probability_damping;
       if (HashToUnitDouble(seed ^ 0xabcdef12, iteration, v) < prob) {
         decided[v] = 1;
       }
     }
+    draws_per_worker[w] += draws;
   });
+  for (const uint64_t d : draws_per_worker) outcome.num_draws += d;
 
   std::vector<VertexId> moved;
   std::vector<BucketId> original(n, -1);
@@ -201,6 +215,19 @@ double PairProbabilityTable::Lookup(const GainBinning& binning, BucketId from,
   const auto it = probabilities.find(PackPair(from, to));
   if (it == probabilities.end()) return 0.0;
   return it->second[static_cast<size_t>(binning.BinFor(gain))];
+}
+
+std::unordered_set<uint64_t> PairProbabilityTable::LivePairKeys() const {
+  std::unordered_set<uint64_t> live;
+  for (const auto& [key, probs] : probabilities) {
+    for (const double p : probs) {
+      if (p > 0.0) {
+        live.insert(key);
+        break;
+      }
+    }
+  }
+  return live;
 }
 
 PairProbabilityTable ComputePairProbabilities(
@@ -292,23 +319,39 @@ MoveOutcome MoveBroker::ApplyHistogram(const MoveTopology& topo,
   const PairProbabilityTable table = ComputePairProbabilities(
       topo, binning, histograms, *partition, options_.use_capacity_slack);
 
-  // Superstep 4: probabilistic simultaneous moves.
+  // Superstep 4: probabilistic simultaneous moves. Draw floor: a proposal
+  // whose pair row is all zero draws against probability 0 in every bin —
+  // it can never fire, so skipping the hash leaves the trajectory unchanged
+  // while the draw scan shrinks to the pairs the master matched.
+  const std::unordered_set<uint64_t> live_pairs =
+      options_.skip_zero_probability_pairs
+          ? table.LivePairKeys()
+          : std::unordered_set<uint64_t>{};
+  const bool skip_dead = options_.skip_zero_probability_pairs;
   std::vector<uint8_t> decided(n, 0);
-  pool->ParallelFor(n, [&](size_t begin, size_t end, size_t) {
+  const size_t num_workers = std::max<size_t>(1, pool->num_threads());
+  std::vector<uint64_t> draws_per_worker(num_workers, 0);
+  pool->ParallelFor(n, [&](size_t begin, size_t end, size_t w) {
+    uint64_t draws = 0;
     for (size_t v = begin; v < end; ++v) {
       if (targets[v] < 0) continue;
+      const BucketId from =
+          partition->bucket_of(static_cast<VertexId>(v));
+      if (skip_dead && live_pairs.count(PackPair(from, targets[v])) == 0) {
+        continue;
+      }
+      ++draws;
       const double prob =
-          std::min(table.Lookup(binning,
-                                partition->bucket_of(
-                                    static_cast<VertexId>(v)),
-                                targets[v], gains[v]),
+          std::min(table.Lookup(binning, from, targets[v], gains[v]),
                    options_.max_move_probability) *
           options_.probability_damping;
       if (HashToUnitDouble(seed ^ 0x5108e77a, iteration, v) < prob) {
         decided[v] = 1;
       }
     }
+    draws_per_worker[w] += draws;
   });
+  for (const uint64_t d : draws_per_worker) outcome.num_draws += d;
 
   std::vector<VertexId> moved;
   std::vector<BucketId> original(n, -1);

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/gain_histogram.h"
@@ -55,12 +56,22 @@ struct MoveBrokerOptions {
   /// §3.4 "imbalanced swaps": also move unmatched positive-gain vertices
   /// into buckets with spare capacity (histogram strategy only).
   bool use_capacity_slack = true;
+  /// Superstep-4 draw floor: proposals whose (from, target) probability row
+  /// is all zero skip the per-vertex draw — a zero probability can never
+  /// fire, so the move trajectory is identical and the steady-state
+  /// O(#proposals) draw scan shrinks to the pairs the master actually
+  /// matched. false restores the draw-everything reference (the regression
+  /// test compares the two trajectories).
+  bool skip_zero_probability_pairs = true;
 };
 
 struct MoveOutcome {
   uint64_t num_proposals = 0;  ///< vertices with a valid target
   uint64_t num_moved = 0;      ///< moves that stuck (after repair)
   uint64_t num_reverted = 0;   ///< repair reversions
+  /// Probability draws evaluated (≤ num_proposals once the draw floor
+  /// skips all-zero probability rows; kExactPairing draws nothing).
+  uint64_t num_draws = 0;
   double gain_moved = 0.0;     ///< Σ gains of surviving moves
   /// Net executed moves of the round (post balance-repair; a reverted vertex
   /// does not appear), ascending by vertex id. This is exactly the partition
@@ -78,6 +89,12 @@ struct PairProbabilityTable {
   /// Probability for a proposal (from, to, gain); 0 if the pair is unknown.
   double Lookup(const GainBinning& binning, BucketId from, BucketId to,
                 double gain) const;
+
+  /// Keys of pairs whose probability row holds any positive entry — the
+  /// superstep-4 draw floor's support set. A proposal on any other pair
+  /// draws against probability 0 in every bin, so its draw can never fire
+  /// and is skipped without changing the move trajectory.
+  std::unordered_set<uint64_t> LivePairKeys() const;
 };
 
 /// The master computation of supersteps 3-4 under histogram matching:

@@ -51,14 +51,25 @@ Refiner::Proposal Refiner::ComputeProposal(
     }
   } else {
     const auto& children = topo.group_children[static_cast<size_t>(group)];
-    bool first = true;
-    for (BucketId candidate : children) {
-      if (candidate == from) continue;
-      const double g = gain_.MoveGain(graph_, ndata_, v, from, candidate);
-      if (first || g > best_gain) {
-        best_gain = g;
-        best_target = candidate;
-        first = false;
+    if (push) {
+      // Group-restricted push scan: one pass over the accumulator window
+      // spanning the siblings (a re-slice of the same topology-free
+      // accumulators the full-k scan reads — recursion windows never
+      // rebuild them).
+      const auto best = gain_.FindBestTargetPushGrouped(
+          sweep_, v, from, std::span<const BucketId>(children), degree);
+      best_target = best.bucket;
+      best_gain = best.gain;
+    } else {
+      bool first = true;
+      for (BucketId candidate : children) {
+        if (candidate == from) continue;
+        const double g = gain_.MoveGain(graph_, ndata_, v, from, candidate);
+        if (first || g > best_gain) {
+          best_gain = g;
+          best_target = candidate;
+          first = false;
+        }
       }
     }
   }
@@ -114,13 +125,15 @@ IterationStats Refiner::RunIteration(const MoveTopology& topo,
   const VertexId n = graph_.num_data();
   IterationStats stats;
 
-  // Superstep-2 scan direction for this iteration: push needs the full-k
-  // sparse-window scan and a nonzero pow base (the accumulator-derived base
-  // term divides by B); kAuto prefers push whenever available, and an
-  // explicit kPush request degrades to pull in the unsupported cases.
+  // Superstep-2 scan direction for this iteration: push needs a nonzero pow
+  // base (the accumulator-derived base term divides by B); kAuto prefers
+  // push whenever available, and an explicit kPush request degrades to pull
+  // in the p = 1, t = 1 limit. Grouped recursion windows run the same push
+  // scan over the group-restricted accumulator view — the accumulators are
+  // topology-free, so a recursion-level change re-slices, never rebuilds.
   const bool push =
       options_.sweep_mode != RefinerOptions::SweepMode::kPull &&
-      topo.full_k && gain_.SupportsPush();
+      gain_.SupportsPush();
   stats.push_sweep = push;
 
   // Superstep 1: collect neighbor data — reused across iterations whenever
@@ -446,6 +459,7 @@ IterationStats Refiner::RunIteration(const MoveTopology& topo,
   stats.num_proposals = outcome.num_proposals;
   stats.num_moved = outcome.num_moved;
   stats.num_reverted = outcome.num_reverted;
+  stats.num_draws = outcome.num_draws;
   stats.gain_moved = outcome.gain_moved;
   stats.moved_fraction =
       n == 0 ? 0.0

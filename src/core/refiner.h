@@ -34,8 +34,11 @@
 //
 // Gains honor the MoveTopology constraint: direct k-way search uses the
 // sparse-affinity best-target scan (k-independent per-vertex cost); grouped
-// recursion evaluates each sibling candidate directly (O(r · deg(v))) and
-// always runs the pull path.
+// recursion either evaluates each sibling candidate directly against the
+// neighbor data (pull, O(r · deg(v))) or scans the group-restricted window
+// of the same push accumulators (GainComputer::FindBestTargetPushGrouped) —
+// the accumulators are topology-free, so recursion levels re-slice the
+// active window instead of rebuilding state.
 #pragma once
 
 #include <cstdint>
@@ -85,8 +88,9 @@ struct RefinerOptions {
   /// pull and push resolve ties identically.)
   bool preselect_exploration = true;
   /// Superstep-2 scan direction. kAuto uses push whenever it is available:
-  /// full-k topology and a nonzero pow base (p < 1 or future_splits > 1);
-  /// grouped topologies and the p = 1, t = 1 limit fall back to pull.
+  /// a nonzero pow base (p < 1 or future_splits > 1); only the p = 1, t = 1
+  /// limit falls back to pull. Grouped recursion windows run push over the
+  /// group-restricted accumulator view (move_topology.h GroupWindow).
   /// The BSP engine (engine/shp_bsp.h) keys its superstep-2 *exchange* off
   /// the same switch: kPull reships dirty queries' full neighbor data (the
   /// reference), kPush/kAuto ship sparse NeighborDelta records and run the
@@ -130,6 +134,11 @@ struct IterationStats {
   /// is larger by the destination fan-out (records × touched workers, see
   /// SuperstepStats traffic).
   uint64_t num_delta_records = 0;
+  /// Superstep-4 probability draws actually evaluated. Proposals whose
+  /// (from, target) probability-table row is all zero skip the draw (it can
+  /// never fire), so on a converged instance this drops below
+  /// num_proposals while the move trajectory is unchanged.
+  uint64_t num_draws = 0;
 };
 
 /// Interface over refinement iteration engines. The threaded in-memory

@@ -5,6 +5,7 @@
 #include <span>
 #include <type_traits>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "common/logging.h"
 #include "common/rng.h"
@@ -205,13 +206,15 @@ IterationStats BspRefiner::RunIteration(const MoveTopology& topo,
       log_ == nullptr ? 0 : static_cast<uint64_t>(log_->size());
   IterationStats stats;
 
-  // Superstep-2 exchange mode for this iteration: delta exchange + push
-  // sweep needs the full-k sparse window and a nonzero pow base (same
-  // support condition as the threaded Refiner); everything else runs the
-  // pull reference path.
+  // Superstep-2 exchange mode: delta exchange + push sweep needs only a
+  // nonzero pow base (same support condition as the threaded Refiner) —
+  // grouped recursion windows run the same record exchange and scan the
+  // group-restricted accumulator view, so SHP-2/r levels also ship O(moved
+  // pins). The mode is constant per engine instance (options and pow base
+  // are fixed at construction).
   const bool push =
       options_.sweep_mode != RefinerOptions::SweepMode::kPull &&
-      topo.full_k && gain_.SupportsPush();
+      gain_.SupportsPush();
   stats.push_sweep = push;
 
   // ---------------------------------------------------------------- S1 ---
@@ -253,13 +256,16 @@ IterationStats BspRefiner::RunIteration(const MoveTopology& topo,
     if (known_assignment_ != partition->assignment()) full_scan = true;
   }
   if (full_scan) {
+    std::vector<uint64_t> diff_changed(static_cast<size_t>(W), 0);
     const std::vector<uint64_t> diff_work =
         RunPhase(W, pool, [&](int w) -> uint64_t {
           uint64_t work = 0;
+          uint64_t changed = 0;
           for (VertexId v : data_shards_[static_cast<size_t>(w)]) {
             const BucketId now = partition->bucket_of(v);
             const BucketId before = known_assignment_[v];
             if (now == before) continue;
+            ++changed;
             for (VertexId q : graph_.DataNeighbors(v)) {
               const int dst = sharding_.QueryWorker(q);
               if (before >= 0) {
@@ -270,11 +276,24 @@ IterationStats BspRefiner::RunIteration(const MoveTopology& topo,
             }
             known_assignment_[v] = now;
           }
+          diff_changed[static_cast<size_t>(w)] = changed;
           return work;
         });
+    uint64_t total_changed = 0;
     for (int w = 0; w < W; ++w) {
       s1_send_work[static_cast<size_t>(w)] +=
           diff_work[static_cast<size_t>(w)];
+      total_changed += diff_changed[static_cast<size_t>(w)];
+    }
+    if (sweep_valid_ &&
+        static_cast<double>(total_changed) >
+            options_.incremental_rebuild_fraction *
+                static_cast<double>(graph_.num_data())) {
+      // External-mutation churn guard (same cost rule as the post-move
+      // fallback below): with this many externally changed vertices the
+      // diff records outweigh a full reship, so drop the replicas now —
+      // the fold then skips emission and superstep 2 re-bootstraps.
+      sweep_valid_ = false;
     }
     proposals_valid_ = false;
     hist_valid_ = false;
@@ -348,16 +367,12 @@ IterationStats BspRefiner::RunIteration(const MoveTopology& topo,
       });
 
   // Records are emitted exactly when push && sweep_valid_ — superstep 2
-  // then patches the accumulator replicas with them. If the fold changed
-  // any query replica *without* emitting (pull/grouped iteration, or the
-  // p = 1 fallback), the data-side accumulators are stale from this moment:
-  // drop them so the next push iteration re-bootstraps. s1_recv_work counts
-  // exactly the applied folds.
-  if (sweep_valid_ && !push) {
-    uint64_t folded = 0;
-    for (int w = 0; w < W; ++w) folded += s1_recv_work[static_cast<size_t>(w)];
-    if (folded > 0) sweep_valid_ = false;
-  }
+  // then patches the accumulator replicas with them. The exchange mode is
+  // constant per instance and grouped rounds now emit too, so a fold can
+  // no longer change query replicas behind valid accumulators: sweep_valid_
+  // implies push, and an invalid sweep re-bootstraps below. (A pull-mode
+  // instance never builds replicas in the first place.)
+  SHP_DCHECK(!sweep_valid_ || push);
 
   SuperstepStats s1;
   s1.label = "1:collect-neighbor-data";
@@ -388,6 +403,7 @@ IterationStats BspRefiner::RunIteration(const MoveTopology& topo,
   // ---------------------------------------------------------------- S2 ---
   const bool context_ok = ContextMatches(topo, anchor, anchor_penalty, push);
   const bool bootstrap = push && !sweep_valid_;
+  if (bootstrap) ++num_bootstraps_;
   const bool recompute_all =
       full_scan || !proposals_valid_ || !context_ok || bootstrap;
   if (!context_ok) SnapshotContext(topo, anchor, anchor_penalty, push);
@@ -421,12 +437,16 @@ IterationStats BspRefiner::RunIteration(const MoveTopology& topo,
       std::vector<uint8_t> dst_mask(static_cast<size_t>(W));
       for (VertexId q : query_shards_[static_cast<size_t>(w)]) {
         if (!query_dirty_[q] && !bootstrap) continue;
-        // Restrict to buckets active in this topology (recursion sends
-        // "at most r values" per §3.3).
+        // Pull mode restricts to buckets active in this topology (recursion
+        // sends "at most r values" per §3.3). A delta-exchange bootstrap
+        // ships the *full* lists instead: the accumulator replicas it seeds
+        // are topology-free, which is what lets later recursion levels
+        // re-slice the active window instead of reshipping.
         std::vector<BucketCount> restricted;
         restricted.reserve(query_ndata_[q].size());
         for (const BucketCount& e : query_ndata_[q]) {
-          if (topo.group_of_bucket[static_cast<size_t>(e.bucket)] >= 0) {
+          if (bootstrap ||
+              topo.group_of_bucket[static_cast<size_t>(e.bucket)] >= 0) {
             restricted.push_back(e);
           }
         }
@@ -586,34 +606,11 @@ IterationStats BspRefiner::RunIteration(const MoveTopology& topo,
     cached_target_[v] = best.bucket;
     cached_gain_[v] = best.gain;
   };
-  const auto recompute_vertex = [&](int w, VertexId v,
-                                    uint64_t* work) {
-    const BucketId from = partition->bucket_of(v);
-    const int32_t group = topo.group_of_bucket[static_cast<size_t>(from)];
-    if (group < 0 || graph_.DataDegree(v) == 0) {
-      cached_target_[v] = -1;
-      cached_gain_[v] = 0.0;
-      return;
-    }
-    if (push) {
-      *work += sweep_.Entries(v).size();
-      finalize(v, from,
-               gain_.FindBestTargetPush(
-                   sweep_, v, from, 0, topo.k,
-                   static_cast<double>(graph_.DataDegree(v))));
-      return;
-    }
-    if (topo.full_k) {
-      std::vector<double>& affinity = pull_affinity_[static_cast<size_t>(w)];
-      std::vector<BucketId>& touched = pull_touched_[static_cast<size_t>(w)];
-      if (affinity.size() < static_cast<size_t>(topo.k)) {
-        affinity.assign(static_cast<size_t>(topo.k), 0.0);
-      }
-      finalize(v, from,
-               PullBestTarget(topo, v, from, &affinity, &touched, work));
-      return;
-    }
-    // Grouped recursion window: evaluate each sibling candidate directly.
+  // Grouped pull reference: evaluate each sibling candidate directly
+  // against the query replicas (the recursion counterpart of
+  // PullBestTarget; also the Debug cross-check frame for grouped push).
+  const auto grouped_pull_best = [&](VertexId v, BucketId from, int32_t group,
+                                     uint64_t* work) {
     const auto& children = topo.group_children[static_cast<size_t>(group)];
     GainComputer::BestTarget best;
     bool first = true;
@@ -634,7 +631,52 @@ IterationStats BspRefiner::RunIteration(const MoveTopology& topo,
         first = false;
       }
     }
-    finalize(v, from, best);
+    return best;
+  };
+  const auto recompute_vertex = [&](int w, VertexId v,
+                                    uint64_t* work) {
+    const BucketId from = partition->bucket_of(v);
+    const int32_t group = topo.group_of_bucket[static_cast<size_t>(from)];
+    if (group < 0 || graph_.DataDegree(v) == 0) {
+      cached_target_[v] = -1;
+      cached_gain_[v] = 0.0;
+      return;
+    }
+    if (push) {
+      if (topo.full_k) {
+        *work += sweep_.Entries(v).size();
+        finalize(v, from,
+                 gain_.FindBestTargetPush(
+                     sweep_, v, from, 0, topo.k,
+                     static_cast<double>(graph_.DataDegree(v))));
+        return;
+      }
+      // Group-restricted push: one merge over the sibling candidates and
+      // the accumulator window spanning them (a re-slice of the same
+      // replicas the full-k scan reads; sliced once, shared by the work
+      // accounting and the scan).
+      const auto& children =
+          topo.group_children[static_cast<size_t>(group)];
+      const auto [wbegin, wend] = topo.GroupWindow(group);
+      const auto window = sweep_.EntriesInWindow(v, wbegin, wend);
+      *work += window.size() + children.size();
+      finalize(v, from,
+               gain_.FindBestTargetPushGroupedWindow(
+                   window, from, std::span<const BucketId>(children),
+                   static_cast<double>(graph_.DataDegree(v))));
+      return;
+    }
+    if (topo.full_k) {
+      std::vector<double>& affinity = pull_affinity_[static_cast<size_t>(w)];
+      std::vector<BucketId>& touched = pull_touched_[static_cast<size_t>(w)];
+      if (affinity.size() < static_cast<size_t>(topo.k)) {
+        affinity.assign(static_cast<size_t>(topo.k), 0.0);
+      }
+      finalize(v, from,
+               PullBestTarget(topo, v, from, &affinity, &touched, work));
+      return;
+    }
+    finalize(v, from, grouped_pull_best(v, from, group, work));
   };
 
   std::vector<uint64_t> s2_gain_work;
@@ -718,13 +760,15 @@ IterationStats BspRefiner::RunIteration(const MoveTopology& topo,
             << "stale cached BSP proposal for v=" << v;
         if (!push) continue;
         const BucketId from = partition->bucket_of(v);
-        if (topo.group_of_bucket[static_cast<size_t>(from)] < 0 ||
-            graph_.DataDegree(v) == 0) {
-          continue;
-        }
+        const int32_t group =
+            topo.group_of_bucket[static_cast<size_t>(from)];
+        if (group < 0 || graph_.DataDegree(v) == 0) continue;
         const GainComputer::BestTarget pull_best = finalize_value(
             v, from,
-            PullBestTarget(topo, v, from, &affinity, &touched, &scratch_work));
+            topo.full_k
+                ? PullBestTarget(topo, v, from, &affinity, &touched,
+                                 &scratch_work)
+                : grouped_pull_best(v, from, group, &scratch_work));
         const BucketId pull_t = pull_best.bucket;
         const double pull_g = pull_best.gain;
         const double gtol =
@@ -861,19 +905,36 @@ IterationStats BspRefiner::RunIteration(const MoveTopology& topo,
 
   // ---------------------------------------------------------------- S4 ---
   // master -> data: probabilities; vertices draw and move; master repairs.
-  // Every active proposal draws (the paper's semantics), but the drawn
-  // movers land in compact per-worker lists, so execution, repair, and next
-  // round's superstep 1 touch O(moved) state.
+  // Active proposals draw unless their pair row is all zero (the draw
+  // floor below — skipping a probability-0 draw cannot change the
+  // trajectory), and the drawn movers land in compact per-worker lists, so
+  // execution, repair, and next round's superstep 1 touch O(moved) state.
   const PairProbabilityTable table =
       ComputePairProbabilities(topo, binning, histograms, *partition,
                                options_.broker.use_capacity_slack);
 
+  // Draw floor: proposals whose pair row is all zero can never fire, so
+  // their draws are skipped outright — on a converged instance the draw
+  // count collapses while the trajectory is unchanged (probability-0 draws
+  // never fire anyway).
+  const bool skip_dead = options_.broker.skip_zero_probability_pairs;
+  const std::unordered_set<uint64_t> live_pairs =
+      skip_dead ? table.LivePairKeys() : std::unordered_set<uint64_t>{};
+  std::vector<uint64_t> s4_draws(static_cast<size_t>(W), 0);
   for (int w = 0; w < W; ++w) mover_lists_[static_cast<size_t>(w)].clear();
   std::vector<uint64_t> s4_work = RunPhase(W, pool, [&](int w) -> uint64_t {
     uint64_t work = 0;
+    uint64_t draws = 0;
     std::vector<VertexId>& movers = mover_lists_[static_cast<size_t>(w)];
     for (VertexId v : data_shards_[static_cast<size_t>(w)]) {
       if (cached_target_[v] < 0) continue;
+      ++work;
+      if (skip_dead &&
+          live_pairs.count(
+              PackPair(partition->bucket_of(v), cached_target_[v])) == 0) {
+        continue;
+      }
+      ++draws;
       const double prob =
           std::min(table.Lookup(binning, partition->bucket_of(v),
                                 cached_target_[v], cached_gain_[v]),
@@ -882,10 +943,13 @@ IterationStats BspRefiner::RunIteration(const MoveTopology& topo,
       if (HashToUnitDouble(seed ^ 0x5108e77a, iteration, v) < prob) {
         movers.push_back(v);
       }
-      ++work;
     }
+    s4_draws[static_cast<size_t>(w)] = draws;
     return work;
   });
+  for (int w = 0; w < W; ++w) {
+    stats.num_draws += s4_draws[static_cast<size_t>(w)];
+  }
 
   MoveOutcome outcome;
   outcome.num_proposals = num_proposals;
@@ -918,10 +982,6 @@ IterationStats BspRefiner::RunIteration(const MoveTopology& topo,
     // and re-bootstrap next iteration.
     sweep_valid_ = false;
   }
-  // (A pull/grouped iteration's own moves need no action here: they are
-  // folded at the next superstep 1, which either emits records that patch
-  // the replicas — push next — or trips the fold-without-emission guard
-  // above and re-bootstraps.)
 
   // Clear this round's recompute marks through the compact lists — the mark
   // array stays all-zero between iterations without an O(n) sweep.

@@ -13,17 +13,21 @@
 //          active in the current move topology, ONE combined message per
 //          destination worker (Giraph's machine-pair message combining);
 //          receiving data vertices re-gather move gains. The reference path.
-//        * delta exchange + push sweep (kPush/kAuto on full-k topologies
-//          with a nonzero pow base) — dirty queries ship only the sparse
-//          (q, bucket, old, new) NeighborDelta records produced while
-//          folding superstep 1, O(moved pins) on the wire instead of
-//          O(Σ deg(dirty q) × touched workers). Each data worker keeps an
-//          AffinitySweep accumulator replica over its own shard: built
-//          query-major once (bootstrap iteration, charged as a full reship),
-//          patched from incoming deltas thereafter, and proposals are one
+//        * delta exchange + push sweep (kPush/kAuto with a nonzero pow
+//          base, full-k AND grouped recursion topologies) — dirty queries
+//          ship only the sparse (q, bucket, old, new) NeighborDelta records
+//          produced while folding superstep 1, O(moved pins) on the wire
+//          instead of O(Σ deg(dirty q) × touched workers). Each data worker
+//          keeps an AffinitySweep accumulator replica over its own shard:
+//          built query-major once (bootstrap iteration, charged as a full
+//          unrestricted reship — the replicas are topology-free), patched
+//          from incoming deltas thereafter, and proposals are one
 //          sequential scan of the vertex's own accumulator
-//          (GainComputer::FindBestTargetPush — shared tie-break and
-//          empty-window fallback with the pull scan).
+//          (GainComputer::FindBestTargetPush, or its group-restricted
+//          window variant FindBestTargetPushGrouped under SHP-2/r recursion
+//          — shared tie-break and fallback with the pull scan). A recursion
+//          level advance re-slices each group's scan window and patches the
+//          replicas from the diff-scan records; it does not reship.
 //      In either mode, clean vertices keep their cached proposal — their
 //      gains cannot have changed.
 //   3. data → master: per-worker (bucket-pair, gain-bin) histograms. The
@@ -33,10 +37,11 @@
 //      ships its full live histogram (that is what the master's matching
 //      needs) — bytes are O(active pairs × bins), independent of n.
 //   4. master → data: per-pair-and-bin move probabilities; vertices draw and
-//      move (every active proposal draws, per the paper's semantics); the
-//      drawn movers are collected into compact per-worker lists, so move
-//      execution, balance repair, and the next superstep 1 all touch
-//      O(moved) state instead of rescanning n-sized arrays.
+//      move (proposals whose probability row is all zero skip the draw —
+//      the trajectory-preserving draw floor); the drawn movers are
+//      collected into compact per-worker lists, so move execution, balance
+//      repair, and the next superstep 1 all touch O(moved) state instead of
+//      rescanning n-sized arrays.
 //
 // The implementation plugs into the SHP drivers through RefinerInterface, so
 // SHP-k and SHP-2/r run unmodified on top of it. All message and byte counts
@@ -90,6 +95,16 @@ class BspRefiner : public RefinerInterface {
   /// (adjacency shard + neighbor-data or accumulator replicas + proposal
   /// vectors).
   uint64_t MaxWorkerStateBytes() const;
+
+  /// Accumulator-replica bootstrap reships performed so far (delta-exchange
+  /// mode). With the externally changed fraction inside
+  /// RefinerOptions::incremental_rebuild_fraction, a recursion run holds
+  /// this at 1: level advances re-restrict the replicas through the
+  /// diff-scan records instead of reshipping (the test hook for that
+  /// invariant). Above the fraction — e.g. an SHP-2 redistribution moving
+  /// ~half the vertices under the default 0.15 — the churn guard drops the
+  /// replicas instead, because the records would outweigh the reship.
+  uint64_t num_bootstrap_reships() const { return num_bootstraps_; }
 
  private:
   /// last_pair_ sentinel: the vertex currently contributes to no histogram.
@@ -151,6 +166,7 @@ class BspRefiner : public RefinerInterface {
   // sparse (bucket, support, affinity) lists over each worker's own shard.
   AffinitySweep sweep_;
   bool sweep_valid_ = false;
+  uint64_t num_bootstraps_ = 0;  ///< bootstrap reships (diagnostics/tests)
 
   // Cached per-vertex proposals (clean vertices re-propose unchanged).
   std::vector<BucketId> cached_target_;

@@ -36,6 +36,7 @@
 // and epoch compaction.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <span>
@@ -123,6 +124,21 @@ class AffinitySweep {
     const Loc& loc = loc_[v];
     return {entries_.data() + loc.begin,
             entries_.data() + loc.begin + loc.size};
+  }
+
+  /// Entries of v with bucket in [begin, end) — the group-restricted view
+  /// used by the recursion push scan. A pure re-slice of the arena (two
+  /// binary searches over v's sorted entries); changing the active window
+  /// never rebuilds or copies accumulator state. O(log entries).
+  std::span<const AffinityEntry> EntriesInWindow(VertexId v, BucketId begin,
+                                                 BucketId end) const {
+    const auto all = Entries(v);
+    const auto cmp = [](const AffinityEntry& e, BucketId b) {
+      return e.bucket < b;
+    };
+    const auto lo = std::lower_bound(all.begin(), all.end(), begin, cmp);
+    const auto hi = std::lower_bound(lo, all.end(), end, cmp);
+    return {lo, hi};
   }
 
   /// affinity_v[b] (0 if no adjacent query occupies b). O(log entries).

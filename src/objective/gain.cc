@@ -155,6 +155,69 @@ GainComputer::BestTarget GainComputer::FindBestTargetPush(
   return BestTarget{best_bucket, p_ * (base - sum_pow_to)};
 }
 
+GainComputer::BestTarget GainComputer::FindBestTargetPushGrouped(
+    const AffinitySweep& sweep, VertexId v, BucketId from,
+    std::span<const BucketId> candidates, double degree) const {
+  SHP_DCHECK(!candidates.empty());
+  return FindBestTargetPushGroupedWindow(
+      sweep.EntriesInWindow(v, candidates.front(),
+                            static_cast<BucketId>(candidates.back() + 1)),
+      from, candidates, degree);
+}
+
+GainComputer::BestTarget GainComputer::FindBestTargetPushGroupedWindow(
+    std::span<const AffinityEntry> window, BucketId from,
+    std::span<const BucketId> candidates, double degree) const {
+  SHP_DCHECK(!candidates.empty());
+  SHP_DCHECK(std::is_sorted(candidates.begin(), candidates.end()))
+      << "grouped candidates must ascend (MoveTopology group_children "
+         "invariant)";
+  SHP_DCHECK(SupportsPush());
+
+  // The candidate list (sibling buckets, ascending, containing `from`) and
+  // the accumulator window spanning it are both bucket-sorted: one forward
+  // merge selects exactly the entries whose bucket is a sibling. During
+  // recursion every occupied bucket inside the window IS a sibling (the
+  // window is one subtree's leaf range), but the merge keeps the scan exact
+  // for arbitrary hand-built groups too.
+  double from_affinity = -1.0;
+  double best_affinity = 0.0;  // affinity of an empty sibling
+  BucketId best_bucket = -1;
+  size_t c = 0;
+  for (const AffinityEntry& entry : window) {
+    while (c < candidates.size() && candidates[c] < entry.bucket) ++c;
+    if (c == candidates.size()) break;
+    if (candidates[c] != entry.bucket) continue;
+    if (entry.bucket == from) {
+      from_affinity = entry.affinity;
+      continue;
+    }
+    if (entry.affinity > best_affinity + kAffinityTieEpsilon) {
+      best_affinity = entry.affinity;
+      best_bucket = entry.bucket;
+    }
+  }
+  SHP_DCHECK(from_affinity >= 0.0)
+      << "from-bucket accumulator entry missing in grouped window (from="
+      << from << ")";
+  if (best_bucket == -1) {
+    // Every sibling is as good as empty: lowest sibling ≠ from — the same
+    // pick the grouped pull argmax makes (candidates ascend, ties keep the
+    // first).
+    for (BucketId b : candidates) {
+      if (b != from) {
+        best_bucket = b;
+        break;
+      }
+    }
+    if (best_bucket == -1) return BestTarget{-1, 0.0};
+  }
+
+  const double base = (degree - from_affinity) / pow_table_.base();
+  const double sum_pow_to = degree - best_affinity;
+  return BestTarget{best_bucket, p_ * (base - sum_pow_to)};
+}
+
 double GainComputer::MoveGainPush(const AffinitySweep& sweep, VertexId v,
                                   BucketId from, BucketId to,
                                   double degree) const {

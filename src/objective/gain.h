@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/bipartite_graph.h"
@@ -88,6 +89,26 @@ class GainComputer {
   BestTarget FindBestTargetPush(const AffinitySweep& sweep, VertexId v,
                                 BucketId from, BucketId bucket_begin,
                                 BucketId bucket_end, double degree) const;
+
+  /// Group-restricted push scan for recursion windows: candidates are the
+  /// sibling buckets of v's group (ascending, containing `from`), and the
+  /// scan reads only the accumulator window spanning them
+  /// (AffinitySweep::EntriesInWindow — a re-slice, never a rebuild). Same
+  /// tie-break as the full-k scan; the empty-window fallback is the lowest
+  /// sibling ≠ from, matching the grouped pull path's first-candidate-wins
+  /// argmax. O(|candidates| + window entries). Requires SupportsPush().
+  BestTarget FindBestTargetPushGrouped(const AffinitySweep& sweep, VertexId v,
+                                       BucketId from,
+                                       std::span<const BucketId> candidates,
+                                       double degree) const;
+
+  /// Same scan over a pre-sliced accumulator window — for callers that
+  /// already hold AffinitySweep::EntriesInWindow(v, window) (the BSP engine
+  /// slices once for work accounting; re-slicing per call would double the
+  /// binary searches in the recompute hot loop).
+  BestTarget FindBestTargetPushGroupedWindow(
+      std::span<const AffinityEntry> window, BucketId from,
+      std::span<const BucketId> candidates, double degree) const;
 
   /// Push-path gain of moving v from `from` to a specific `to` (exploration
   /// proposals). O(log entries). Requires SupportsPush().

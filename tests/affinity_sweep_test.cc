@@ -447,6 +447,124 @@ TEST(PullPushTargets, EmptyWindowFallbackIsSharedAndChecksFrom) {
   }
 }
 
+// ----------------------------------------------- group-restricted push scan
+TEST(AffinitySweep, EntriesInWindowIsAPureSliceOfEntries) {
+  const BipartiteGraph g = TestGraph(13);
+  const BucketId k = 16;
+  const auto assignment = Partition::Random(g.num_data(), k, 4).assignment();
+  QueryNeighborData ndata;
+  ndata.Build(g, assignment);
+  const GainComputer gain(0.5, static_cast<uint32_t>(g.MaxQueryDegree()));
+  AffinitySweep sweep;
+  sweep.Build(g, ndata, gain.pow_table());
+
+  for (VertexId v = 0; v < g.num_data(); ++v) {
+    const auto all = sweep.Entries(v);
+    const std::pair<BucketId, BucketId> windows[] = {
+        {0, k}, {3, 9}, {9, 9}, {k, k + 4}};
+    for (const auto& [wb, we] : windows) {
+      const auto window = sweep.EntriesInWindow(v, wb, we);
+      // Exactly the contiguous run of entries with bucket in [wb, we) — a
+      // view into the same arena storage, no copy.
+      size_t expected = 0;
+      const AffinityEntry* first = nullptr;
+      for (const AffinityEntry& e : all) {
+        if (e.bucket >= wb && e.bucket < we) {
+          if (first == nullptr) first = &e;
+          ++expected;
+        }
+      }
+      ASSERT_EQ(window.size(), expected) << "v=" << v << " [" << wb << ","
+                                         << we << ")";
+      if (expected > 0) EXPECT_EQ(window.data(), first);
+    }
+  }
+}
+
+TEST(PullPushTargets, GroupedScanMatchesDirectSiblingEvaluation) {
+  // The recursion scan: sparse sibling candidate sets (non-contiguous
+  // bucket ids) against the same topology-free accumulators. Reference =
+  // direct per-sibling MoveGain argmax with first-candidate-wins ties —
+  // exactly the grouped pull path of both engines.
+  for (const double p : {0.1, 0.5, 0.9}) {
+    const BipartiteGraph g = TestGraph(7);
+    const BucketId k = 8;
+    const auto assignment = Partition::Random(g.num_data(), k, 2).assignment();
+    QueryNeighborData ndata;
+    ndata.Build(g, assignment);
+    const GainComputer gain(p, static_cast<uint32_t>(g.MaxQueryDegree()));
+    AffinitySweep sweep;
+    sweep.Build(g, ndata, gain.pow_table());
+
+    const std::vector<std::vector<BucketId>> sibling_sets = {
+        {0, 4}, {2, 3}, {1, 3, 5, 7}, {0, 2, 4, 6}};
+    for (const auto& siblings : sibling_sets) {
+      for (VertexId v = 0; v < g.num_data(); ++v) {
+        if (g.DataDegree(v) == 0) continue;
+        const BucketId from = assignment[v];
+        if (std::find(siblings.begin(), siblings.end(), from) ==
+            siblings.end()) {
+          continue;  // vertex not in this group
+        }
+        GainComputer::BestTarget ref;
+        bool first = true;
+        for (BucketId candidate : siblings) {
+          if (candidate == from) continue;
+          const double gg = gain.MoveGain(g, ndata, v, from, candidate);
+          if (first || gg > ref.gain) {
+            ref.gain = gg;
+            ref.bucket = candidate;
+            first = false;
+          }
+        }
+        const auto push = gain.FindBestTargetPushGrouped(
+            sweep, v, from, std::span<const BucketId>(siblings),
+            static_cast<double>(g.DataDegree(v)));
+        ASSERT_EQ(ref.bucket == -1, push.bucket == -1)
+            << "p=" << p << " v=" << v;
+        if (ref.bucket == -1) continue;
+        if (ref.bucket == push.bucket) {
+          EXPECT_NEAR(ref.gain, push.gain, 1e-9 + 1e-6 * std::fabs(ref.gain))
+              << "p=" << p << " v=" << v;
+        } else {
+          // Divergent picks are legal only on a gain tie, evaluated in the
+          // pull frame (the PR 2 contract).
+          const double g_ref = gain.MoveGain(g, ndata, v, from, ref.bucket);
+          const double g_push = gain.MoveGain(g, ndata, v, from, push.bucket);
+          EXPECT_NEAR(g_ref, g_push, 1e-9)
+              << "p=" << p << " v=" << v << " ref->" << ref.bucket
+              << " push->" << push.bucket;
+        }
+      }
+    }
+  }
+}
+
+TEST(PullPushTargets, GroupedFallbackPicksLowestSiblingNotFrom) {
+  const BipartiteGraph g = TieGraph();
+  const std::vector<BucketId> assignment = {0, 1, 2};
+  QueryNeighborData ndata;
+  ndata.Build(g, assignment);
+  const GainComputer gain(0.5, static_cast<uint32_t>(g.MaxQueryDegree()));
+  AffinitySweep sweep;
+  sweep.Build(g, ndata, gain.pow_table());
+
+  // Siblings {0, 4, 6} from bucket 0: 4 and 6 are both empty — the grouped
+  // pull argmax takes the first candidate ≠ from (= 4), so must the push
+  // fallback; the gain is the empty-bucket gain.
+  const std::vector<BucketId> siblings = {0, 4, 6};
+  const auto push = gain.FindBestTargetPushGrouped(
+      sweep, 0, 0, std::span<const BucketId>(siblings), 2.0);
+  EXPECT_EQ(push.bucket, 4);
+  EXPECT_NEAR(push.gain, gain.MoveGain(g, ndata, 0, 0, 4), 1e-12);
+  // A one-member "group" (from only) has no target.
+  const std::vector<BucketId> lone = {0};
+  EXPECT_EQ(gain.FindBestTargetPushGrouped(
+                sweep, 0, 0, std::span<const BucketId>(lone), 2.0)
+                .bucket,
+            -1);
+}
+
 // -------------------------------------- refiner-level tolerance equivalence
 BipartiteGraph RefinerGraph() {
   SocialGraphConfig config;

@@ -227,6 +227,74 @@ TEST(MoveBroker, SymmetricSwapsPreserveSizes) {
   EXPECT_LE(partition.bucket_size(1), topo.capacity[1]);
 }
 
+TEST(MoveBroker, DrawFloorSkipsDeadRowsWithoutChangingMoves) {
+  // One-sided negative demand: every (1 -> 0) histogram bin is negative and
+  // nothing proposes (0 -> 1), so the matched probability row is all zero
+  // (capacity slack only boosts positive bins). The draw floor must skip
+  // every draw — a probability-0 draw can never fire — while the executed
+  // moves are identical to the draw-everything reference.
+  const VertexId n = 1000;
+  std::vector<BucketId> assignment(n);
+  for (VertexId v = 0; v < n; ++v) assignment[v] = static_cast<BucketId>(v % 2);
+  const MoveTopology topo = MoveTopology::FullK(2, n, 0.05);
+  std::vector<BucketId> targets(n, -1);
+  std::vector<double> gains(n, 0.0);
+  uint64_t proposers = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (assignment[v] == 1) {
+      targets[v] = 0;
+      gains[v] = -1.0;
+      ++proposers;
+    }
+  }
+  auto run = [&](bool skip) {
+    Partition partition = Partition::FromAssignment(assignment, 2);
+    MoveBrokerOptions options;
+    options.skip_zero_probability_pairs = skip;
+    MoveBroker broker(options);
+    return broker.Apply(topo, targets, gains, 9, 0, &partition);
+  };
+  const MoveOutcome with_floor = run(true);
+  const MoveOutcome reference = run(false);
+  EXPECT_EQ(with_floor.moves, reference.moves);
+  EXPECT_EQ(with_floor.num_moved, 0u);
+  EXPECT_EQ(with_floor.num_proposals, proposers);
+  EXPECT_EQ(with_floor.num_draws, 0u) << "all-zero rows must skip the draw";
+  EXPECT_EQ(reference.num_draws, proposers)
+      << "the reference draws every active proposal";
+}
+
+TEST(MoveBroker, DrawFloorKeepsLiveRowsDrawing) {
+  // Reciprocal symmetric demand: the (0,1) rows are matched (live), so the
+  // draw floor must not skip anything and the trajectory stays identical to
+  // the reference for every strategy that draws.
+  const VertexId n = 200;
+  std::vector<BucketId> assignment(n);
+  for (VertexId v = 0; v < n; ++v) assignment[v] = v < 100 ? 0 : 1;
+  const MoveTopology topo = MoveTopology::FullK(2, n, 0.1);
+  std::vector<BucketId> targets(n);
+  std::vector<double> gains(n, 1.0);
+  for (VertexId v = 0; v < n; ++v) targets[v] = 1 - assignment[v];
+  for (const auto strategy :
+       {MoveBrokerOptions::Strategy::kPlainProbability,
+        MoveBrokerOptions::Strategy::kHistogramMatching}) {
+    auto run = [&](bool skip) {
+      Partition partition = Partition::FromAssignment(assignment, 2);
+      MoveBrokerOptions options;
+      options.strategy = strategy;
+      options.skip_zero_probability_pairs = skip;
+      MoveBroker broker(options);
+      return broker.Apply(topo, targets, gains, 9, 0, &partition);
+    };
+    const MoveOutcome with_floor = run(true);
+    const MoveOutcome reference = run(false);
+    EXPECT_EQ(with_floor.moves, reference.moves);
+    EXPECT_EQ(with_floor.num_draws, reference.num_draws)
+        << "live rows draw on both paths";
+    EXPECT_GT(with_floor.num_moved, 0u);
+  }
+}
+
 TEST(MoveBroker, DampingReducesMovement) {
   const VertexId n = 2000;
   auto run = [n](double damping) {

@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Bench-regression gate for BENCH_refine.json.
+
+Diffs a freshly produced BENCH_refine.json against the committed baseline
+and fails (exit 1) on:
+
+ 1. Timing regression: for every series present in both files with an
+    `iteration_ms` list, the fresh median-iteration-ms — normalized by the
+    file's `full_rebuild` median so the gate is host-speed-invariant
+    (shared CI runners are heterogeneous; absolute ms across machines is
+    noise, the ratio to the in-process reference engine is not) — must not
+    exceed the baseline's normalized median by more than --max-regression
+    (default 20%). Medians, not means: one GC hiccup or cold first
+    iteration must not trip the gate. If either file lacks the
+    `full_rebuild` anchor, the comparison falls back to absolute medians.
+
+ 2. Byte regression: for the delta-exchange series (bsp_push,
+    bsp_push_grouped), any increase of `steady_s2_remote_bytes` over the
+    baseline fails outright — the steady-state superstep-2 byte count is a
+    deterministic message-accounting result, not a timing, so there is no
+    noise to tolerate.
+
+Missing or unreadable baseline → exit 0 with a SKIP notice (first run on a
+branch that predates the baseline, or a series newly added by this change).
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+ANCHOR_SERIES = "full_rebuild"
+DELTA_BYTE_SERIES = ("bsp_push", "bsp_push_grouped")
+
+
+MISSING = object()
+
+
+def load(path):
+    """Parsed JSON dict, MISSING if the file does not exist, or None if it
+    exists but cannot be parsed (corrupt baselines must FAIL, not silently
+    disable the gate)."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except FileNotFoundError:
+        return MISSING
+    except (OSError, ValueError):
+        return None
+
+
+def series_median_ms(doc, name):
+    series = doc.get(name)
+    if not isinstance(series, dict):
+        return None
+    samples = series.get("iteration_ms")
+    if not isinstance(samples, list) or not samples:
+        return None
+    return statistics.median(samples)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fresh", required=True,
+                        help="BENCH_refine.json produced by this run")
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_refine.json to diff against")
+    parser.add_argument("--max-regression", type=float, default=0.20,
+                        help="allowed fractional median-ms regression")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    if baseline is MISSING:
+        print(f"SKIP: baseline {args.baseline} does not exist — nothing to "
+              "diff against")
+        return 0
+    if not isinstance(baseline, dict):
+        print(f"FAIL: baseline {args.baseline} exists but is unreadable — "
+              "a corrupt baseline must not silently disable the gate")
+        return 1
+    fresh = load(args.fresh)
+    if not isinstance(fresh, dict):
+        print(f"FAIL: fresh results {args.fresh} missing or unreadable")
+        return 1
+
+    failures = []
+
+    # --- timing gate: normalized median iteration ms per shared series ---
+    fresh_anchor = series_median_ms(fresh, ANCHOR_SERIES)
+    base_anchor = series_median_ms(baseline, ANCHOR_SERIES)
+    normalized = fresh_anchor is not None and base_anchor is not None \
+        and fresh_anchor > 0 and base_anchor > 0
+    mode = ("normalized by %s median" % ANCHOR_SERIES) if normalized \
+        else "absolute (no anchor series)"
+    print(f"timing gate ({mode}, threshold "
+          f"{args.max_regression:.0%}):")
+    for name in sorted(fresh.keys()):
+        fresh_median = series_median_ms(fresh, name)
+        base_median = series_median_ms(baseline, name)
+        if fresh_median is None or base_median is None:
+            continue
+        if normalized:
+            if name == ANCHOR_SERIES:
+                # The anchor's normalized ratio is 1.0 by definition, and
+                # comparing it on absolute ms would reintroduce exactly the
+                # cross-host noise the normalization removes.
+                continue
+            fresh_metric = fresh_median / fresh_anchor
+            base_metric = base_median / base_anchor
+        else:
+            fresh_metric = fresh_median
+            base_metric = base_median
+        if base_metric <= 0:
+            continue
+        ratio = fresh_metric / base_metric
+        verdict = "ok"
+        if ratio > 1.0 + args.max_regression:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{name}: median iteration ms regressed {ratio - 1.0:+.1%} "
+                f"(fresh {fresh_median:.3f} ms vs baseline "
+                f"{base_median:.3f} ms, {mode})")
+        print(f"  {name:<18} fresh {fresh_median:9.3f} ms  baseline "
+              f"{base_median:9.3f} ms  ratio {ratio:6.3f}  {verdict}")
+
+    # --- byte gate: deterministic steady-state superstep-2 volume ---
+    print("superstep-2 byte gate (delta-exchange series, any increase "
+          "fails):")
+    for name in DELTA_BYTE_SERIES:
+        fresh_series = fresh.get(name)
+        base_series = baseline.get(name)
+        if not isinstance(fresh_series, dict) or \
+                not isinstance(base_series, dict):
+            print(f"  {name:<18} not in both files — skipped")
+            continue
+        fresh_bytes = fresh_series.get("steady_s2_remote_bytes")
+        base_bytes = base_series.get("steady_s2_remote_bytes")
+        if not isinstance(fresh_bytes, int) or not isinstance(base_bytes,
+                                                              int):
+            print(f"  {name:<18} steady_s2_remote_bytes missing — skipped")
+            continue
+        verdict = "ok"
+        if fresh_bytes > base_bytes:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{name}: steady-state superstep-2 bytes grew "
+                f"{fresh_bytes - base_bytes:+d} "
+                f"(fresh {fresh_bytes} vs baseline {base_bytes})")
+        print(f"  {name:<18} fresh {fresh_bytes:>12}  baseline "
+              f"{base_bytes:>12}  {verdict}")
+
+    if failures:
+        print("\nFAIL:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nPASS: no bench regression")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
