@@ -10,9 +10,11 @@
 #include "core/partition.h"
 #include "core/refiner.h"
 #include "graph/gen_social.h"
+#include "common/rng.h"
 #include "objective/affinity_sweep.h"
 #include "objective/gain.h"
 #include "objective/neighbor_data.h"
+#include "objective/scan_kernels.h"
 
 namespace shp {
 namespace {
@@ -165,6 +167,39 @@ void BM_GroupedPullSiblingScan(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GroupedPullSiblingScan)->Arg(8)->Arg(64)->Arg(512);
+
+void PushScanKernelBench(benchmark::State& state, AffinityScanFn fn) {
+  // The raw push-argmax primitive both FindBestTargetPush* paths reduce to:
+  // a sequential epsilon-guarded max over a contiguous accumulator run. The
+  // scalar/SIMD pair demonstrates the block-skip kernel's speedup on the
+  // same input (bit-identical results by construction).
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<AffinityEntry> run(n);
+  for (size_t i = 0; i < n; ++i) {
+    run[i] = {static_cast<BucketId>(i), 1, HashToUnitDouble(9, 2, i) * 4.0};
+  }
+  for (auto _ : state) {
+    AffinityScanBest best;
+    fn(run.data(), run.data() + run.size(),
+       GainComputer::kAffinityTieEpsilon, &best);
+    benchmark::DoNotOptimize(best);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+
+void BM_BestTargetPushScanScalar(benchmark::State& state) {
+  PushScanKernelBench(state, &ScanAffinityRunScalar);
+}
+BENCHMARK(BM_BestTargetPushScanScalar)->Arg(64)->Arg(512);
+
+void BM_BestTargetPushScanSimd(benchmark::State& state) {
+  if (!SimdScanAvailable()) {
+    state.SkipWithError("AVX2 scan kernel unavailable on this host/build");
+    return;
+  }
+  PushScanKernelBench(state, SimdAffinityScan());
+}
+BENCHMARK(BM_BestTargetPushScanSimd)->Arg(64)->Arg(512);
 
 void RefinerIterationBench(benchmark::State& state, bool incremental) {
   const BipartiteGraph graph = MakeGraph(20000, 16);

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/flags.h"
+#include "common/rng.h"
 #include "common/timer.h"
 #include "core/move_topology.h"
 #include "core/partition.h"
@@ -36,7 +37,9 @@
 #include "core/shp_k.h"
 #include "engine/shp_bsp.h"
 #include "graph/gen_powerlaw.h"
+#include "objective/gain.h"
 #include "objective/objective.h"
+#include "objective/scan_kernels.h"
 #include "harness.h"
 
 namespace {
@@ -59,6 +62,9 @@ struct BspTiming {
   double mean_ms = 0.0;
   uint64_t steady_s2_bytes = 0;
   uint64_t delta_records = 0;
+  /// Adjacency pin reads of the one-pass sharded bootstrap (push mode; 0 on
+  /// the pull path, which never builds the affinity sweep).
+  uint64_t bootstrap_adjacency_reads = 0;
 };
 
 }  // namespace
@@ -153,11 +159,12 @@ int main(int argc, char** argv) {
       static_cast<int>(flags.GetInt("bsp_workers", 4));
   auto run_bsp = [&](RefinerOptions::SweepMode mode, const MoveTopology& t,
                      const std::vector<BucketId>& start,
-                     uint64_t iteration_offset) {
+                     uint64_t iteration_offset, bool varint_wire) {
     RefinerOptions options = base_options;
     options.sweep_mode = mode;
     BspConfig config;
     config.num_workers = bsp_workers;
+    config.varint_wire = varint_wire;
     std::vector<SuperstepStats> log;
     BspRefiner refiner(graph, options, config, &log);
     Partition partition = Partition::FromAssignment(start, k);
@@ -175,12 +182,22 @@ int main(int argc, char** argv) {
     timing.mean_ms = std::accumulate(timing.iteration_ms.begin(),
                                      timing.iteration_ms.end(), 0.0) /
                      static_cast<double>(timing.iteration_ms.size());
+    timing.bootstrap_adjacency_reads =
+        refiner.sweep().last_build_adjacency_reads();
     return std::make_pair(timing, partition.assignment());
   };
-  const auto [bsp_pull, bsp_pull_assignment] = run_bsp(
-      RefinerOptions::SweepMode::kPull, topo, steady_start, warm_iterations);
-  const auto [bsp_push, bsp_push_assignment] = run_bsp(
-      RefinerOptions::SweepMode::kPush, topo, steady_start, warm_iterations);
+  // The legacy bsp_pull/bsp_push series keep the raw fixed-width accounting
+  // so their steady_s2_remote_bytes trend stays comparable across history;
+  // the *_varint series gate the grouped varint codec against them.
+  const auto [bsp_pull, bsp_pull_assignment] =
+      run_bsp(RefinerOptions::SweepMode::kPull, topo, steady_start,
+              warm_iterations, /*varint_wire=*/false);
+  const auto [bsp_push, bsp_push_assignment] =
+      run_bsp(RefinerOptions::SweepMode::kPush, topo, steady_start,
+              warm_iterations, /*varint_wire=*/false);
+  const auto [bsp_push_varint, bsp_push_varint_assignment] =
+      run_bsp(RefinerOptions::SweepMode::kPush, topo, steady_start,
+              warm_iterations, /*varint_wire=*/true);
 
   // Grouped series: a final-level SHP-2 window over the same graph —
   // sibling pairs {2i, 2i+1}. Warm into the grouped steady state from the
@@ -205,10 +222,13 @@ int main(int argc, char** argv) {
   const std::vector<BucketId> grouped_start = grouped_warmup.assignment();
   const auto [bsp_pull_grouped, bsp_pull_grouped_assignment] =
       run_bsp(RefinerOptions::SweepMode::kPull, grouped_topo, grouped_start,
-              grouped_warm_iterations);
+              grouped_warm_iterations, /*varint_wire=*/false);
   const auto [bsp_push_grouped, bsp_push_grouped_assignment] =
       run_bsp(RefinerOptions::SweepMode::kPush, grouped_topo, grouped_start,
-              grouped_warm_iterations);
+              grouped_warm_iterations, /*varint_wire=*/false);
+  const auto [bsp_push_grouped_varint, bsp_push_grouped_varint_assignment] =
+      run_bsp(RefinerOptions::SweepMode::kPush, grouped_topo, grouped_start,
+              grouped_warm_iterations, /*varint_wire=*/true);
 
   if (full_assignment != incremental_assignment) {
     std::fprintf(stderr,
@@ -285,6 +305,103 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Varint wire format: the codec is accounting-only, so the varint run must
+  // walk the bit-identical trajectory of its raw twin, and its steady-state
+  // superstep-2 bytes must undercut the raw 16-byte records by >= 25% (the
+  // acceptance criterion; the codec lands near 3 bytes/record).
+  auto gate_varint = [](const char* what, const BspTiming& raw,
+                        const BspTiming& varint,
+                        const std::vector<BucketId>& raw_assignment,
+                        const std::vector<BucketId>& varint_assignment) {
+    if (varint_assignment != raw_assignment) {
+      std::fprintf(stderr,
+                   "FAIL: %s varint wire run diverged from the raw run (the "
+                   "codec must never change the trajectory)\n",
+                   what);
+      return false;
+    }
+    if (raw.steady_s2_bytes > 0 &&
+        varint.steady_s2_bytes >
+            raw.steady_s2_bytes - raw.steady_s2_bytes / 4) {
+      std::fprintf(stderr,
+                   "FAIL: %s varint superstep-2 bytes %llu not >=25%% below "
+                   "raw %llu\n",
+                   what,
+                   static_cast<unsigned long long>(varint.steady_s2_bytes),
+                   static_cast<unsigned long long>(raw.steady_s2_bytes));
+      return false;
+    }
+    return true;
+  };
+  if (!gate_varint("full-k", bsp_push, bsp_push_varint, bsp_push_assignment,
+                   bsp_push_varint_assignment) ||
+      !gate_varint("grouped", bsp_push_grouped, bsp_push_grouped_varint,
+                   bsp_push_grouped_assignment,
+                   bsp_push_grouped_varint_assignment)) {
+    return 2;
+  }
+
+  // One-pass sharded bootstrap: the push-mode engines build the affinity
+  // sweep once at iteration 0; the binned bootstrap reads each adjacency pin
+  // exactly once regardless of the worker count (the old layout read W×|E|).
+  for (const BspTiming* t : {&bsp_push, &bsp_push_varint}) {
+    if (t->bootstrap_adjacency_reads != graph.num_edges()) {
+      std::fprintf(stderr,
+                   "FAIL: sharded bootstrap read %llu adjacency pins, "
+                   "expected exactly |E| = %llu (W=%d)\n",
+                   static_cast<unsigned long long>(
+                       t->bootstrap_adjacency_reads),
+                   static_cast<unsigned long long>(graph.num_edges()),
+                   bsp_workers);
+      return 2;
+    }
+  }
+  const double bootstrap_passes =
+      static_cast<double>(bsp_push.bootstrap_adjacency_reads) /
+      static_cast<double>(std::max<uint64_t>(1, graph.num_edges()));
+
+  // Scan-kernel series: the push argmax primitive on a synthetic accumulator
+  // run, scalar vs the dispatched AVX2 kernel (absent on pre-AVX2 hosts or
+  // -DSHP_DISABLE_SIMD builds; the series is then omitted and the optional
+  // gate is skipped). Long runs (512 entries) are where block-skip pays.
+  const double min_simd_speedup = flags.GetDouble("min_simd_speedup", 0.0);
+  std::vector<AffinityEntry> kernel_run(512);
+  for (size_t i = 0; i < kernel_run.size(); ++i) {
+    kernel_run[i] = {static_cast<BucketId>(i), 1,
+                     HashToUnitDouble(3, 5, i) * 4.0};
+  }
+  auto time_kernel = [&](AffinityScanFn fn) {
+    std::vector<double> ms;
+    double sink = 0.0;
+    for (uint32_t i = 0; i < timed_iterations; ++i) {
+      Timer timer;
+      for (int rep = 0; rep < 2000; ++rep) {
+        AffinityScanBest best;
+        fn(kernel_run.data(), kernel_run.data() + kernel_run.size(),
+           GainComputer::kAffinityTieEpsilon, &best);
+        sink += best.affinity;
+      }
+      ms.push_back(timer.ElapsedMillis());
+    }
+    if (sink < 0.0) std::printf("%f", sink);  // defeat dead-code elimination
+    return ms;
+  };
+  const std::vector<double> scan_scalar_ms =
+      time_kernel(&ScanAffinityRunScalar);
+  const bool have_simd = SimdScanAvailable();
+  const std::vector<double> scan_simd_ms =
+      have_simd ? time_kernel(SimdAffinityScan()) : std::vector<double>{};
+  auto mean_of = [](const std::vector<double>& v) {
+    return v.empty() ? 0.0
+                     : std::accumulate(v.begin(), v.end(), 0.0) /
+                           static_cast<double>(v.size());
+  };
+  const double scan_scalar_mean = mean_of(scan_scalar_ms);
+  const double scan_simd_mean = mean_of(scan_simd_ms);
+  const double simd_speedup =
+      have_simd && scan_simd_mean > 0.0 ? scan_scalar_mean / scan_simd_mean
+                                        : 0.0;
+
   const double speedup = full.mean_ms / incremental.mean_ms;
   const double push_speedup = incremental.mean_ms / push.mean_ms;
   const double bsp_speedup = bsp_pull.mean_ms / bsp_push.mean_ms;
@@ -321,6 +438,29 @@ int main(int argc, char** argv) {
   std::printf("bsp          : %.2fx iteration speedup, %.2fx superstep-2 "
               "traffic reduction (fanout rel diff %.1e)\n",
               bsp_speedup, bsp_s2_reduction, bsp_fanout_rel_diff);
+  const double varint_reduction =
+      static_cast<double>(bsp_push.steady_s2_bytes) /
+      static_cast<double>(
+          std::max<uint64_t>(1, bsp_push_varint.steady_s2_bytes));
+  std::printf("bsp varint   : %.3f ms/iteration (steady S2 %llu remote bytes "
+              "— %.2fx below raw delta records)\n",
+              bsp_push_varint.mean_ms,
+              static_cast<unsigned long long>(bsp_push_varint.steady_s2_bytes),
+              varint_reduction);
+  std::printf("bootstrap    : %llu adjacency reads = %.2f passes over |E| "
+              "(W=%d)\n",
+              static_cast<unsigned long long>(
+                  bsp_push.bootstrap_adjacency_reads),
+              bootstrap_passes, bsp_workers);
+  if (have_simd) {
+    std::printf("scan kernel  : scalar %.4f ms, avx2 %.4f ms (%.2fx, %zu "
+                "entries x 2000 reps)\n",
+                scan_scalar_mean, scan_simd_mean, simd_speedup,
+                kernel_run.size());
+  } else {
+    std::printf("scan kernel  : scalar %.4f ms (AVX2 kernel unavailable)\n",
+                scan_scalar_mean);
+  }
   const double grouped_bsp_speedup =
       bsp_pull_grouped.mean_ms / bsp_push_grouped.mean_ms;
   const double grouped_s2_reduction =
@@ -344,6 +484,16 @@ int main(int argc, char** argv) {
               "traffic reduction (fanout rel diff %.1e)\n",
               grouped_bsp_speedup, grouped_s2_reduction,
               grouped_fanout_rel_diff);
+  const double grouped_varint_reduction =
+      static_cast<double>(bsp_push_grouped.steady_s2_bytes) /
+      static_cast<double>(
+          std::max<uint64_t>(1, bsp_push_grouped_varint.steady_s2_bytes));
+  std::printf("bsp grouped varint: %.3f ms/iteration (steady S2 %llu remote "
+              "bytes — %.2fx below raw)\n",
+              bsp_push_grouped_varint.mean_ms,
+              static_cast<unsigned long long>(
+                  bsp_push_grouped_varint.steady_s2_bytes),
+              grouped_varint_reduction);
 
   // Default output deliberately differs from the committed baseline
   // (BENCH_refine.json): an ad-hoc run from the repo root must not clobber
@@ -413,28 +563,59 @@ int main(int argc, char** argv) {
   std::fprintf(out, ",\n");
   write_series("push", push);
   std::fprintf(out, ",\n");
+  auto write_kernel_series = [&](const char* name,
+                                 const std::vector<double>& ms,
+                                 double mean) {
+    std::fprintf(out,
+                 "  \"%s\": {\n"
+                 "    \"mean_iteration_ms\": %.6f,\n"
+                 "    \"iteration_ms\": [",
+                 name, mean);
+    for (size_t i = 0; i < ms.size(); ++i) {
+      std::fprintf(out, "%s%.6f", i == 0 ? "" : ", ", ms[i]);
+    }
+    std::fprintf(out, "]\n  }");
+  };
   write_bsp_series("bsp_pull", bsp_pull);
   std::fprintf(out, ",\n");
   write_bsp_series("bsp_push", bsp_push);
   std::fprintf(out, ",\n");
+  write_bsp_series("bsp_push_varint", bsp_push_varint);
+  std::fprintf(out, ",\n");
   write_bsp_series("bsp_pull_grouped", bsp_pull_grouped);
   std::fprintf(out, ",\n");
   write_bsp_series("bsp_push_grouped", bsp_push_grouped);
+  std::fprintf(out, ",\n");
+  write_bsp_series("bsp_push_grouped_varint", bsp_push_grouped_varint);
+  std::fprintf(out, ",\n");
+  write_kernel_series("scan_scalar", scan_scalar_ms, scan_scalar_mean);
+  if (have_simd) {
+    std::fprintf(out, ",\n");
+    write_kernel_series("scan_simd", scan_simd_ms, scan_simd_mean);
+  }
   std::fprintf(out,
                ",\n  \"speedup\": %.4f,\n  \"push_speedup\": %.4f,\n"
                "  \"push_fanout_rel_diff\": %.6e,\n"
                "  \"bsp_speedup\": %.4f,\n"
                "  \"bsp_s2_traffic_reduction\": %.4f,\n"
                "  \"bsp_fanout_rel_diff\": %.6e,\n"
+               "  \"varint_s2_reduction\": %.4f,\n"
                "  \"grouped_warmup_iterations\": %llu,\n"
                "  \"bsp_grouped_speedup\": %.4f,\n"
                "  \"bsp_grouped_s2_traffic_reduction\": %.4f,\n"
-               "  \"bsp_grouped_fanout_rel_diff\": %.6e\n}\n",
+               "  \"bsp_grouped_fanout_rel_diff\": %.6e,\n"
+               "  \"grouped_varint_s2_reduction\": %.4f,\n"
+               "  \"bootstrap_adjacency_reads\": %llu,\n"
+               "  \"bootstrap_adjacency_passes\": %.4f,\n"
+               "  \"simd_scan_speedup\": %.4f\n}\n",
                speedup, push_speedup, fanout_rel_diff, bsp_speedup,
-               bsp_s2_reduction, bsp_fanout_rel_diff,
+               bsp_s2_reduction, bsp_fanout_rel_diff, varint_reduction,
                static_cast<unsigned long long>(grouped_warm_iterations),
                grouped_bsp_speedup, grouped_s2_reduction,
-               grouped_fanout_rel_diff);
+               grouped_fanout_rel_diff, grouped_varint_reduction,
+               static_cast<unsigned long long>(
+                   bsp_push.bootstrap_adjacency_reads),
+               bootstrap_passes, simd_speedup);
   std::fclose(out);
   std::printf("wrote %s\n", out_path.c_str());
 
@@ -453,6 +634,15 @@ int main(int argc, char** argv) {
   if (bsp_speedup < min_bsp_speedup) {
     std::fprintf(stderr, "FAIL: BSP speedup %.2fx below required %.2fx\n",
                  bsp_speedup, min_bsp_speedup);
+    return 3;
+  }
+  // Optional (timing-based, so default 0): the AVX2 scan kernel vs scalar on
+  // the synthetic run. Skipped when the kernel is unavailable — the scalar
+  // fallback leg must not fail a gate it cannot run.
+  if (have_simd && simd_speedup < min_simd_speedup) {
+    std::fprintf(stderr,
+                 "FAIL: SIMD scan speedup %.2fx below required %.2fx\n",
+                 simd_speedup, min_simd_speedup);
     return 3;
   }
   return 0;

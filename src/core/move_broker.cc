@@ -37,7 +37,8 @@ MoveOutcome MoveBroker::Apply(const MoveTopology& topo,
                               const std::vector<BucketId>& targets,
                               const std::vector<double>& gains, uint64_t seed,
                               uint64_t iteration, Partition* partition,
-                              ThreadPool* pool) {
+                              ThreadPool* pool,
+                              const std::vector<VertexId>* changed) {
   if (pool == nullptr) pool = &GlobalThreadPool();
   switch (options_.strategy) {
     case MoveBrokerOptions::Strategy::kPlainProbability:
@@ -45,7 +46,7 @@ MoveOutcome MoveBroker::Apply(const MoveTopology& topo,
                         pool);
     case MoveBrokerOptions::Strategy::kHistogramMatching:
       return ApplyHistogram(topo, targets, gains, seed, iteration, partition,
-                            pool);
+                            pool, changed);
     case MoveBrokerOptions::Strategy::kExactPairing:
       return ApplyExactPairing(topo, targets, gains, seed, iteration,
                                partition);
@@ -294,12 +295,39 @@ PairProbabilityTable ComputePairProbabilities(
   return table;
 }
 
+void MoveBroker::UpdateHistContribution(VertexId v,
+                                        const std::vector<BucketId>& targets,
+                                        const std::vector<double>& gains,
+                                        const Partition& partition) {
+  const uint64_t old_pair = hist_last_pair_[v];
+  if (old_pair != kNoPair) {
+    const auto it = hist_state_.find(old_pair);
+    SHP_DCHECK(it != hist_state_.end());
+    const size_t bin = static_cast<size_t>(hist_last_bin_[v]);
+    SHP_DCHECK(it->second.hist.counts[bin] > 0);
+    --it->second.hist.counts[bin];  // DirectedGainHistogram has no Remove
+    --it->second.total;
+    --hist_live_proposals_;
+    hist_last_pair_[v] = kNoPair;
+  }
+  if (targets[v] < 0) return;
+  const uint64_t pair = PackPair(partition.bucket_of(v), targets[v]);
+  PairState& state = hist_state_[pair];
+  if (state.hist.counts.empty()) state.hist.Init(options_.binning);
+  const int bin = options_.binning.BinFor(gains[v]);
+  ++state.hist.counts[static_cast<size_t>(bin)];
+  ++state.total;
+  ++hist_live_proposals_;
+  hist_last_pair_[v] = pair;
+  hist_last_bin_[v] = bin;
+}
+
 MoveOutcome MoveBroker::ApplyHistogram(const MoveTopology& topo,
                                        const std::vector<BucketId>& targets,
                                        const std::vector<double>& gains,
                                        uint64_t seed, uint64_t iteration,
-                                       Partition* partition,
-                                       ThreadPool* pool) {
+                                       Partition* partition, ThreadPool* pool,
+                                       const std::vector<VertexId>* changed) {
   const VertexId n = partition->num_data();
   SHP_CHECK_EQ(targets.size(), n);
   MoveOutcome outcome;
@@ -307,14 +335,64 @@ MoveOutcome MoveBroker::ApplyHistogram(const MoveTopology& topo,
 
   // Directed gain histograms per ordered bucket pair (the master state;
   // O(#occupied pairs × bins) memory, k²·bins worst case as in the paper).
-  std::unordered_map<uint64_t, DirectedGainHistogram> histograms;
-  for (VertexId v = 0; v < n; ++v) {
-    if (targets[v] < 0) continue;
-    ++outcome.num_proposals;
-    auto& h = histograms[PackPair(partition->bucket_of(v), targets[v])];
-    if (h.counts.empty()) h.Init(binning);
-    h.Add(binning, gains[v]);
+  // Maintained incrementally when the caller hands a changed-proposal list:
+  // only the listed vertices' contributions are re-derived — O(|changed|)
+  // counter updates instead of the O(n) re-accumulation.
+  const bool incremental = changed != nullptr && hist_state_valid_ &&
+                           hist_last_pair_.size() == static_cast<size_t>(n);
+  if (incremental) {
+    for (const VertexId v : *changed) {
+      UpdateHistContribution(v, targets, gains, *partition);
+    }
+  } else {
+    hist_state_.clear();
+    hist_last_pair_.assign(static_cast<size_t>(n), kNoPair);
+    hist_last_bin_.assign(static_cast<size_t>(n), 0);
+    hist_live_proposals_ = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      UpdateHistContribution(v, targets, gains, *partition);
+    }
+    hist_state_valid_ = true;
   }
+  outcome.num_proposals = hist_live_proposals_;
+
+  // Materialize the pruned live map for the shared master computation (and
+  // drop emptied pairs so stale bucket pairs never accumulate).
+  std::unordered_map<uint64_t, DirectedGainHistogram> histograms;
+  histograms.reserve(hist_state_.size());
+  for (auto it = hist_state_.begin(); it != hist_state_.end();) {
+    if (it->second.total == 0) {
+      it = hist_state_.erase(it);
+      continue;
+    }
+    histograms.emplace(it->first, it->second.hist);
+    ++it;
+  }
+
+#ifndef NDEBUG
+  {
+    // The incrementally patched histograms must equal a from-scratch
+    // accumulation — the changed-proposal-vs-full-histogram equivalence
+    // gate.
+    std::unordered_map<uint64_t, DirectedGainHistogram> ref;
+    uint64_t ref_proposals = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (targets[v] < 0) continue;
+      ++ref_proposals;
+      auto& h = ref[PackPair(partition->bucket_of(v), targets[v])];
+      if (h.counts.empty()) h.Init(binning);
+      h.Add(binning, gains[v]);
+    }
+    SHP_CHECK_EQ(ref_proposals, outcome.num_proposals);
+    SHP_CHECK_EQ(ref.size(), histograms.size());
+    for (const auto& [key, h] : ref) {
+      const auto it = histograms.find(key);
+      SHP_CHECK(it != histograms.end() && it->second.counts == h.counts)
+          << "incremental histogram diverged from full accumulation (pair "
+          << (key >> 32) << "->" << (key & 0xffffffffULL) << ")";
+    }
+  }
+#endif
 
   const PairProbabilityTable table = ComputePairProbabilities(
       topo, binning, histograms, *partition, options_.use_capacity_slack);

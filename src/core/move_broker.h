@@ -115,11 +115,22 @@ class MoveBroker {
   /// Executes one move round. targets[v] = proposed bucket (or -1);
   /// gains[v] = proposal gain (improvement; may be ≤ 0 under histogram
   /// matching). Deterministic in (seed, iteration) for a fixed thread count.
+  ///
+  /// `changed`, if non-null, is the compact changed-proposal list: every
+  /// vertex whose (current bucket, target, gain) differs from the previous
+  /// Apply call on this broker must be listed (duplicates are fine — the
+  /// update is idempotent). Under kHistogramMatching the broker then patches
+  /// its persistent per-pair histograms in O(|changed|) instead of
+  /// re-accumulating the n-sized targets/gains arrays; the move trajectory
+  /// is identical (Debug builds verify against a from-scratch accumulation).
+  /// nullptr (the default, and the only mode the other strategies use)
+  /// rebuilds from scratch and re-primes the incremental state.
   MoveOutcome Apply(const MoveTopology& topo,
                     const std::vector<BucketId>& targets,
                     const std::vector<double>& gains, uint64_t seed,
                     uint64_t iteration, Partition* partition,
-                    ThreadPool* pool = nullptr);
+                    ThreadPool* pool = nullptr,
+                    const std::vector<VertexId>* changed = nullptr);
 
   /// Reverts lowest-gain surplus moves of over-capacity buckets until every
   /// bucket fits its capacity (or nothing is left to revert). Public so the
@@ -148,14 +159,42 @@ class MoveBroker {
                              const std::vector<BucketId>& targets,
                              const std::vector<double>& gains, uint64_t seed,
                              uint64_t iteration, Partition* partition,
-                             ThreadPool* pool);
+                             ThreadPool* pool,
+                             const std::vector<VertexId>* changed);
   MoveOutcome ApplyExactPairing(const MoveTopology& topo,
                                 const std::vector<BucketId>& targets,
                                 const std::vector<double>& gains,
                                 uint64_t seed, uint64_t iteration,
                                 Partition* partition);
 
+  /// Re-derives vertex v's histogram contribution: removes the recorded old
+  /// (pair, bin) counter, adds the current one, and updates the live-proposal
+  /// tally. Idempotent (remove-new-then-add-new under duplicate calls).
+  void UpdateHistContribution(VertexId v, const std::vector<BucketId>& targets,
+                              const std::vector<double>& gains,
+                              const Partition& partition);
+
   MoveBrokerOptions options_;
+
+  /// hist_last_pair_ sentinel: the vertex currently contributes nowhere.
+  static constexpr uint64_t kNoPair = ~0ull;
+
+  /// Persistent per-pair histogram with a live-proposal tally so emptied
+  /// pairs can be pruned (mirrors BspRefiner's superstep-3 state).
+  struct PairState {
+    DirectedGainHistogram hist;
+    uint64_t total = 0;
+  };
+
+  // Incrementally maintained kHistogramMatching master state: per-pair
+  // histograms kept across rounds plus each vertex's last contribution
+  // (pair key / bin), so one changed proposal costs two counter updates
+  // instead of a term in an O(n) rebuild.
+  std::unordered_map<uint64_t, PairState> hist_state_;
+  std::vector<uint64_t> hist_last_pair_;  ///< kNoPair when not contributing
+  std::vector<int32_t> hist_last_bin_;
+  uint64_t hist_live_proposals_ = 0;
+  bool hist_state_valid_ = false;
 };
 
 }  // namespace shp

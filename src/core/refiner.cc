@@ -416,9 +416,17 @@ IterationStats Refiner::RunIteration(const MoveTopology& topo,
   }
   for (const VertexId v : firing_list_) explore_target_[v] = -1;
 
-  // Supersteps 3-4: master aggregation, probabilistic moves, repair.
+  // Supersteps 3-4: master aggregation, probabilistic moves, repair. A
+  // compact pass hands the broker its work list as the changed-proposal
+  // list: only recomputed vertices can hold a different (bucket, target,
+  // gain) than last round — last round's movers are always inside this
+  // round's blast radius (ApplyMoves marks all of a mover's queries
+  // touched, and the mover neighbors its own queries), so the list also
+  // covers every bucket_of change. Non-compact rounds (recompute-all,
+  // legacy skip-scan) pass nullptr and re-prime the broker's state.
   const MoveOutcome outcome =
-      broker_.Apply(topo, targets_, gains_, seed, iteration, partition, pool);
+      broker_.Apply(topo, targets_, gains_, seed, iteration, partition, pool,
+                    compact_pass ? &recompute_list_ : nullptr);
 
   const bool high_churn =
       static_cast<double>(outcome.moves.size()) >

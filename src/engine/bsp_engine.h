@@ -24,6 +24,11 @@ class ThreadPool;
 struct BspConfig {
   int num_workers = 4;  ///< simulated machines (paper's experiments use 4-16)
   uint64_t shard_seed = 0x5ca1ab1e;  ///< vertex -> worker hashing seed
+  /// Account superstep-2 delta traffic with the grouped varint codec
+  /// (engine/wire_format.h) instead of the raw 16-byte records. Affects byte
+  /// accounting only — never the exchanged data or the refinement trajectory.
+  /// false = reference switch to the raw format.
+  bool varint_wire = true;
 };
 
 /// Accounting for one executed superstep.

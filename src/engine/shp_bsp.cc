@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "core/move_broker.h"
+#include "engine/wire_format.h"
 
 namespace shp {
 
@@ -718,7 +719,20 @@ IterationStats BspRefiner::RunIteration(const MoveTopology& topo,
   s2.traffic = router2.CollectAndClearSized([](const NeighborDataMsg& m) {
     return sizeof(VertexId) + m.entries.size() * sizeof(BucketCount);
   });
-  s2.traffic += router2d.CollectAndClear(sizeof(NeighborDelta));
+  // Delta records go on the wire under the grouped varint codec (byte
+  // accounting only; the codec never touches the exchanged structs, so the
+  // refinement trajectory is identical under either switch). Each (src, dst)
+  // buffer is one encode unit — per-query group headers and same-bucket delta
+  // chains span records, so sizing is per buffer, not per message.
+  if (config_.varint_wire) {
+    s2.traffic +=
+        router2d.CollectAndClearBuffered([](const std::vector<NeighborDelta>&
+                                                buffer) {
+          return wire::GroupedWireBytes(buffer);
+        });
+  } else {
+    s2.traffic += router2d.CollectAndClear(wire::kRawDeltaBytes);
+  }
   s2.work_units.resize(static_cast<size_t>(W));
   for (int w = 0; w < W; ++w) {
     s2.work_units[static_cast<size_t>(w)] =

@@ -106,6 +106,11 @@ class BspRefiner : public RefinerInterface {
   /// replicas instead, because the records would outweigh the reship.
   uint64_t num_bootstrap_reships() const { return num_bootstraps_; }
 
+  /// The data-worker accumulator replicas (delta-exchange mode). Exposes the
+  /// sweep's bootstrap-cost counters (last_build_adjacency_reads) to benches
+  /// and tests.
+  const AffinitySweep& sweep() const { return sweep_; }
+
  private:
   /// last_pair_ sentinel: the vertex currently contributes to no histogram.
   static constexpr uint64_t kNoPair = ~0ull;

@@ -1,0 +1,71 @@
+// Compact grouped wire format for superstep-2 NeighborDelta exchange.
+//
+// A (src, dst) router buffer of NeighborDelta records is highly redundant on
+// the wire: records are stably sorted by (q, bucket) — each query's records
+// are contiguous with bucket non-decreasing, query ids ascend across groups —
+// and the chain invariant (neighbor_data.h) makes a record's old_count equal
+// the previous same-bucket record's new_count, with new_count = old_count ± 1.
+// The raw struct spends 16 bytes per record on fields whose information
+// content is a few bits. The grouped codec exploits all three regularities:
+//
+//   stream  := group*
+//   group   := varint(q − prev_group_q)  varint(record_count)  record*
+//   record  := varint(bucket − prev_bucket_in_group)
+//              zigzag(old_count − ref)       ref = previous record's
+//                                            new_count when it shares the
+//                                            bucket (chain ⇒ delta 0),
+//                                            else 0
+//              zigzag(new_count − old_count) (± 1 ⇒ one byte)
+//
+// with prev_group_q and prev_bucket_in_group starting at 0. Steady state this
+// is ~3 bytes per record vs 16 raw. Encoding requires only the grouping
+// invariant (q ascending, bucket non-decreasing within a group — DCHECKed);
+// decoding additionally tolerates zero-count groups (skipped, but they still
+// advance the qid chain) and full-width 5-byte varints, so hand-built streams
+// round-trip too. The codec is lossless: DecodeGroupedDeltas reproduces the
+// input records bit-identically, and GroupedWireBytes proves it per buffer in
+// Debug builds.
+//
+// The BSP engine uses this purely for *byte accounting* (the simulated wire
+// cost of superstep 2); the in-memory exchange still moves structs. The raw
+// 16-byte sizing remains available as a reference switch
+// (BspConfig::varint_wire = false).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "objective/neighbor_data.h"
+
+namespace shp::wire {
+
+/// Bytes per record of the raw (reference) wire format.
+inline constexpr size_t kRawDeltaBytes = sizeof(NeighborDelta);
+
+/// Appends the LEB128 varint encoding of `value` (7 bits per byte, high bit
+/// = continuation). Exposed so tests can hand-build streams.
+void AppendVarint(std::vector<uint8_t>* out, uint64_t value);
+
+/// Appends zigzag(value) as a varint (0, −1, 1, −2, 2 → 0, 1, 2, 3, 4).
+void AppendZigZag(std::vector<uint8_t>* out, int64_t value);
+
+/// Encodes `records` — which must satisfy the grouping invariant — into
+/// `out` (appended; caller clears). DCHECKs the invariant in Debug.
+void EncodeGroupedDeltas(std::span<const NeighborDelta> records,
+                         std::vector<uint8_t>* out);
+
+/// Decodes a grouped stream back into records (appended to *out). Returns
+/// false — leaving *out in an unspecified state — on malformed input:
+/// truncated or oversized varints, ids outside the 31-bit VertexId/BucketId
+/// range, negative reconstructed counts, or trailing garbage.
+bool DecodeGroupedDeltas(std::span<const uint8_t> bytes,
+                         std::vector<NeighborDelta>* out);
+
+/// Wire size of one router buffer under the grouped codec: encodes into a
+/// thread-local scratch buffer and returns its length. In Debug builds also
+/// decodes the scratch and CHECKs the records round-trip bit-identically —
+/// the exact decode-equivalence gate on every simulated exchange.
+size_t GroupedWireBytes(std::span<const NeighborDelta> records);
+
+}  // namespace shp::wire

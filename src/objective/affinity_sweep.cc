@@ -19,6 +19,45 @@ inline VertexId ShardBegin(VertexId n, size_t shards, size_t s) {
   return static_cast<VertexId>(static_cast<uint64_t>(n) * s / shards);
 }
 
+/// Fills *prefix (n + 1 entries) with the data-degree prefix sum; returns
+/// the total. One O(n) pass, shared by every split count of the call.
+uint64_t FillDegreePrefix(const BipartiteGraph& graph, VertexId n,
+                          std::vector<uint64_t>* prefix) {
+  prefix->resize(static_cast<size_t>(n) + 1);
+  uint64_t sum = 0;
+  (*prefix)[0] = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    sum += graph.DataDegree(v);
+    (*prefix)[static_cast<size_t>(v) + 1] = sum;
+  }
+  return sum;
+}
+
+/// Σ-degree-weighted shard boundary: smallest v whose degree prefix reaches
+/// total·s/shards (uniform split when the graph has no edges). The per-shard
+/// sweep/patch cost is proportional to the Σ-degree of its vertex range, not
+/// the vertex count — uniform ranges let a few hubs straggle the phase.
+/// Compared as prefix·shards ≥ total·s in uint64 (no overflow at realistic
+/// |E| × core counts, ≪ 2^64).
+VertexId DegShardBegin(const std::vector<uint64_t>& prefix, VertexId n,
+                       size_t shards, size_t s) {
+  if (s >= shards) return n;
+  const uint64_t total = prefix[static_cast<size_t>(n)];
+  if (total == 0) return ShardBegin(n, shards, s);
+  const uint64_t target = total * s;
+  VertexId lo = 0;
+  VertexId hi = n;
+  while (lo < hi) {
+    const VertexId mid = lo + (hi - lo) / 2;
+    if (prefix[static_cast<size_t>(mid)] * shards >= target) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
 /// Folds (support += sup, affinity += add, drop at support 0) into an owned
 /// (overflowed) accumulator vector.
 void ApplyToVec(std::vector<AffinityEntry>* vec, BucketId b, double add,
@@ -59,6 +98,10 @@ void AffinitySweep::Build(const BipartiteGraph& graph,
 
   const size_t workers = std::max<size_t>(1, pool->num_threads());
   const size_t shards = std::min<size_t>(workers, n);
+  // Shard boundaries weighted by Σ-degree, not vertex count: a shard's merge
+  // cost is the Σ-degree of its range, and power-law hubs make uniform
+  // ranges straggle.
+  FillDegreePrefix(graph, n, &scratch_.deg_prefix);
 
   // Query-major streaming pass, vertex-sharded: every shard streams the
   // whole arena sequentially (it is small — Σ fanout entries — and shared
@@ -69,8 +112,9 @@ void AffinitySweep::Build(const BipartiteGraph& graph,
   pool->ParallelFor(shards, [&](size_t sbegin, size_t send, size_t) {
     std::vector<std::pair<BucketId, double>> contrib;
     for (size_t s = sbegin; s < send; ++s) {
-      const VertexId vbegin = ShardBegin(n, shards, s);
-      const VertexId vend = ShardBegin(n, shards, s + 1);
+      const VertexId vbegin = DegShardBegin(scratch_.deg_prefix, n, shards, s);
+      const VertexId vend =
+          DegShardBegin(scratch_.deg_prefix, n, shards, s + 1);
       if (vbegin == vend) continue;
       for (VertexId q = 0; q < nq; ++q) {
         const auto nbrs = graph.QueryNeighbors(q);
@@ -146,46 +190,84 @@ std::vector<uint64_t> AffinitySweep::BuildSharded(
     return work;
   }
 
-  // Query-major streaming pass, ownership-filtered: every shard streams the
-  // whole replica source (the shared-memory stand-in for the neighbor data
-  // it received on the bootstrap reship) but merges only into its own
-  // vertices' accumulators — single-writer per vertex, and each vertex's
-  // contributions arrive in ascending query order regardless of shard count.
-  // Only the merges are charged as work: the redundant per-shard adjacency
-  // scan is a simulation artifact a real worker never pays.
+  // One-pass bootstrap. Pass 1 bins the adjacency by owner shard: host
+  // workers take contiguous ascending query ranges and append, per
+  // (host range, shard) bin, a (q, neighbor count) head plus the owned
+  // neighbors themselves. Every (query, pin) is read exactly once — the old
+  // layout streamed the full adjacency once PER shard (W × |E| reads per
+  // re-bootstrap).
+  const size_t host = std::max<size_t>(1, pool->num_threads());
+  const size_t ranges = std::min<size_t>(host, std::max<VertexId>(nq, 1));
+  struct OwnerBin {
+    std::vector<std::pair<VertexId, uint32_t>> heads;  ///< (q, #owned nbrs)
+    std::vector<VertexId> verts;  ///< owned neighbors, grouped per head
+  };
+  std::vector<OwnerBin> bins(ranges * static_cast<size_t>(num_shards));
+  std::vector<uint64_t> reads(ranges, 0);
+  pool->ParallelFor(ranges, [&](size_t hbegin, size_t hend, size_t) {
+    for (size_t h = hbegin; h < hend; ++h) {
+      const VertexId qbegin =
+          ShardBegin(nq, ranges, h);  // query ranges ascend with h
+      const VertexId qend = ShardBegin(nq, ranges, h + 1);
+      OwnerBin* row = bins.data() + h * static_cast<size_t>(num_shards);
+      uint64_t scanned = 0;
+      for (VertexId q = qbegin; q < qend; ++q) {
+        for (VertexId v : graph.QueryNeighbors(q)) {
+          ++scanned;
+          SHP_DCHECK(owner_of[v] >= 0 && owner_of[v] < num_shards);
+          OwnerBin& bin = row[static_cast<size_t>(owner_of[v])];
+          if (bin.heads.empty() || bin.heads.back().first != q) {
+            bin.heads.emplace_back(q, 0);
+          }
+          ++bin.heads.back().second;
+          bin.verts.push_back(v);
+        }
+      }
+      reads[h] = scanned;
+    }
+  });
+  last_build_adjacency_reads_ = 0;
+  for (const uint64_t r : reads) last_build_adjacency_reads_ += r;
+
+  // Pass 2: each shard walks its bins in host-range order — query ids ascend
+  // globally across ranges, so every vertex's contributions still arrive in
+  // ascending query order and the accumulator floats are identical to the
+  // old layout for any shard count. Single-writer per vertex (disjoint
+  // ownership). Only the merges are charged as work, matching the old
+  // accounting (the binning pass, like the old redundant per-shard rescan,
+  // is a shared-memory-simulation artifact a real worker never pays).
   std::vector<std::vector<AffinityEntry>> lists(n);
   pool->ParallelForEach(static_cast<size_t>(num_shards), [&](size_t s) {
-    const int32_t shard = static_cast<int32_t>(s);
     std::vector<std::pair<BucketId, double>> contrib;
     uint64_t merged = 0;
-    for (VertexId q = 0; q < nq; ++q) {
-      bool contrib_ready = false;
-      for (VertexId v : graph.QueryNeighbors(q)) {
-        if (owner_of[v] != shard) continue;
-        if (!contrib_ready) {
-          // One contribution per occupied bucket, computed once per query
-          // and shared by every owned neighbor.
-          contrib.clear();
-          for (const BucketCount& e : entries_of(q)) {
-            contrib.emplace_back(e.bucket, 1.0 - pow.Pow(e.count));
-          }
-          contrib_ready = true;
+    for (size_t h = 0; h < ranges; ++h) {
+      const OwnerBin& bin = bins[h * static_cast<size_t>(num_shards) + s];
+      size_t vi = 0;
+      for (const auto& [q, count] : bin.heads) {
+        // One contribution per occupied bucket, computed once per query and
+        // shared by every owned neighbor.
+        contrib.clear();
+        for (const BucketCount& e : entries_of(q)) {
+          contrib.emplace_back(e.bucket, 1.0 - pow.Pow(e.count));
         }
-        std::vector<AffinityEntry>& list = lists[v];
-        // Both sides are bucket-ascending: single forward merge.
-        size_t i = 0;
-        for (const auto& [bucket, c] : contrib) {
-          while (i < list.size() && list[i].bucket < bucket) ++i;
-          if (i < list.size() && list[i].bucket == bucket) {
-            list[i].support += 1;
-            list[i].affinity += c;
-          } else {
-            list.insert(list.begin() + i, {bucket, 1, c});
+        for (uint32_t c = 0; c < count; ++c, ++vi) {
+          std::vector<AffinityEntry>& list = lists[bin.verts[vi]];
+          // Both sides are bucket-ascending: single forward merge.
+          size_t i = 0;
+          for (const auto& [bucket, add] : contrib) {
+            while (i < list.size() && list[i].bucket < bucket) ++i;
+            if (i < list.size() && list[i].bucket == bucket) {
+              list[i].support += 1;
+              list[i].affinity += add;
+            } else {
+              list.insert(list.begin() + i, {bucket, 1, add});
+            }
+            ++i;
           }
-          ++i;
+          merged += contrib.size();
         }
-        merged += contrib.size();
       }
+      SHP_DCHECK(vi == bin.verts.size());
     }
     work[s] = merged;
   });
@@ -228,6 +310,10 @@ void AffinitySweep::ApplyDeltas(const BipartiteGraph& graph,
 
   const size_t workers = std::max<size_t>(1, pool->num_threads());
   const size_t shards = std::min<size_t>(workers, n);
+  // Σ-degree-weighted ranges: the patch cost of a range is driven by how
+  // many record-adjacent pins land in it, for which the degree mass is the
+  // stable proxy (uniform ranges straggle on hub-heavy shards).
+  FillDegreePrefix(graph, n, &scratch_.deg_prefix);
   std::vector<ShardOverflow>& overflow = scratch_.overflow;
   std::vector<int64_t>& live_delta = scratch_.live_delta;
   overflow.resize(std::max(overflow.size(), shards));
@@ -242,8 +328,9 @@ void AffinitySweep::ApplyDeltas(const BipartiteGraph& graph,
   // store merged serially below.
   pool->ParallelFor(shards, [&](size_t sbegin, size_t send, size_t) {
     for (size_t s = sbegin; s < send; ++s) {
-      const VertexId vbegin = ShardBegin(n, shards, s);
-      const VertexId vend = ShardBegin(n, shards, s + 1);
+      const VertexId vbegin = DegShardBegin(scratch_.deg_prefix, n, shards, s);
+      const VertexId vend =
+          DegShardBegin(scratch_.deg_prefix, n, shards, s + 1);
       if (vbegin == vend) continue;
       ShardOverflow& ovf = overflow[s];
       int64_t delta = 0;
@@ -373,6 +460,9 @@ std::vector<uint64_t> AffinitySweep::ApplyDeltasSharded(
     VertexId vend;
   };
   const uint64_t host = std::max<uint64_t>(1, pool->num_threads());
+  // Sub-task vertex ranges are Σ-degree-weighted like the threaded patch
+  // shards: one prefix pass serves every split count.
+  FillDegreePrefix(graph, n, &scratch_.deg_prefix);
   std::vector<Task> tasks;
   for (size_t s = 0; s < records.size(); ++s) {
     if (weight[s] == 0) continue;
@@ -380,10 +470,12 @@ std::vector<uint64_t> AffinitySweep::ApplyDeltasSharded(
         host, 1 + weight[s] * host / total_weight);
     for (uint64_t t = 0; t < splits; ++t) {
       tasks.push_back({static_cast<int32_t>(s),
-                       ShardBegin(n, static_cast<size_t>(splits),
-                                  static_cast<size_t>(t)),
-                       ShardBegin(n, static_cast<size_t>(splits),
-                                  static_cast<size_t>(t) + 1)});
+                       DegShardBegin(scratch_.deg_prefix, n,
+                                     static_cast<size_t>(splits),
+                                     static_cast<size_t>(t)),
+                       DegShardBegin(scratch_.deg_prefix, n,
+                                     static_cast<size_t>(splits),
+                                     static_cast<size_t>(t) + 1)});
     }
   }
 

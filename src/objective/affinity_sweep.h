@@ -94,10 +94,15 @@ class AffinitySweep {
   /// Owner-sharded build for the BSP engine: data vertices are distributed
   /// over `num_shards` simulated workers by `owner_of` (hash placement, not
   /// contiguous ranges), and shard s keeps accumulators only for its own
-  /// vertices — vertices it does not own stay empty. Returns per-shard
-  /// simulated work units (accumulator merge operations; the redundant
-  /// adjacency scan every shard performs is a shared-memory-simulation
-  /// artifact and is not charged).
+  /// vertices — vertices it does not own stay empty. The bootstrap is ONE
+  /// pass over the adjacency regardless of shard count: a first parallel
+  /// sweep bins each query's neighbors by owner shard (contiguous ascending
+  /// query ranges per host worker), and a second merges each shard's binned
+  /// queries — in ascending query order, so accumulator floats are identical
+  /// to the former every-shard-streams-everything layout — into its own
+  /// vertices' lists. Returns per-shard simulated work units (accumulator
+  /// merge operations; the binning pass is host bookkeeping and is not
+  /// charged, matching the old uncharged per-shard rescan).
   std::vector<uint64_t> BuildSharded(const BipartiteGraph& graph,
                                      const EntriesFn& entries_of,
                                      const PowTable& pow,
@@ -149,6 +154,14 @@ class AffinitySweep {
   /// Total live accumulator entries Σ_v |occupied buckets of N(v)|.
   uint64_t TotalEntries() const { return live_entries_; }
 
+  /// Adjacency neighbor reads performed by the most recent BuildSharded.
+  /// The one-pass bootstrap reads each (query, data-neighbor) pin exactly
+  /// once, so this equals graph.num_edges() for every shard count — the
+  /// counter the bootstrap-cost test and bench assert on.
+  uint64_t last_build_adjacency_reads() const {
+    return last_build_adjacency_reads_;
+  }
+
   /// Arena slots including slack and relocation garbage (≥ TotalEntries()).
   uint64_t ArenaSlots() const { return entries_.size(); }
 
@@ -187,6 +200,7 @@ class AffinitySweep {
     std::vector<NeighborDelta> sorted;
     std::vector<ShardOverflow> overflow;
     std::vector<int64_t> live_delta;
+    std::vector<uint64_t> deg_prefix;  ///< Σ-degree shard-bound scratch
   };
 
   /// Shared Build/BuildSharded tail: lays the per-vertex lists out into the
@@ -211,6 +225,7 @@ class AffinitySweep {
   std::vector<Loc> loc_;                ///< per-vertex accumulator location
   uint64_t live_entries_ = 0;           ///< Σ_v loc_[v].size
   uint64_t garbage_ = 0;                ///< arena slots abandoned by relocation
+  uint64_t last_build_adjacency_reads_ = 0;  ///< see accessor
   bool deterministic_ = true;
   PatchScratch scratch_;
 };

@@ -3,10 +3,31 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "objective/scan_kernels.h"
 
 namespace shp {
 
 namespace {
+
+constexpr auto kBucketLess = [](const AffinityEntry& e, BucketId b) {
+  return e.bucket < b;
+};
+
+/// Runs `scan` over [begin, end) with the entry at `skip` excised (when it
+/// lies inside the range) — the kernels are pure epsilon-max scans, so the
+/// caller splits around the `from` entry instead of branch-testing every
+/// element.
+inline void ScanSkippingFrom(AffinityScanFn scan, const AffinityEntry* begin,
+                             const AffinityEntry* end,
+                             const AffinityEntry* skip,
+                             AffinityScanBest* best) {
+  if (skip >= begin && skip < end) {
+    scan(begin, skip, GainComputer::kAffinityTieEpsilon, best);
+    scan(skip + 1, end, GainComputer::kAffinityTieEpsilon, best);
+  } else {
+    scan(begin, end, GainComputer::kAffinityTieEpsilon, best);
+  }
+}
 
 /// Candidate when no bucket in [begin, end) \ {from} holds any neighbor of
 /// v: every such bucket is as good as empty, so both scan paths pick the
@@ -129,22 +150,34 @@ GainComputer::BestTarget GainComputer::FindBestTargetPush(
   // scan. The `from` entry always exists (v itself keeps each adjacent
   // query's n_from ≥ 1) and yields the base term: affinity_v[from] =
   // deg − Σ_q B^{n_from(q)}, so Σ_q B^{n_from(q)−1} = (deg − affinity)/B.
-  double from_affinity = -1.0;
-  double best_affinity = 0.0;  // affinity of an empty bucket
-  BucketId best_bucket = -1;
-  for (const AffinityEntry& entry : sweep.Entries(v)) {
-    if (entry.bucket == from) {
-      from_affinity = entry.affinity;
-      continue;
-    }
-    if (entry.bucket < bucket_begin || entry.bucket >= bucket_end) continue;
-    if (entry.affinity > best_affinity + kAffinityTieEpsilon) {
-      best_affinity = entry.affinity;
-      best_bucket = entry.bucket;
-    }
-  }
-  SHP_DCHECK(from_affinity >= 0.0)
+  // The entry list is bucket-sorted, so `from` and the candidate window are
+  // located by binary search and the scan itself runs through the dispatched
+  // kernel (note `from` may lie outside [bucket_begin, bucket_end) — its
+  // lookup is over the full list, not the window).
+  const auto all = sweep.Entries(v);
+  const AffinityEntry* adata = all.data();
+  const AffinityEntry* aend = adata + all.size();
+  const AffinityEntry* from_it =
+      std::lower_bound(adata, aend, from, kBucketLess);
+  SHP_DCHECK(from_it != aend && from_it->bucket == from)
       << "from-bucket accumulator entry missing for v=" << v;
+  const double from_affinity = from_it->affinity;
+  const AffinityEntry* lo =
+      std::lower_bound(adata, aend, bucket_begin, kBucketLess);
+  const AffinityEntry* hi = std::lower_bound(lo, aend, bucket_end, kBucketLess);
+
+  AffinityScanBest best;  // {0.0, -1}: affinity of an empty bucket
+  ScanSkippingFrom(ActiveAffinityScan(), lo, hi, from_it, &best);
+#ifndef NDEBUG
+  {
+    AffinityScanBest ref;
+    ScanSkippingFrom(&ScanAffinityRunScalar, lo, hi, from_it, &ref);
+    SHP_DCHECK(ref.affinity == best.affinity && ref.bucket == best.bucket)
+        << "SIMD push scan diverged from scalar for v=" << v;
+  }
+#endif
+  double best_affinity = best.affinity;
+  BucketId best_bucket = best.bucket;
   if (best_bucket == -1) {
     best_bucket = EmptyWindowFallback(from, bucket_begin, bucket_end);
     if (best_bucket == -1) return BestTarget{-1, 0.0};
@@ -175,26 +208,56 @@ GainComputer::BestTarget GainComputer::FindBestTargetPushGroupedWindow(
   SHP_DCHECK(SupportsPush());
 
   // The candidate list (sibling buckets, ascending, containing `from`) and
-  // the accumulator window spanning it are both bucket-sorted: one forward
-  // merge selects exactly the entries whose bucket is a sibling. During
-  // recursion every occupied bucket inside the window IS a sibling (the
-  // window is one subtree's leaf range), but the merge keeps the scan exact
-  // for arbitrary hand-built groups too.
+  // the accumulator window spanning it are both bucket-sorted. The common
+  // case — recursion groups are contiguous bucket ranges and the caller
+  // sliced the window to exactly that range — means every window entry IS a
+  // sibling, so the scan collapses to the kernel argmax with the `from`
+  // entry excised. Sparse candidate sets or wider hand-built windows fall
+  // back to the forward merge, which stays exact for arbitrary groups.
   double from_affinity = -1.0;
   double best_affinity = 0.0;  // affinity of an empty sibling
   BucketId best_bucket = -1;
-  size_t c = 0;
-  for (const AffinityEntry& entry : window) {
-    while (c < candidates.size() && candidates[c] < entry.bucket) ++c;
-    if (c == candidates.size()) break;
-    if (candidates[c] != entry.bucket) continue;
-    if (entry.bucket == from) {
-      from_affinity = entry.affinity;
-      continue;
+  const bool contiguous =
+      static_cast<size_t>(candidates.back() - candidates.front()) + 1 ==
+      candidates.size();
+  if (contiguous && !window.empty() &&
+      window.front().bucket >= candidates.front() &&
+      window.back().bucket <= candidates.back()) {
+    const AffinityEntry* wdata = window.data();
+    const AffinityEntry* wend = wdata + window.size();
+    const AffinityEntry* from_it =
+        std::lower_bound(wdata, wend, from, kBucketLess);
+    if (from_it != wend && from_it->bucket == from) {
+      from_affinity = from_it->affinity;
+    } else {
+      from_it = wend;  // nothing to excise — from is not in the window
     }
-    if (entry.affinity > best_affinity + kAffinityTieEpsilon) {
-      best_affinity = entry.affinity;
-      best_bucket = entry.bucket;
+    AffinityScanBest best;  // {0.0, -1}: affinity of an empty sibling
+    ScanSkippingFrom(ActiveAffinityScan(), wdata, wend, from_it, &best);
+#ifndef NDEBUG
+    {
+      AffinityScanBest ref;
+      ScanSkippingFrom(&ScanAffinityRunScalar, wdata, wend, from_it, &ref);
+      SHP_DCHECK(ref.affinity == best.affinity && ref.bucket == best.bucket)
+          << "SIMD grouped scan diverged from scalar (from=" << from << ")";
+    }
+#endif
+    best_affinity = best.affinity;
+    best_bucket = best.bucket;
+  } else {
+    size_t c = 0;
+    for (const AffinityEntry& entry : window) {
+      while (c < candidates.size() && candidates[c] < entry.bucket) ++c;
+      if (c == candidates.size()) break;
+      if (candidates[c] != entry.bucket) continue;
+      if (entry.bucket == from) {
+        from_affinity = entry.affinity;
+        continue;
+      }
+      if (entry.affinity > best_affinity + kAffinityTieEpsilon) {
+        best_affinity = entry.affinity;
+        best_bucket = entry.bucket;
+      }
     }
   }
   SHP_DCHECK(from_affinity >= 0.0)

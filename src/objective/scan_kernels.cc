@@ -1,0 +1,104 @@
+#include "objective/scan_kernels.h"
+
+#include <cstddef>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__)) && \
+    !defined(SHP_DISABLE_SIMD)
+#define SHP_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define SHP_SIMD_X86 0
+#endif
+
+namespace shp {
+
+void ScanAffinityRunScalar(const AffinityEntry* begin,
+                           const AffinityEntry* end, double eps,
+                           AffinityScanBest* state) {
+  double best_affinity = state->affinity;
+  BucketId best_bucket = state->bucket;
+  for (const AffinityEntry* e = begin; e != end; ++e) {
+    if (e->affinity > best_affinity + eps) {
+      best_affinity = e->affinity;
+      best_bucket = e->bucket;
+    }
+  }
+  state->affinity = best_affinity;
+  state->bucket = best_bucket;
+}
+
+#if SHP_SIMD_X86
+
+namespace {
+
+// AVX2 block-skip kernel. AffinityEntry is 16 bytes with the affinity double
+// at offset 8, so four consecutive entries are two 32-byte lanes:
+//   lo = [hdr(e0), aff(e0), hdr(e1), aff(e1)]
+//   hi = [hdr(e2), aff(e2), hdr(e3), aff(e3)]
+// unpackhi(lo, hi) gathers the odd (affinity) lanes of both — header bits
+// never reach a comparison. One vector compare against the broadcast
+// threshold rejects a whole block; a block with any candidate lane is
+// replayed scalarly in order, which is what makes the sequential
+// epsilon-guarded rule exact (see scan_kernels.h).
+__attribute__((target("avx2"))) void ScanAffinityRunAvx2(
+    const AffinityEntry* begin, const AffinityEntry* end, double eps,
+    AffinityScanBest* state) {
+  static_assert(sizeof(AffinityEntry) == 16,
+                "AVX2 lane extraction assumes 16-byte AffinityEntry");
+  static_assert(offsetof(AffinityEntry, affinity) == 8,
+                "AVX2 lane extraction assumes affinity at offset 8");
+  double best_affinity = state->affinity;
+  BucketId best_bucket = state->bucket;
+  const AffinityEntry* e = begin;
+  for (; end - e >= 4; e += 4) {
+    const double* base = reinterpret_cast<const double*>(e);
+    const __m256d lo = _mm256_loadu_pd(base);
+    const __m256d hi = _mm256_loadu_pd(base + 4);
+    const __m256d affs = _mm256_unpackhi_pd(lo, hi);
+    const __m256d threshold = _mm256_set1_pd(best_affinity + eps);
+    const __m256d gt = _mm256_cmp_pd(affs, threshold, _CMP_GT_OQ);
+    if (_mm256_movemask_pd(gt) == 0) continue;  // no lane can update best
+    for (int i = 0; i < 4; ++i) {
+      if (e[i].affinity > best_affinity + eps) {
+        best_affinity = e[i].affinity;
+        best_bucket = e[i].bucket;
+      }
+    }
+  }
+  for (; e != end; ++e) {  // scalar tail, no over-read
+    if (e->affinity > best_affinity + eps) {
+      best_affinity = e->affinity;
+      best_bucket = e->bucket;
+    }
+  }
+  state->affinity = best_affinity;
+  state->bucket = best_bucket;
+}
+
+}  // namespace
+
+bool SimdScanCompiled() { return true; }
+
+bool SimdScanAvailable() {
+  static const bool available = __builtin_cpu_supports("avx2");
+  return available;
+}
+
+AffinityScanFn SimdAffinityScan() { return &ScanAffinityRunAvx2; }
+
+AffinityScanFn ActiveAffinityScan() {
+  static const AffinityScanFn active =
+      SimdScanAvailable() ? &ScanAffinityRunAvx2 : &ScanAffinityRunScalar;
+  return active;
+}
+
+#else  // !SHP_SIMD_X86
+
+bool SimdScanCompiled() { return false; }
+bool SimdScanAvailable() { return false; }
+AffinityScanFn SimdAffinityScan() { return nullptr; }
+AffinityScanFn ActiveAffinityScan() { return &ScanAffinityRunScalar; }
+
+#endif  // SHP_SIMD_X86
+
+}  // namespace shp

@@ -1,0 +1,72 @@
+// Raw-speed scan kernels for the push-path affinity argmax.
+//
+// GainComputer::FindBestTargetPush* reduces to one primitive: a sequential
+// epsilon-guarded max over a contiguous run of AffinityEntry records,
+//
+//   for e in [begin, end): if e.affinity > best + eps: best = e; take e.bucket
+//
+// The rule is ORDER-DEPENDENT (an entry within eps of the running best is
+// skipped even when it exceeds the true maximum; a later entry is compared
+// against whatever best survived), so a naive vector max-reduction followed
+// by "lowest bucket within eps of the max" is NOT equivalent. The AVX2
+// kernel therefore vectorizes only the *rejection* test: per 4-entry block
+// it computes the vector of affinities and compares against best + eps once;
+// a block with no lane above the threshold cannot change the result and is
+// skipped whole, while a block with any candidate lane is replayed scalarly
+// in order. The output is bit-identical to the scalar kernel by
+// construction, for every input — including tie-at-epsilon adversaries
+// (the Debug DCHECK in gain.cc and tests/scan_kernels_test.cc hold it to
+// that).
+//
+// Dispatch is resolved once at runtime (__builtin_cpu_supports); the AVX2
+// kernel is compiled via a function-level target attribute, so the rest of
+// the build needs no -march flags and the binary still runs on pre-AVX2
+// hosts. Configuring with -DSHP_DISABLE_SIMD=ON removes the AVX2 kernel
+// entirely (the CI leg proving the scalar fallback self-suffices).
+#pragma once
+
+#include <cstdint>
+
+#include "objective/affinity_sweep.h"
+
+namespace shp {
+
+/// Running best of an epsilon-guarded sequential max scan. Value-initialized
+/// state ({0.0, -1}) is the scan start: an empty bucket's affinity with no
+/// candidate taken yet.
+struct AffinityScanBest {
+  double affinity = 0.0;
+  BucketId bucket = -1;
+};
+
+/// Kernel signature: continue the sequential scan over [begin, end) from the
+/// running best in *state, with tie epsilon `eps`. Kernels may be chained
+/// over split runs (the caller excises the `from` entry by splitting around
+/// it) — the state carries across calls exactly like one unbroken loop.
+using AffinityScanFn = void (*)(const AffinityEntry* begin,
+                                const AffinityEntry* end, double eps,
+                                AffinityScanBest* state);
+
+/// Reference scalar kernel (always available).
+void ScanAffinityRunScalar(const AffinityEntry* begin,
+                           const AffinityEntry* end, double eps,
+                           AffinityScanBest* state);
+
+/// True iff the AVX2 kernel was compiled into this binary (x86-64 gcc/clang
+/// build without SHP_DISABLE_SIMD).
+bool SimdScanCompiled();
+
+/// True iff the AVX2 kernel is compiled in AND this CPU supports AVX2 — the
+/// dispatch predicate.
+bool SimdScanAvailable();
+
+/// The AVX2 kernel, or nullptr when not compiled in. Exposed (alongside the
+/// scalar kernel) so equivalence tests and micro-benchmarks can pin either
+/// path regardless of what the dispatcher would pick.
+AffinityScanFn SimdAffinityScan();
+
+/// The dispatched kernel: AVX2 when available, scalar otherwise. Resolved
+/// once per process.
+AffinityScanFn ActiveAffinityScan();
+
+}  // namespace shp

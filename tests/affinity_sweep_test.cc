@@ -247,6 +247,59 @@ TEST(AffinitySweepSharded, BuildShardedMatchesUnshardedBuild) {
   }
 }
 
+TEST(AffinitySweepSharded, BootstrapReadsAdjacencyExactlyOnceForAnyShardCount) {
+  // The one-pass bootstrap bins pins by owner shard and merges per shard —
+  // each (query, data-neighbor) pin is read exactly once, so the adjacency
+  // read counter must equal num_edges() for every worker count W (the old
+  // layout streamed the full adjacency once PER shard: W × |E|). Accumulator
+  // content must stay identical across W.
+  const BipartiteGraph g = TestGraph(23);
+  const BucketId k = 8;
+  const double p = 0.5;
+  const PowTable pow(1.0 - p, static_cast<uint32_t>(g.MaxQueryDegree()) + 2);
+  const std::vector<BucketId> assignment =
+      Partition::Random(g.num_data(), k, 5).assignment();
+  QueryNeighborData ndata;
+  ndata.Build(g, assignment);
+  const auto entries_of = [&](VertexId q) { return ndata.Entries(q); };
+
+  AffinitySweep reference;
+  bool have_reference = false;
+  for (const int num_shards : {1, 3, 8}) {
+    std::vector<int32_t> owner(g.num_data());
+    for (VertexId v = 0; v < g.num_data(); ++v) {
+      owner[v] = static_cast<int32_t>(HashToBounded(55, v, 3, num_shards));
+    }
+    AffinitySweep sweep;
+    sweep.BuildSharded(g, entries_of, pow, owner, num_shards);
+    EXPECT_EQ(sweep.last_build_adjacency_reads(), g.num_edges())
+        << "W=" << num_shards;
+    if (!have_reference) {
+      reference.BuildSharded(g, entries_of, pow, owner, 1);
+      have_reference = true;
+    }
+    ASSERT_EQ(sweep.TotalEntries(), reference.TotalEntries())
+        << "W=" << num_shards;
+    for (VertexId v = 0; v < g.num_data(); ++v) {
+      const auto a = reference.Entries(v);
+      const auto b = sweep.Entries(v);
+      ASSERT_EQ(a.size(), b.size()) << "W=" << num_shards << " v=" << v;
+      for (size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i], b[i]) << "W=" << num_shards << " v=" << v;
+      }
+    }
+  }
+  // The threaded variant keeps the single-pass guarantee.
+  ThreadPool pool(4);
+  std::vector<int32_t> owner(g.num_data());
+  for (VertexId v = 0; v < g.num_data(); ++v) {
+    owner[v] = static_cast<int32_t>(HashToBounded(55, v, 3, 4));
+  }
+  AffinitySweep threaded;
+  threaded.BuildSharded(g, entries_of, pow, owner, 4, &pool);
+  EXPECT_EQ(threaded.last_build_adjacency_reads(), g.num_edges());
+}
+
 TEST(AffinitySweepSharded, ApplyDeltasShardedMatchesFreshBuild) {
   // BSP wiring: every worker receives the records of queries with neighbors
   // in its shard and patches only owned vertices. Broadcasting the full

@@ -3,6 +3,8 @@
 // escape that motivates probabilistic fanout.
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "core/gain_histogram.h"
 #include "core/move_broker.h"
 #include "core/move_topology.h"
@@ -292,6 +294,65 @@ TEST(MoveBroker, DrawFloorKeepsLiveRowsDrawing) {
     EXPECT_EQ(with_floor.num_draws, reference.num_draws)
         << "live rows draw on both paths";
     EXPECT_GT(with_floor.num_moved, 0u);
+  }
+}
+
+TEST(MoveBroker, ChangedListIncrementalMatchesFullRebuild) {
+  // Histogram matching with a changed-proposal list must walk the exact same
+  // move trajectory as a from-scratch broker: the incremental broker patches
+  // its persistent per-pair histograms in O(|changed|), the reference
+  // re-accumulates everything each round. The changed list follows the
+  // refiner contract — every vertex whose (current bucket, target, gain)
+  // differs from the previous Apply is listed, duplicates allowed.
+  const VertexId n = 600;
+  const BucketId k = 4;
+  std::vector<BucketId> assignment(n);
+  for (VertexId v = 0; v < n; ++v) assignment[v] = static_cast<BucketId>(v % k);
+  const MoveTopology topo = MoveTopology::FullK(k, n, 0.05);
+  Partition inc_part = Partition::FromAssignment(assignment, k);
+  Partition ref_part = inc_part;
+
+  std::vector<BucketId> targets(n, -1);
+  std::vector<double> gains(n, 0.0);
+  MoveBrokerOptions options;  // kHistogramMatching default
+  MoveBroker incremental(options);
+
+  std::mt19937_64 rng(71);
+  std::uniform_real_distribution<double> gain_dist(-1.0, 2.0);
+  std::vector<VertexId> changed;
+  for (uint64_t round = 0; round < 12; ++round) {
+    // Mutate ~10% of the proposals (retargets, gain updates, withdrawals).
+    for (int i = 0; i < 60; ++i) {
+      const VertexId v = static_cast<VertexId>(rng() % n);
+      const BucketId t = static_cast<BucketId>(rng() % k);
+      targets[v] =
+          (rng() % 5 == 0 || t == inc_part.bucket_of(v)) ? BucketId{-1} : t;
+      gains[v] = gain_dist(rng);
+      changed.push_back(v);
+    }
+    // Duplicates must be idempotent.
+    changed.push_back(changed.front());
+    // The first round has no primed state: the broker must fall back to a
+    // full rebuild on its own and prime the incremental path.
+    const MoveOutcome inc = incremental.Apply(topo, targets, gains, 9, round,
+                                              &inc_part, nullptr, &changed);
+    MoveBroker fresh(options);
+    const MoveOutcome ref = fresh.Apply(topo, targets, gains, 9, round,
+                                        &ref_part, nullptr, nullptr);
+    ASSERT_EQ(inc.moves, ref.moves) << "round " << round;
+    EXPECT_EQ(inc.num_proposals, ref.num_proposals) << "round " << round;
+    EXPECT_EQ(inc.num_moved, ref.num_moved) << "round " << round;
+    EXPECT_EQ(inc.num_reverted, ref.num_reverted) << "round " << round;
+    EXPECT_DOUBLE_EQ(inc.gain_moved, ref.gain_moved) << "round " << round;
+
+    // Movers changed buckets (and their proposals are spent): list them for
+    // the next round, withdrawing the satisfied proposals.
+    changed.clear();
+    for (const VertexMove& m : inc.moves) {
+      targets[m.v] = -1;
+      gains[m.v] = 0.0;
+      changed.push_back(m.v);
+    }
   }
 }
 

@@ -15,10 +15,13 @@ and fails (exit 1) on:
     `full_rebuild` anchor, the comparison falls back to absolute medians.
 
  2. Byte regression: for the delta-exchange series (bsp_push,
-    bsp_push_grouped), any increase of `steady_s2_remote_bytes` over the
-    baseline fails outright — the steady-state superstep-2 byte count is a
-    deterministic message-accounting result, not a timing, so there is no
-    noise to tolerate.
+    bsp_push_grouped, and their varint-wire twins bsp_push_varint,
+    bsp_push_grouped_varint), any increase of `steady_s2_remote_bytes` over
+    the baseline fails outright — the steady-state superstep-2 byte count is
+    a deterministic message-accounting result, not a timing, so there is no
+    noise to tolerate. The varint series gate the grouped codec: a framing
+    or delta-width regression shows up here as a byte increase even when the
+    raw-record series are unchanged.
 
 Missing or unreadable baseline → exit 0 with a SKIP notice (first run on a
 branch that predates the baseline, or a series newly added by this change).
@@ -30,7 +33,8 @@ import statistics
 import sys
 
 ANCHOR_SERIES = "full_rebuild"
-DELTA_BYTE_SERIES = ("bsp_push", "bsp_push_grouped")
+DELTA_BYTE_SERIES = ("bsp_push", "bsp_push_varint", "bsp_push_grouped",
+                     "bsp_push_grouped_varint")
 
 
 MISSING = object()
