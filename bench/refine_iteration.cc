@@ -61,6 +61,10 @@ struct BspTiming {
   std::vector<uint64_t> s2_remote_bytes;
   double mean_ms = 0.0;
   uint64_t steady_s2_bytes = 0;
+  /// Envelope framing overhead (header varints + CRC32C) of the steady
+  /// superstep-2 exchanges — tracked as its own series, never mixed into
+  /// the payload byte series, and gated at <= 4% of the varint payload.
+  uint64_t steady_envelope_bytes = 0;
   uint64_t delta_records = 0;
   /// Adjacency pin reads of the one-pass sharded bootstrap (push mode; 0 on
   /// the pull path, which never builds the affinity sweep).
@@ -177,7 +181,10 @@ int main(int argc, char** argv) {
       timing.delta_records += stats.num_delta_records;
       const uint64_t s2 = log[i * 4 + 1].traffic.remote_bytes;
       timing.s2_remote_bytes.push_back(s2);
-      if (i > 0) timing.steady_s2_bytes += s2;
+      if (i > 0) {
+        timing.steady_s2_bytes += s2;
+        timing.steady_envelope_bytes += log[i * 4 + 1].envelope_bytes;
+      }
     }
     timing.mean_ms = std::accumulate(timing.iteration_ms.begin(),
                                      timing.iteration_ms.end(), 0.0) /
@@ -341,6 +348,43 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Self-verifying envelope: the integrity framing must stay a rounding
+  // error — <= 4% of the steady varint payload it protects (the ISSUE
+  // budget). The raw-wire series bypass the envelope entirely, so any
+  // overhead there is a protocol leak.
+  auto gate_envelope = [](const char* what, const BspTiming& varint) {
+    if (varint.steady_s2_bytes > 0 &&
+        varint.steady_envelope_bytes * 25 > varint.steady_s2_bytes) {
+      std::fprintf(stderr,
+                   "FAIL: %s envelope overhead %llu bytes exceeds 4%% of the "
+                   "varint payload %llu\n",
+                   what,
+                   static_cast<unsigned long long>(
+                       varint.steady_envelope_bytes),
+                   static_cast<unsigned long long>(varint.steady_s2_bytes));
+      return false;
+    }
+    return true;
+  };
+  if (!gate_envelope("full-k", bsp_push_varint) ||
+      !gate_envelope("grouped", bsp_push_grouped_varint)) {
+    return 2;
+  }
+  for (const auto& [name, t] :
+       {std::make_pair("bsp_pull", &bsp_pull),
+        std::make_pair("bsp_push", &bsp_push),
+        std::make_pair("bsp_pull_grouped", &bsp_pull_grouped),
+        std::make_pair("bsp_push_grouped", &bsp_push_grouped)}) {
+    if (t->steady_envelope_bytes != 0) {
+      std::fprintf(stderr,
+                   "FAIL: raw-wire series %s reported %llu envelope bytes "
+                   "(the reference switch must bypass the envelope)\n",
+                   name,
+                   static_cast<unsigned long long>(t->steady_envelope_bytes));
+      return 2;
+    }
+  }
+
   // One-pass sharded bootstrap: the push-mode engines build the affinity
   // sweep once at iteration 0; the binned bootstrap reads each adjacency pin
   // exactly once regardless of the worker count (the old layout read W×|E|).
@@ -447,6 +491,13 @@ int main(int argc, char** argv) {
               bsp_push_varint.mean_ms,
               static_cast<unsigned long long>(bsp_push_varint.steady_s2_bytes),
               varint_reduction);
+  std::printf("bsp envelope : %llu bytes steady overhead = %.2f%% of the "
+              "varint payload (budget 4%%)\n",
+              static_cast<unsigned long long>(
+                  bsp_push_varint.steady_envelope_bytes),
+              100.0 * static_cast<double>(bsp_push_varint.steady_envelope_bytes) /
+                  static_cast<double>(
+                      std::max<uint64_t>(1, bsp_push_varint.steady_s2_bytes)));
   std::printf("bootstrap    : %llu adjacency reads = %.2f passes over |E| "
               "(W=%d)\n",
               static_cast<unsigned long long>(
@@ -542,10 +593,12 @@ int main(int argc, char** argv) {
                  "    \"mean_iteration_ms\": %.6f,\n"
                  "    \"workers\": %d,\n"
                  "    \"steady_s2_remote_bytes\": %llu,\n"
+                 "    \"steady_s2_envelope_bytes\": %llu,\n"
                  "    \"delta_records\": %llu,\n"
                  "    \"iteration_ms\": [",
                  name, t.mean_ms, bsp_workers,
                  static_cast<unsigned long long>(t.steady_s2_bytes),
+                 static_cast<unsigned long long>(t.steady_envelope_bytes),
                  static_cast<unsigned long long>(t.delta_records));
     for (size_t i = 0; i < t.iteration_ms.size(); ++i) {
       std::fprintf(out, "%s%.6f", i == 0 ? "" : ", ", t.iteration_ms[i]);

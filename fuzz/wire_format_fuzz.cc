@@ -1,0 +1,29 @@
+// libFuzzer harness for the superstep-2 wire decoders.
+//
+// Feeds arbitrary bytes to DecodeEnveloped (which internally exercises the
+// varint parser, the CRC check, the length pin, and DecodeGroupedDeltas) and
+// to DecodeGroupedDeltas directly. The decoders' contract on hostile input
+// is: return a verdict/false, never crash, hang, or allocate unboundedly.
+//
+// Build with -DSHP_FUZZ=ON (clang only):
+//   cmake -B build-fuzz -DSHP_FUZZ=ON -DCMAKE_CXX_COMPILER=clang++
+//   cmake --build build-fuzz --target wire_format_fuzz
+//   build-fuzz/wire_format_fuzz -max_total_time=60
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "engine/wire_format.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::span<const uint8_t> bytes(data, size);
+
+  shp::wire::EnvelopeHeader header;
+  std::vector<shp::NeighborDelta> decoded;
+  (void)shp::wire::DecodeEnveloped(bytes, &header, &decoded);
+
+  decoded.clear();
+  (void)shp::wire::DecodeGroupedDeltas(bytes, &decoded);
+  return 0;
+}

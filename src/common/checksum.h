@@ -1,0 +1,31 @@
+// Shared checksum primitives for self-verifying on-disk and on-wire formats.
+//
+// CRC32C (Castagnoli) is the integrity check of the superstep-2 wire envelope
+// (engine/wire_format.h) and the epoch checkpoint files
+// (engine/checkpoint.h): it detects all single-bit flips and, unlike an
+// additive hash, any burst error up to 32 bits. The implementation is the
+// classic byte-at-a-time table walk — the buffers it covers are small (delta
+// payloads, partition vectors), so a slicing-by-8 variant would be noise.
+//
+// FNV-1a is kept for the binary graph snapshot (graph/io_binary.cc), whose
+// on-disk format predates this header; moving the shared definition here
+// keeps the two call sites from drifting apart.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace shp {
+
+/// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected). `seed` chains
+/// incremental updates: pass a previous return value to extend the checksum
+/// over a further buffer.
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed = 0);
+
+/// FNV-1a 64-bit over a buffer, chained through `seed` the same way.
+uint64_t Fnv1a64(const void* data, size_t size, uint64_t seed);
+
+/// FNV-1a offset basis (the seed of a fresh chain).
+inline constexpr uint64_t kFnv1a64Init = 0xcbf29ce484222325ULL;
+
+}  // namespace shp

@@ -139,6 +139,24 @@ struct IterationStats {
   /// never fire), so on a converged instance this drops below
   /// num_proposals while the move trajectory is unchanged.
   uint64_t num_draws = 0;
+
+  // ---- fault-tolerant superstep protocol (BSP engine only; all zero on
+  // fault-free runs and on the in-memory Refiner) ----
+  /// Wire anomalies detected this iteration (CRC/truncation/decode failures,
+  /// stale epochs, sequence gaps and duplicates).
+  uint64_t faults_detected = 0;
+  /// Link-level retransmissions performed this iteration.
+  uint64_t retransmits = 0;
+  /// 1 when an unrecoverable link forced the replica-invalidation +
+  /// full-reship recovery path this iteration.
+  uint64_t reship_recoveries = 0;
+  /// Links currently degraded to backoff (full-reship mode while > 0).
+  uint64_t degraded_links = 0;
+  /// Workers killed at this iteration's boundary and rebuilt from the
+  /// authoritative partition state.
+  uint64_t workers_recovered = 0;
+  /// Workers stalled (straggling) this iteration.
+  uint64_t stalled_workers = 0;
 };
 
 /// Interface over refinement iteration engines. The threaded in-memory

@@ -24,11 +24,38 @@ class ThreadPool;
 struct BspConfig {
   int num_workers = 4;  ///< simulated machines (paper's experiments use 4-16)
   uint64_t shard_seed = 0x5ca1ab1e;  ///< vertex -> worker hashing seed
-  /// Account superstep-2 delta traffic with the grouped varint codec
-  /// (engine/wire_format.h) instead of the raw 16-byte records. Affects byte
-  /// accounting only — never the exchanged data or the refinement trajectory.
-  /// false = reference switch to the raw format.
+  /// Exchange superstep-2 deltas through the grouped varint codec
+  /// (engine/wire_format.h) instead of the raw 16-byte records. With the
+  /// self-verifying envelope this is the load-bearing wire path: the receiver
+  /// consumes the decoded frames. The codec is lossless, so the refinement
+  /// trajectory is unchanged. false = reference switch to the raw format
+  /// (accounting only, no envelope, no fault injection on the wire).
   bool varint_wire = true;
+
+  // Fault-tolerant superstep protocol (docs/distributed.md).
+  /// Retransmissions per (src, dst) link per epoch after the first delivery
+  /// attempt; 1 + max_link_retries failed attempts declare the link failed
+  /// for this epoch.
+  int max_link_retries = 2;
+  /// Consecutive failed epochs on a link before it degrades to backoff.
+  int link_degrade_threshold = 2;
+  /// Initial backoff length in epochs for a degraded link; doubles per
+  /// further failure up to link_backoff_max. While any link is backing off,
+  /// the engine runs full-reship bootstraps instead of delta exchange.
+  int link_backoff_epochs = 2;
+  int link_backoff_max = 16;
+  /// Declarative fault schedule driving the deterministic FaultInjector;
+  /// nullptr = fault-free (zero-overhead in the hot loop). Not owned; must
+  /// outlive the refiner.
+  const FaultSchedule* fault_schedule = nullptr;
+
+  // Epoch checkpointing (engine/checkpoint.h).
+  /// Directory for epoch checkpoints; empty = checkpointing off.
+  std::string checkpoint_dir;
+  /// Write a checkpoint every N epochs (only when checkpoint_dir is set).
+  int checkpoint_interval = 1;
+  /// Checkpoints retained on disk (older ones pruned).
+  int checkpoint_keep = 2;
 };
 
 /// Accounting for one executed superstep.
@@ -36,6 +63,13 @@ struct SuperstepStats {
   std::string label;      ///< e.g. "collect-neighbor-data"
   uint64_t superstep = 0;
   RouteStats traffic;
+  /// Envelope framing overhead (header varints + CRC) of this superstep's
+  /// remote deliveries. Kept out of traffic.remote_bytes so the payload byte
+  /// series stays comparable across the protocol change; gated separately
+  /// (≤ 4% of the varint payload) by the bench harness.
+  uint64_t envelope_bytes = 0;
+  /// Full-frame bytes re-sent by link-level retransmissions (fault runs only).
+  uint64_t retry_bytes = 0;
   /// Work units per worker (max over workers drives simulated time).
   std::vector<uint64_t> work_units;
 

@@ -1,0 +1,228 @@
+#include "engine/checkpoint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#include "common/checksum.h"
+#include "common/logging.h"
+
+namespace shp {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'H', 'P', 'C'};
+constexpr uint32_t kVersion = 1;
+
+/// Serializes everything after the magic into a flat buffer — the unit the
+/// trailing CRC32C covers, and the unit written in one fwrite so a torn write
+/// can only truncate, never interleave.
+std::vector<uint8_t> SerializeBody(const CheckpointData& data) {
+  std::vector<uint8_t> body;
+  body.reserve(4 + 8 + 4 + 4 + 8 + 8 + 8 +
+               data.assignment.size() * sizeof(BucketId));
+  auto append = [&body](const void* p, size_t n) {
+    const auto* bytes = static_cast<const uint8_t*>(p);
+    body.insert(body.end(), bytes, bytes + n);
+  };
+  const uint32_t num_data = static_cast<uint32_t>(data.assignment.size());
+  append(&kVersion, sizeof(kVersion));
+  append(&data.epoch, sizeof(data.epoch));
+  append(&data.k, sizeof(data.k));
+  append(&num_data, sizeof(num_data));
+  append(&data.num_moved, sizeof(data.num_moved));
+  append(&data.gain_moved, sizeof(data.gain_moved));
+  append(&data.moved_fraction, sizeof(data.moved_fraction));
+  if (!data.assignment.empty()) {
+    append(data.assignment.data(),
+           data.assignment.size() * sizeof(BucketId));
+  }
+  return body;
+}
+
+std::string CheckpointFileName(uint64_t epoch) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "ckpt_%020llu.shpc",
+                static_cast<unsigned long long>(epoch));
+  return name;
+}
+
+/// Parses "ckpt_<epoch>.shpc"; returns false for unrelated directory entries.
+bool ParseCheckpointFileName(const std::string& name, uint64_t* epoch) {
+  constexpr const char* kPrefix = "ckpt_";
+  constexpr const char* kSuffix = ".shpc";
+  if (name.size() <= 5 + 5) return false;
+  if (name.compare(0, 5, kPrefix) != 0) return false;
+  if (name.compare(name.size() - 5, 5, kSuffix) != 0) return false;
+  uint64_t value = 0;
+  for (size_t i = 5; i < name.size() - 5; ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *epoch = value;
+  return true;
+}
+
+}  // namespace
+
+Status WriteCheckpointFile(const CheckpointData& data,
+                           const std::string& path) {
+  const std::vector<uint8_t> body = SerializeBody(data);
+  const uint32_t crc = Crc32c(body.data(), body.size());
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open " + tmp);
+  bool ok = std::fwrite(kMagic, 1, 4, f) == 4;
+  ok = ok && std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  uint8_t crc_le[4];
+  for (int i = 0; i < 4; ++i) crc_le[i] = static_cast<uint8_t>(crc >> (8 * i));
+  ok = ok && std::fwrite(crc_le, 1, 4, f) == 4;
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return Status::IoError("write failed for " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    return Status::IoError("rename failed for " + path + ": " + ec.message());
+  }
+  return Status::Ok();
+}
+
+Result<CheckpointData> ReadCheckpointFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  // Size-bounded read: the whole file is loaded once, then parsed from
+  // memory, so a corrupt header can never drive an allocation beyond the
+  // actual file size.
+  std::fseek(f, 0, SEEK_END);
+  const long file_size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (file_size < 0) {
+    std::fclose(f);
+    return Status::IoError("cannot stat " + path);
+  }
+  std::vector<uint8_t> bytes(static_cast<size_t>(file_size));
+  const bool read_ok =
+      bytes.empty() ||
+      std::fread(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  std::fclose(f);
+  if (!read_ok) return Status::IoError("read failed for " + path);
+
+  // magic + version/epoch/k/num_data + stats + crc is the minimum frame.
+  constexpr size_t kHeaderBytes = 4 + 4 + 8 + 4 + 4 + 8 + 8 + 8;
+  if (bytes.size() < kHeaderBytes + 4) {
+    return Status::Corruption(path + ": truncated checkpoint");
+  }
+  if (std::memcmp(bytes.data(), kMagic, 4) != 0) {
+    return Status::Corruption(path + ": bad magic");
+  }
+  const uint8_t* body = bytes.data() + 4;
+  const size_t body_size = bytes.size() - 4 - 4;
+  const uint8_t* crc_le = bytes.data() + bytes.size() - 4;
+  uint32_t stored_crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored_crc |= static_cast<uint32_t>(crc_le[i]) << (8 * i);
+  }
+  if (Crc32c(body, body_size) != stored_crc) {
+    return Status::Corruption(path + ": checksum mismatch");
+  }
+
+  CheckpointData data;
+  uint32_t version = 0;
+  uint32_t num_data = 0;
+  const uint8_t* p = body;
+  auto read = [&p](void* out, size_t n) {
+    std::memcpy(out, p, n);
+    p += n;
+  };
+  read(&version, sizeof(version));
+  if (version != kVersion) {
+    return Status::Corruption(path + ": unsupported version " +
+                              std::to_string(version));
+  }
+  read(&data.epoch, sizeof(data.epoch));
+  read(&data.k, sizeof(data.k));
+  read(&num_data, sizeof(num_data));
+  read(&data.num_moved, sizeof(data.num_moved));
+  read(&data.gain_moved, sizeof(data.gain_moved));
+  read(&data.moved_fraction, sizeof(data.moved_fraction));
+  const size_t expect = kHeaderBytes - 4 +
+                        static_cast<size_t>(num_data) * sizeof(BucketId);
+  if (body_size != expect) {
+    return Status::Corruption(path + ": size does not match vertex count");
+  }
+  data.assignment.resize(num_data);
+  if (num_data > 0) {
+    read(data.assignment.data(),
+         static_cast<size_t>(num_data) * sizeof(BucketId));
+  }
+  if (data.k == 0 && num_data > 0) {
+    return Status::Corruption(path + ": zero buckets with nonzero vertices");
+  }
+  for (const BucketId b : data.assignment) {
+    if (b < 0 || static_cast<uint32_t>(b) >= data.k) {
+      return Status::Corruption(path + ": assignment value out of range");
+    }
+  }
+  return data;
+}
+
+CheckpointManager::CheckpointManager(std::string dir, int keep)
+    : dir_(std::move(dir)), keep_(std::max(keep, 1)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  // A failure here surfaces as an IoError at the first Write.
+}
+
+Status CheckpointManager::Write(const CheckpointData& data) {
+  const std::string path =
+      (std::filesystem::path(dir_) / CheckpointFileName(data.epoch)).string();
+  SHP_RETURN_IF_ERROR(WriteCheckpointFile(data, path));
+  // Prune beyond the retention limit, oldest first. Pruning is best-effort:
+  // a leftover file costs disk, not correctness.
+  std::vector<uint64_t> epochs;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    uint64_t epoch = 0;
+    if (ParseCheckpointFileName(entry.path().filename().string(), &epoch)) {
+      epochs.push_back(epoch);
+    }
+  }
+  std::sort(epochs.begin(), epochs.end());
+  const size_t keep = static_cast<size_t>(keep_);
+  for (size_t i = 0; i + keep < epochs.size(); ++i) {
+    std::filesystem::remove(
+        std::filesystem::path(dir_) / CheckpointFileName(epochs[i]), ec);
+  }
+  return Status::Ok();
+}
+
+Result<CheckpointData> CheckpointManager::LoadLatest() const {
+  std::vector<uint64_t> epochs;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    uint64_t epoch = 0;
+    if (ParseCheckpointFileName(entry.path().filename().string(), &epoch)) {
+      epochs.push_back(epoch);
+    }
+  }
+  // Newest valid wins: a corrupt (torn, rotted) checkpoint falls back to the
+  // next older one instead of failing the restore.
+  std::sort(epochs.begin(), epochs.end(), std::greater<uint64_t>());
+  for (const uint64_t epoch : epochs) {
+    const std::string path =
+        (std::filesystem::path(dir_) / CheckpointFileName(epoch)).string();
+    Result<CheckpointData> result = ReadCheckpointFile(path);
+    if (result.ok()) return result;
+    SHP_LOG(Warning) << "skipping unreadable checkpoint " << path << ": "
+                     << result.status().ToString();
+  }
+  return Status::NotFound("no valid checkpoint in " + dir_);
+}
+
+}  // namespace shp

@@ -1,0 +1,78 @@
+// Epoch checkpoints for the BSP engine's recovery protocol.
+//
+// A checkpoint captures the authoritative state a refinement epoch ends with
+// — the full partition assignment plus the iteration-stats subset needed to
+// resume reporting — in one self-verifying binary file:
+//
+//   file := "SHPC" u32(version) u64(epoch) u32(k) u32(num_data)
+//           u64(num_moved) f64(gain_moved) f64(moved_fraction)
+//           i32(assignment[num_data]) crc32c-u32-LE
+//
+// All fields little-endian native (same convention as graph/io_binary.cc);
+// the trailing CRC32C covers every byte after the magic, so truncation and
+// bit rot are both detected at load. A corrupt or torn checkpoint is skipped,
+// not trusted: LoadLatest scans the directory and falls back to the newest
+// file that verifies, which is what makes interval-based retention
+// (checkpoint_keep) safe against a crash mid-write.
+//
+// Rollback-and-replay: BspRefiner::RestoreLatestCheckpoint resets the engine
+// to the checkpointed assignment and invalidates every piece of incremental
+// state, so the next RunIteration bootstraps from the restored partition —
+// replaying from epoch N+1 is then indistinguishable from a run that never
+// crashed, because the trajectory is a pure function of (assignment, seed,
+// iteration).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "objective/neighbor_data.h"
+
+namespace shp {
+
+/// One epoch's recoverable state.
+struct CheckpointData {
+  uint64_t epoch = 0;
+  /// Stats subset: what the caller's convergence loop consumes.
+  uint64_t num_moved = 0;
+  double gain_moved = 0.0;
+  double moved_fraction = 0.0;
+  /// assignment[v] = bucket of data vertex v; size() = num_data, values in
+  /// [0, k). k is stored explicitly so a restore can validate the shape.
+  uint32_t k = 0;
+  std::vector<BucketId> assignment;
+};
+
+/// Writes one checkpoint file (atomically: temp file + rename).
+Status WriteCheckpointFile(const CheckpointData& data,
+                           const std::string& path);
+
+/// Reads and verifies one checkpoint file. Corruption (bad magic/version,
+/// truncation, CRC mismatch, out-of-range assignment values) is a Status,
+/// never a crash.
+Result<CheckpointData> ReadCheckpointFile(const std::string& path);
+
+/// Manages a directory of epoch checkpoints with bounded retention.
+class CheckpointManager {
+ public:
+  /// `dir` is created if missing. `keep` ≥ 1 checkpoints are retained;
+  /// older ones are pruned after each successful write.
+  CheckpointManager(std::string dir, int keep);
+
+  /// Writes `data` as ckpt_<epoch>.shpc and prunes beyond the keep limit.
+  Status Write(const CheckpointData& data);
+
+  /// Loads the newest (highest-epoch) checkpoint that verifies, skipping
+  /// corrupt files. NotFound when no valid checkpoint exists.
+  Result<CheckpointData> LoadLatest() const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+  int keep_;
+};
+
+}  // namespace shp

@@ -1,3 +1,118 @@
-// MessageRouter is header-only (templated); this translation unit exists to
-// anchor the library target and hold non-template helpers if they appear.
+// MessageRouter itself is header-only (templated); this translation unit
+// holds the deterministic FaultInjector the chaos harness hooks into the
+// router layer.
 #include "engine/message_router.h"
+
+#include "common/rng.h"
+
+namespace shp {
+
+namespace {
+
+bool IsWireFault(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDropBuffer:
+    case FaultKind::kDuplicateBuffer:
+    case FaultKind::kReorderBuffer:
+    case FaultKind::kTruncateBuffer:
+    case FaultKind::kBitFlipBuffer:
+      return true;
+    case FaultKind::kStallWorker:
+    case FaultKind::kKillWorker:
+      return false;
+  }
+  return false;
+}
+
+/// Deterministic fault detail when the event leaves `param` at 0: hashed from
+/// the schedule seed and the delivery coordinates, so two runs of the same
+/// schedule mangle the same bit/byte.
+uint64_t DerivedParam(const FaultSchedule& schedule, const FaultEvent& event,
+                      uint64_t epoch, int src, int dst) {
+  uint64_t h = HashCombine(schedule.seed, epoch);
+  h = HashCombine(h, static_cast<uint64_t>(event.kind),
+                  static_cast<uint64_t>(static_cast<int64_t>(src)));
+  return HashCombine(h, static_cast<uint64_t>(static_cast<int64_t>(dst)),
+                     static_cast<uint64_t>(event.attempt));
+}
+
+}  // namespace
+
+FaultInjector::WireAction FaultInjector::OnDelivery(
+    uint64_t epoch, int src, int dst, int attempt, std::vector<uint8_t>* bytes,
+    const std::vector<uint8_t>& previous_epoch_bytes) {
+  WireAction action;
+  for (const FaultEvent& event : schedule_.events) {
+    if (!IsWireFault(event.kind)) continue;
+    if (event.epoch != epoch || event.attempt != attempt) continue;
+    if (event.src >= 0 && event.src != src) continue;
+    if (event.dst >= 0 && event.dst != dst) continue;
+    ++injected_;
+    const uint64_t param = event.param != 0
+                               ? event.param
+                               : DerivedParam(schedule_, event, epoch, src, dst);
+    switch (event.kind) {
+      case FaultKind::kDropBuffer:
+        action.drop = true;
+        break;
+      case FaultKind::kDuplicateBuffer:
+        action.duplicate = true;
+        break;
+      case FaultKind::kReorderBuffer:
+        // A reordered network delivers the link's previous-epoch frame in
+        // place of this one. With no history there is nothing old to deliver
+        // — the fault degrades to a drop.
+        if (previous_epoch_bytes.empty()) {
+          action.drop = true;
+        } else {
+          *bytes = previous_epoch_bytes;
+          action.mutated = true;
+        }
+        break;
+      case FaultKind::kTruncateBuffer:
+        if (!bytes->empty()) {
+          bytes->resize(param % bytes->size());
+          action.mutated = true;
+        } else {
+          action.drop = true;  // nothing to cut: the frame just vanishes
+        }
+        break;
+      case FaultKind::kBitFlipBuffer:
+        if (!bytes->empty()) {
+          const uint64_t bit = param % (bytes->size() * 8);
+          (*bytes)[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+          action.mutated = true;
+        } else {
+          action.drop = true;
+        }
+        break;
+      case FaultKind::kStallWorker:
+      case FaultKind::kKillWorker:
+        break;  // unreachable: filtered by IsWireFault
+    }
+  }
+  return action;
+}
+
+bool FaultInjector::KillsWorker(uint64_t epoch, int worker) const {
+  for (const FaultEvent& event : schedule_.events) {
+    if (event.kind != FaultKind::kKillWorker) continue;
+    if (event.epoch != epoch) continue;
+    if (event.src >= 0 && event.src != worker) continue;
+    return true;
+  }
+  return false;
+}
+
+uint64_t FaultInjector::StallWorkUnits(uint64_t epoch, int worker) const {
+  uint64_t units = 0;
+  for (const FaultEvent& event : schedule_.events) {
+    if (event.kind != FaultKind::kStallWorker) continue;
+    if (event.epoch != epoch) continue;
+    if (event.src >= 0 && event.src != worker) continue;
+    units += event.param != 0 ? event.param : 1000;
+  }
+  return units;
+}
+
+}  // namespace shp

@@ -24,6 +24,87 @@
 
 namespace shp {
 
+// ------------------------------------------------------- fault injection ---
+
+/// Fault classes the chaos harness can inject into the simulated fabric.
+/// The wire faults act on one enveloped (src, dst) buffer delivery; the
+/// worker faults fire at a superstep boundary.
+enum class FaultKind : uint8_t {
+  kDropBuffer,       ///< the frame never arrives
+  kDuplicateBuffer,  ///< the frame arrives twice (same sequence number)
+  kReorderBuffer,    ///< the link's previous-epoch frame arrives instead
+  kTruncateBuffer,   ///< the frame is cut short
+  kBitFlipBuffer,    ///< one bit of the frame flips in flight
+  kStallWorker,      ///< the worker straggles (extra work units this epoch)
+  kKillWorker,       ///< the worker dies at the superstep boundary
+};
+
+/// One scheduled fault. Wire faults match a delivery by (epoch, src, dst,
+/// attempt); `src`/`dst` of -1 match any worker, and `attempt` selects which
+/// retransmission the fault hits (0 = the first delivery), so a schedule can
+/// fail a link's retries too. Worker faults use `src` as the worker id.
+/// `param` carries the fault detail — kTruncateBuffer: bytes to keep,
+/// kBitFlipBuffer: bit index, kStallWorker: extra work units; 0 derives a
+/// deterministic value from the schedule seed.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kDropBuffer;
+  uint64_t epoch = 0;
+  int src = -1;
+  int dst = -1;
+  int attempt = 0;
+  uint64_t param = 0;
+};
+
+/// Declarative fault schedule: the full chaos run is a pure function of this
+/// struct, so every run is reproducible bit for bit.
+struct FaultSchedule {
+  uint64_t seed = 0x0bad0bad;  ///< derives defaulted fault params
+  std::vector<FaultEvent> events;
+};
+
+/// Deterministic fault injector: applies the scheduled faults to enveloped
+/// buffer deliveries and answers worker-boundary queries. Hooked into the
+/// router layer — the BSP engine calls OnDelivery once per remote (src, dst)
+/// delivery attempt of superstep 2, and the worker queries once per epoch.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(FaultSchedule schedule)
+      : schedule_(std::move(schedule)) {}
+
+  bool empty() const { return schedule_.events.empty(); }
+
+  /// Outcome of one delivery attempt after fault application.
+  struct WireAction {
+    bool drop = false;       ///< frame lost: nothing arrives
+    bool duplicate = false;  ///< frame arrives twice
+    bool mutated = false;    ///< bytes were truncated/flipped/replayed
+  };
+
+  /// Applies every wire fault scheduled for (epoch, src, dst, attempt) to
+  /// `bytes` (mutating it for truncate/bit-flip/reorder).
+  /// `previous_epoch_bytes` is the link's last successfully delivered frame
+  /// — what a reordered network would deliver instead; an empty history
+  /// makes kReorderBuffer degrade to a drop.
+  WireAction OnDelivery(uint64_t epoch, int src, int dst, int attempt,
+                        std::vector<uint8_t>* bytes,
+                        const std::vector<uint8_t>& previous_epoch_bytes);
+
+  /// True when a kKillWorker event targets `worker` at `epoch`.
+  bool KillsWorker(uint64_t epoch, int worker) const;
+
+  /// Summed kStallWorker work units for `worker` at `epoch` (0 = no stall).
+  uint64_t StallWorkUnits(uint64_t epoch, int worker) const;
+
+  /// Wire faults actually applied so far (diagnostics; a detection test can
+  /// assert detected == injected).
+  uint64_t faults_injected() const { return injected_; }
+
+ private:
+  FaultSchedule schedule_;
+  uint64_t injected_ = 0;
+};
+
 /// Aggregated traffic counts of one superstep.
 struct RouteStats {
   uint64_t local_messages = 0;
@@ -106,6 +187,31 @@ class MessageRouter {
         }
         stats.remote_messages += buffer.size();
         const uint64_t bytes = bytes_of(buffer);
+        stats.remote_bytes += bytes;
+        out_bytes_[static_cast<size_t>(src)] += bytes;
+        in_bytes_[static_cast<size_t>(dst)] += bytes;
+      }
+    }
+    for (auto& buffer : buffers_) buffer.clear();
+    return stats;
+  }
+
+  /// Per-link variant: `bytes_of(src, dst, buffer)` gives the wire bytes of
+  /// one remote buffer. Used when the bytes were already determined during
+  /// the (enveloped) transfer — the accounting then replays the recorded
+  /// per-link sizes instead of re-encoding every buffer.
+  template <typename LinkSizeFn>
+  RouteStats CollectAndClearPerLink(const LinkSizeFn& bytes_of) {
+    RouteStats stats;
+    for (int src = 0; src < num_workers_; ++src) {
+      for (int dst = 0; dst < num_workers_; ++dst) {
+        const auto& buffer = buffers_[Index(src, dst)];
+        if (src == dst) {
+          stats.local_messages += buffer.size();
+          continue;
+        }
+        stats.remote_messages += buffer.size();
+        const uint64_t bytes = bytes_of(src, dst, buffer);
         stats.remote_bytes += bytes;
         out_bytes_[static_cast<size_t>(src)] += bytes;
         in_bytes_[static_cast<size_t>(dst)] += bytes;

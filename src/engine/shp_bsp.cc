@@ -97,6 +97,21 @@ BspRefiner::BspRefiner(const BipartiteGraph& graph,
   original_.assign(graph.num_data(), -1);
   pull_affinity_.resize(W);
   pull_touched_.resize(W);
+  const size_t links = W * W;
+  link_send_seq_.assign(links, 0);
+  link_recv_seq_.assign(links, 0);
+  link_last_wire_.resize(links);
+  link_fail_streak_.assign(links, 0);
+  link_backoff_until_.assign(links, 0);
+  link_backoff_len_.assign(links, std::max(config.link_backoff_epochs, 1));
+  link_payload_bytes_.assign(links, 0);
+  if (config.fault_schedule != nullptr) {
+    injector_ = FaultInjector(*config.fault_schedule);
+  }
+  if (!config.checkpoint_dir.empty()) {
+    checkpoints_ = std::make_unique<CheckpointManager>(
+        config.checkpoint_dir, config.checkpoint_keep);
+  }
 }
 
 uint64_t BspRefiner::MaxWorkerStateBytes() const {
@@ -206,6 +221,36 @@ IterationStats BspRefiner::RunIteration(const MoveTopology& topo,
   const uint64_t base_superstep =
       log_ == nullptr ? 0 : static_cast<uint64_t>(log_->size());
   IterationStats stats;
+
+  // Protocol epoch: the engine's own monotonic counter. The caller's
+  // `iteration` parameter restarts under recursion drivers, so it cannot key
+  // the wire protocol or the fault schedule.
+  const uint64_t epoch = epoch_++;
+
+  // Worker kill at the superstep boundary: the worker's query replicas are
+  // rebuilt from the authoritative partition state its queries last saw, and
+  // every derived structure (accumulator replicas, cached proposals,
+  // histograms) is re-bootstrapped below. Before the first iteration there
+  // is no state to lose — a kill at epoch 0 is a no-op.
+  std::vector<uint64_t> recovery_work(static_cast<size_t>(W), 0);
+  if (!injector_.empty() && state_valid_) {
+    for (int w = 0; w < W; ++w) {
+      if (!injector_.KillsWorker(epoch, w)) continue;
+      recovery_work[static_cast<size_t>(w)] = RecoverKilledWorker(w);
+      sweep_valid_ = false;
+      proposals_valid_ = false;
+      hist_valid_ = false;
+      ++stats.workers_recovered;
+      ++counters_.workers_recovered;
+    }
+  }
+
+  // Links still in backoff at this epoch force degraded (full-reship) mode.
+  uint64_t backoff_links = 0;
+  for (const uint64_t until : link_backoff_until_) {
+    if (until > epoch) ++backoff_links;
+  }
+  stats.degraded_links = backoff_links;
 
   // Superstep-2 exchange mode: delta exchange + push sweep needs only a
   // nonzero pow base (same support condition as the threaded Refiner) —
@@ -383,7 +428,8 @@ IterationStats BspRefiner::RunIteration(const MoveTopology& topo,
   for (int w = 0; w < W; ++w) {
     s1.work_units[static_cast<size_t>(w)] =
         s1_send_work[static_cast<size_t>(w)] +
-        s1_recv_work[static_cast<size_t>(w)];
+        s1_recv_work[static_cast<size_t>(w)] +
+        recovery_work[static_cast<size_t>(w)];
   }
 
 #ifndef NDEBUG
@@ -403,18 +449,17 @@ IterationStats BspRefiner::RunIteration(const MoveTopology& topo,
 
   // ---------------------------------------------------------------- S2 ---
   const bool context_ok = ContextMatches(topo, anchor, anchor_penalty, push);
-  const bool bootstrap = push && !sweep_valid_;
-  if (bootstrap) ++num_bootstraps_;
-  const bool recompute_all =
-      full_scan || !proposals_valid_ || !context_ok || bootstrap;
   if (!context_ok) SnapshotContext(topo, anchor, anchor_penalty, push);
-  for (int w = 0; w < W; ++w) recompute_lists_[static_cast<size_t>(w)].clear();
-  if (!push && recompute_all) {
-    // The pull path's data-side caches hold topology-restricted lists; a
-    // context change may activate buckets they never received, so charge a
-    // full reship (on iteration 0 every query is dirty anyway).
-    std::fill(query_dirty_.begin(), query_dirty_.end(), 1);
-  }
+  // Enveloped wire path: under the grouped varint codec every remote delta
+  // buffer crosses the fabric as one self-verifying frame through the fault
+  // injector, and the receiver consumes the decoded records. The raw
+  // reference switch (varint_wire = false) keeps the in-memory exchange.
+  const bool enveloped = push && config_.varint_wire;
+  // Degraded mode: while any link is in backoff the delta exchange stays
+  // suspended — full-reship bootstraps (which bypass the link protocol)
+  // until the backoff expires.
+  const bool degraded = enveloped && backoff_links > 0;
+  bool bootstrap = push && (!sweep_valid_ || degraded);
 
   stats.full_rebuild = full_scan;
   for (int w = 0; w < W; ++w) {
@@ -427,13 +472,73 @@ IterationStats BspRefiner::RunIteration(const MoveTopology& topo,
   std::vector<uint64_t> s2_send_work(static_cast<size_t>(W), 0);
   std::vector<uint64_t> s2_recv_work(static_cast<size_t>(W), 0);
   std::vector<uint64_t> s2_patch_work(static_cast<size_t>(W), 0);
+  SuperstepStats s2;
+
+  bool transfer_ran = false;
+  if (push && !bootstrap) {
+    // Delta-exchange send: each dirty query's owner ships the sparse
+    // NeighborDelta records produced while folding superstep 1 — O(delta
+    // records × touched workers) on the wire, not O(Σ deg(dirty q) ×
+    // touched workers). Records are grouped by query (the fold sorted
+    // them), so the destination mask is computed once per query.
+    s2_send_work = RunPhase(W, pool, [&](int w) -> uint64_t {
+      uint64_t work = 0;
+      std::vector<uint8_t> dst_mask(static_cast<size_t>(W));
+      const std::vector<NeighborDelta>& records =
+          s1_records_[static_cast<size_t>(w)];
+      size_t i = 0;
+      while (i < records.size()) {
+        size_t j = i;
+        while (j < records.size() && records[j].q == records[i].q) ++j;
+        const VertexId q = records[i].q;
+        std::fill(dst_mask.begin(), dst_mask.end(), 0);
+        for (VertexId v : graph_.QueryNeighbors(q)) {
+          dst_mask[static_cast<size_t>(data_owner_[v])] = 1;
+        }
+        for (int dst = 0; dst < W; ++dst) {
+          if (!dst_mask[static_cast<size_t>(dst)]) continue;
+          for (size_t r = i; r < j; ++r) router2d.Send(w, dst, records[r]);
+          work += j - i;
+        }
+        i = j;
+      }
+      return work;
+    });
+    if (enveloped) {
+      // Enveloped transfer: encode, frame, deliver (through the injector,
+      // with bounded same-sequence retransmission), verify, decode into
+      // s2_inbox_. A link that exhausts its retries is unrecoverable this
+      // epoch — the recovery action is the same replica invalidation +
+      // full-reship the churn guard uses, taken in this same iteration.
+      transfer_ran = true;
+      if (!TransferEnveloped(epoch, router2d, &s2, &stats)) {
+        sweep_valid_ = false;
+        bootstrap = true;
+        ++stats.reship_recoveries;
+        ++counters_.reship_recoveries;
+      }
+    }
+  }
+
+  if (bootstrap) ++num_bootstraps_;
+  const bool recompute_all =
+      full_scan || !proposals_valid_ || !context_ok || bootstrap;
+  for (int w = 0; w < W; ++w) recompute_lists_[static_cast<size_t>(w)].clear();
+  if (!push && recompute_all) {
+    // The pull path's data-side caches hold topology-restricted lists; a
+    // context change may activate buckets they never received, so charge a
+    // full reship (on iteration 0 every query is dirty anyway).
+    std::fill(query_dirty_.begin(), query_dirty_.end(), 1);
+  }
 
   if (!push || bootstrap) {
     // Full-reship send: dirty queries ship their topology-relevant neighbor
     // data, one combined message per destination worker. The delta-exchange
     // bootstrap charges the same volume — the accumulator replicas are built
-    // from exactly this shipment.
-    s2_send_work = RunPhase(W, pool, [&](int w) -> uint64_t {
+    // from exactly this shipment. (Accumulated, not assigned: a failed
+    // enveloped exchange earlier this iteration already charged its send.)
+    const std::vector<uint64_t> reship_send_work =
+        RunPhase(W, pool, [&](int w) -> uint64_t {
       uint64_t work = 0;
       std::vector<uint8_t> dst_mask(static_cast<size_t>(W));
       for (VertexId q : query_shards_[static_cast<size_t>(w)]) {
@@ -464,6 +569,10 @@ IterationStats BspRefiner::RunIteration(const MoveTopology& topo,
       }
       return work;
     });
+    for (int w = 0; w < W; ++w) {
+      s2_send_work[static_cast<size_t>(w)] +=
+          reship_send_work[static_cast<size_t>(w)];
+    }
     // Receive: mark data vertices adjacent to dirty queries — plus last
     // round's movers, whose own `from` changed even if every adjacent count
     // delta cancelled — for proposal recomputation (unused on a
@@ -508,46 +617,27 @@ IterationStats BspRefiner::RunIteration(const MoveTopology& topo,
             build_work[static_cast<size_t>(w)];
       }
       sweep_valid_ = true;
+      // The reship bypasses the enveloped link protocol, so it doubles as
+      // the protocol resync point: receive sequences jump to the send
+      // sequences and the next delta exchange starts from a clean chain.
+      ResyncLinks();
     }
   } else {
-    // Delta-exchange send: each dirty query's owner ships the sparse
-    // NeighborDelta records produced while folding superstep 1 — O(delta
-    // records × touched workers) on the wire, not O(Σ deg(dirty q) ×
-    // touched workers). Records are grouped by query (the fold sorted
-    // them), so the destination mask is computed once per query.
-    s2_send_work = RunPhase(W, pool, [&](int w) -> uint64_t {
-      uint64_t work = 0;
-      std::vector<uint8_t> dst_mask(static_cast<size_t>(W));
-      const std::vector<NeighborDelta>& records =
-          s1_records_[static_cast<size_t>(w)];
-      size_t i = 0;
-      while (i < records.size()) {
-        size_t j = i;
-        while (j < records.size() && records[j].q == records[i].q) ++j;
-        const VertexId q = records[i].q;
-        std::fill(dst_mask.begin(), dst_mask.end(), 0);
-        for (VertexId v : graph_.QueryNeighbors(q)) {
-          dst_mask[static_cast<size_t>(data_owner_[v])] = 1;
-        }
-        for (int dst = 0; dst < W; ++dst) {
-          if (!dst_mask[static_cast<size_t>(dst)]) continue;
-          for (size_t r = i; r < j; ++r) router2d.Send(w, dst, records[r]);
-          work += j - i;
-        }
-        i = j;
-      }
-      return work;
-    });
-    // Receive: drain each worker's inbox (src order keeps every per-(q,
-    // bucket) chain intact — a query's records come from its single owner),
-    // mark the blast radius, and patch the accumulator replicas.
+    // Receive: each worker consumes its inbox (src order keeps every
+    // per-(q, bucket) chain intact — a query's records come from its single
+    // owner), marks the blast radius, and patches the accumulator replicas.
+    // On the enveloped wire path the inbox was already filled by the
+    // verified transfer above — the records here are the *decoded* frames;
+    // the raw reference switch drains the router buffers directly.
     s2_recv_work = RunPhase(W, pool, [&](int w) -> uint64_t {
       uint64_t work = 0;
       std::vector<NeighborDelta>& inbox = s2_inbox_[static_cast<size_t>(w)];
-      inbox.clear();
-      for (int src = 0; src < W; ++src) {
-        const auto& in = router2d.Incoming(src, w);
-        inbox.insert(inbox.end(), in.begin(), in.end());
+      if (!transfer_ran) {
+        inbox.clear();
+        for (int src = 0; src < W; ++src) {
+          const auto& in = router2d.Incoming(src, w);
+          inbox.insert(inbox.end(), in.begin(), in.end());
+        }
       }
       if (!recompute_all) {
         VertexId last_q = static_cast<VertexId>(-1);
@@ -712,19 +802,26 @@ IterationStats BspRefiner::RunIteration(const MoveTopology& topo,
     return 0;
   });
 
-  SuperstepStats s2;
   s2.label = push && !bootstrap ? "2:ship-deltas+gains"
                                 : "2:ship-neighbor-data+gains";
   s2.superstep = base_superstep + 1;
   s2.traffic = router2.CollectAndClearSized([](const NeighborDataMsg& m) {
     return sizeof(VertexId) + m.entries.size() * sizeof(BucketCount);
   });
-  // Delta records go on the wire under the grouped varint codec (byte
-  // accounting only; the codec never touches the exchanged structs, so the
-  // refinement trajectory is identical under either switch). Each (src, dst)
-  // buffer is one encode unit — per-query group headers and same-bucket delta
-  // chains span records, so sizing is per buffer, not per message.
-  if (config_.varint_wire) {
+  // Delta records go on the wire under the grouped varint codec; the payload
+  // byte series counts exactly the grouped stream, with the envelope framing
+  // tracked separately in s2.envelope_bytes so the series stays comparable
+  // across the protocol change. When the enveloped transfer ran, the
+  // accounting replays the per-link payload sizes it recorded instead of
+  // re-encoding every buffer. Each (src, dst) buffer is one encode unit —
+  // per-query group headers and same-bucket delta chains span records, so
+  // sizing is per buffer, not per message.
+  if (transfer_ran) {
+    s2.traffic += router2d.CollectAndClearPerLink(
+        [this](int src, int dst, const std::vector<NeighborDelta>&) {
+          return link_payload_bytes_[LinkIndex(src, dst)];
+        });
+  } else if (config_.varint_wire) {
     s2.traffic +=
         router2d.CollectAndClearBuffered([](const std::vector<NeighborDelta>&
                                                 buffer) {
@@ -740,6 +837,18 @@ IterationStats BspRefiner::RunIteration(const MoveTopology& topo,
         s2_recv_work[static_cast<size_t>(w)] +
         s2_patch_work[static_cast<size_t>(w)] +
         s2_gain_work[static_cast<size_t>(w)];
+  }
+  // Worker stall: a straggler's extra work units gate the simulated epoch
+  // time (slowest worker holds the barrier) without touching any exchanged
+  // data — the trajectory is unchanged by construction.
+  if (!injector_.empty()) {
+    for (int w = 0; w < W; ++w) {
+      const uint64_t stall = injector_.StallWorkUnits(epoch, w);
+      if (stall == 0) continue;
+      s2.work_units[static_cast<size_t>(w)] += stall;
+      ++stats.stalled_workers;
+      ++counters_.stalled_workers;
+    }
   }
 
 #ifndef NDEBUG
@@ -1034,7 +1143,218 @@ IterationStats BspRefiner::RunIteration(const MoveTopology& topo,
           ? 0.0
           : static_cast<double>(outcome.num_moved) /
                 static_cast<double>(graph_.num_data());
+
+  // Epoch checkpoint: the full partition assignment plus the stats subset
+  // the caller's convergence loop consumes, written after the moves so a
+  // restore replays from the next epoch. A write failure degrades durability
+  // (older checkpoints remain), never the run.
+  if (checkpoints_ != nullptr && config_.checkpoint_interval > 0 &&
+      epoch % static_cast<uint64_t>(config_.checkpoint_interval) == 0) {
+    CheckpointData ckpt;
+    ckpt.epoch = epoch;
+    ckpt.num_moved = stats.num_moved;
+    ckpt.gain_moved = stats.gain_moved;
+    ckpt.moved_fraction = stats.moved_fraction;
+    ckpt.k = static_cast<uint32_t>(partition->k());
+    ckpt.assignment = partition->assignment();
+    const Status ckpt_status = checkpoints_->Write(ckpt);
+    if (ckpt_status.ok()) {
+      ++counters_.checkpoints_written;
+    } else {
+      SHP_LOG(Warning) << "checkpoint write failed: "
+                       << ckpt_status.ToString();
+    }
+  }
   return stats;
+}
+
+uint64_t BspRefiner::RecoverKilledWorker(int worker) {
+  // The replacement worker reloads its query shard's adjacency and rebuilds
+  // each owned query's neighbor data from the authoritative partition state
+  // the queries last saw (known_assignment_ mirrors it by construction —
+  // exact integer counts, so the rebuilt replicas are bit-identical to the
+  // lost ones and the Debug replica cross-check still passes).
+  uint64_t work = 0;
+  std::vector<BucketId> buckets;
+  for (VertexId q : query_shards_[static_cast<size_t>(worker)]) {
+    auto& entries = query_ndata_[q];
+    entries.clear();
+    buckets.clear();
+    for (VertexId v : graph_.QueryNeighbors(q)) {
+      SHP_DCHECK(known_assignment_[v] >= 0);
+      buckets.push_back(known_assignment_[v]);
+      ++work;
+    }
+    std::sort(buckets.begin(), buckets.end());
+    for (size_t i = 0; i < buckets.size();) {
+      size_t j = i;
+      while (j < buckets.size() && buckets[j] == buckets[i]) ++j;
+      entries.push_back({buckets[i], static_cast<uint32_t>(j - i)});
+      i = j;
+    }
+  }
+  return work;
+}
+
+bool BspRefiner::TransferEnveloped(uint64_t epoch,
+                                   const MessageRouter<NeighborDelta>& router,
+                                   SuperstepStats* s2, IterationStats* stats) {
+  const int W = config_.num_workers;
+  const int max_attempts = 1 + std::max(config_.max_link_retries, 0);
+  bool all_ok = true;
+  std::vector<uint8_t> payload;
+  std::vector<uint8_t> frame;
+  std::vector<uint8_t> delivered;
+  std::vector<NeighborDelta> decoded;
+  for (int dst = 0; dst < W; ++dst) {
+    std::vector<NeighborDelta>& inbox = s2_inbox_[static_cast<size_t>(dst)];
+    inbox.clear();
+    for (int src = 0; src < W; ++src) {
+      const std::vector<NeighborDelta>& buffer = router.Incoming(src, dst);
+      if (src == dst) {
+        // Worker-local delivery is a memory read: no wire, no envelope.
+        inbox.insert(inbox.end(), buffer.begin(), buffer.end());
+        continue;
+      }
+      const size_t link = LinkIndex(src, dst);
+      // Every remote link sends a frame every epoch — empty payloads too.
+      // That keeps the per-link sequence chain gapless, which is what turns
+      // a dropped frame into a *detectable* absence at the barrier.
+      payload.clear();
+      wire::EncodeGroupedDeltas(buffer, &payload);
+      link_payload_bytes_[link] = payload.size();
+      wire::EnvelopeHeader header;
+      header.epoch = epoch;
+      header.sequence = ++link_send_seq_[link];
+      header.record_count = buffer.size();
+      frame.clear();
+      s2->envelope_bytes += wire::EncodeEnveloped(header, payload, &frame);
+      bool accepted = false;
+      for (int attempt = 0; attempt < max_attempts && !accepted; ++attempt) {
+        if (attempt > 0) {
+          // Same-sequence retransmission of the full frame.
+          ++stats->retransmits;
+          ++counters_.retransmits;
+          s2->retry_bytes += frame.size();
+        }
+        delivered = frame;
+        const FaultInjector::WireAction action = injector_.OnDelivery(
+            epoch, src, dst, attempt, &delivered, link_last_wire_[link]);
+        if (action.drop) {
+          // Nothing arrives; the gapless sequence chain means the receiver
+          // notices the missing frame at the barrier (the simulated
+          // timeout) and requests a retransmit.
+          ++stats->faults_detected;
+          ++counters_.faults_detected;
+          continue;
+        }
+        wire::EnvelopeHeader got;
+        decoded.clear();
+        const wire::WireVerdict verdict =
+            wire::DecodeEnveloped(delivered, &got, &decoded);
+        bool frame_ok = verdict == wire::WireVerdict::kOk;
+        // Envelope-level anomalies are classified against the link state:
+        // a wrong epoch is a stale replay (reordering), a sequence below
+        // recv+1 a duplicate, above it a gap.
+        if (frame_ok && got.epoch != epoch) frame_ok = false;
+        if (frame_ok && got.sequence != link_recv_seq_[link] + 1) {
+          frame_ok = false;
+        }
+        if (!frame_ok) {
+          ++stats->faults_detected;
+          ++counters_.faults_detected;
+          continue;
+        }
+        if (action.duplicate) {
+          // The second copy arrives with a sequence the receiver has
+          // already advanced past — detected and discarded, no
+          // retransmission needed.
+          ++stats->faults_detected;
+          ++counters_.faults_detected;
+        }
+#ifndef NDEBUG
+        // Lossless-wire gate: an accepted frame must reproduce the sender's
+        // records bit-identically — the per-delivery decode-equivalence
+        // CHECK that pins the faulted trajectory to the fault-free one.
+        SHP_CHECK(decoded.size() == buffer.size() &&
+                  std::equal(decoded.begin(), decoded.end(), buffer.begin()))
+            << "enveloped superstep-2 frame round-trip mismatch on link "
+            << src << "->" << dst;
+#endif
+        link_recv_seq_[link] = got.sequence;
+        link_last_wire_[link] = frame;
+        inbox.insert(inbox.end(), decoded.begin(), decoded.end());
+        accepted = true;
+      }
+      if (accepted) {
+        link_fail_streak_[link] = 0;
+        link_backoff_len_[link] = std::max(config_.link_backoff_epochs, 1);
+      } else {
+        all_ok = false;
+        // Bounded exponential backoff once a link keeps failing whole
+        // epochs: while it backs off, the engine degrades to full-reship
+        // bootstraps instead of retrying the enveloped exchange.
+        if (++link_fail_streak_[link] >= config_.link_degrade_threshold) {
+          link_backoff_until_[link] =
+              epoch + 1 + static_cast<uint64_t>(link_backoff_len_[link]);
+          link_backoff_len_[link] =
+              std::min(link_backoff_len_[link] * 2, config_.link_backoff_max);
+        }
+      }
+    }
+  }
+  return all_ok;
+}
+
+void BspRefiner::ResyncLinks() {
+  for (size_t l = 0; l < link_send_seq_.size(); ++l) {
+    link_recv_seq_[l] = link_send_seq_[l];
+    link_last_wire_[l].clear();
+  }
+}
+
+Status BspRefiner::RestoreLatestCheckpoint(Partition* partition) {
+  if (checkpoints_ == nullptr) {
+    return Status::NotFound(
+        "checkpointing disabled (BspConfig::checkpoint_dir is empty)");
+  }
+  Result<CheckpointData> result = checkpoints_->LoadLatest();
+  if (!result.ok()) return result.status();
+  CheckpointData ckpt = std::move(result).value();
+  if (ckpt.assignment.size() != static_cast<size_t>(graph_.num_data())) {
+    return Status::Corruption("checkpoint vertex count " +
+                              std::to_string(ckpt.assignment.size()) +
+                              " does not match graph");
+  }
+  const uint64_t restored_epoch = ckpt.epoch;
+  *partition = Partition::FromAssignment(std::move(ckpt.assignment),
+                                         static_cast<BucketId>(ckpt.k));
+  // Invalidate every piece of incremental state so the next RunIteration
+  // bootstraps from the restored assignment exactly like a cold start —
+  // replay is then a pure function of (assignment, seed, iteration), i.e.
+  // indistinguishable from a run that never crashed.
+  state_valid_ = false;
+  sweep_valid_ = false;
+  proposals_valid_ = false;
+  hist_valid_ = false;
+  std::fill(known_assignment_.begin(), known_assignment_.end(), -1);
+  // The cold full scan re-folds every vertex against before = -1, which only
+  // ever *adds* counts — stale replica content must go first.
+  for (auto& entries : query_ndata_) entries.clear();
+  std::fill(query_dirty_.begin(), query_dirty_.end(), 1);
+  pending_announce_.clear();
+  last_movers_.clear();
+  std::fill(last_pair_.begin(), last_pair_.end(), kNoPair);
+  epoch_ = restored_epoch + 1;
+  std::fill(link_send_seq_.begin(), link_send_seq_.end(), 0);
+  std::fill(link_recv_seq_.begin(), link_recv_seq_.end(), 0);
+  for (auto& wire_image : link_last_wire_) wire_image.clear();
+  std::fill(link_fail_streak_.begin(), link_fail_streak_.end(), 0);
+  std::fill(link_backoff_until_.begin(), link_backoff_until_.end(), 0);
+  std::fill(link_backoff_len_.begin(), link_backoff_len_.end(),
+            std::max(config_.link_backoff_epochs, 1));
+  ++counters_.rollbacks;
+  return Status::Ok();
 }
 
 }  // namespace shp

@@ -48,12 +48,33 @@
 // are exact; engine/cost_model.h converts them into simulated cluster time.
 // docs/distributed.md documents the delta-exchange wire format and the
 // replica-consistency invariants.
+//
+// Fault-tolerant superstep protocol (docs/distributed.md "Failure model &
+// recovery"): in delta-exchange mode every remote (src, dst) superstep-2
+// buffer crosses the simulated fabric as one self-verifying enveloped frame
+// (engine/wire_format.h) — CRC32C integrity, epoch id, per-link monotonic
+// sequence number — delivered through the deterministic FaultInjector. A
+// detected anomaly (corruption, truncation, stale epoch, gap, duplicate)
+// triggers a bounded same-sequence retransmission; an unrecoverably failed
+// link invalidates the accumulator replicas and falls into the bootstrap
+// reship path within the same iteration, which doubles as the protocol
+// resync point (receive sequences jump to the send sequences). Repeatedly
+// failing links degrade to backoff: while any link is backing off the engine
+// runs full-reship bootstraps instead of delta exchange. A worker killed at
+// an iteration boundary has its query replicas rebuilt from the
+// authoritative partition state and the accumulator replicas re-bootstrapped.
+// Optional per-epoch checkpoints (engine/checkpoint.h) enable rollback-and-
+// replay via RestoreLatestCheckpoint. Every recovery path re-converges to
+// the fault-free trajectory — the replica and proposal cross-checks below
+// DCHECK that in Debug builds.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
 #include <vector>
+
+#include "engine/checkpoint.h"
 
 #include "core/gain_histogram.h"
 #include "core/move_topology.h"
@@ -111,6 +132,27 @@ class BspRefiner : public RefinerInterface {
   /// and tests.
   const AffinitySweep& sweep() const { return sweep_; }
 
+  /// Cumulative fault/recovery counters since construction (per-iteration
+  /// values are in IterationStats).
+  struct FaultCounters {
+    uint64_t faults_detected = 0;
+    uint64_t retransmits = 0;
+    uint64_t reship_recoveries = 0;
+    uint64_t workers_recovered = 0;
+    uint64_t stalled_workers = 0;
+    uint64_t checkpoints_written = 0;
+    uint64_t rollbacks = 0;
+  };
+  const FaultCounters& fault_counters() const { return counters_; }
+
+  /// Rolls the engine back to the newest valid checkpoint: *partition is
+  /// replaced with the checkpointed assignment and every piece of
+  /// incremental state is invalidated, so the next RunIteration bootstraps
+  /// from the restored epoch and replay is indistinguishable from a run
+  /// that never crashed. NotFound when checkpointing is off or no valid
+  /// checkpoint exists.
+  Status RestoreLatestCheckpoint(Partition* partition);
+
  private:
   /// last_pair_ sentinel: the vertex currently contributes to no histogram.
   static constexpr uint64_t kNoPair = ~0ull;
@@ -140,6 +182,32 @@ class BspRefiner : public RefinerInterface {
                                           std::vector<double>* affinity,
                                           std::vector<BucketId>* touched,
                                           uint64_t* work) const;
+
+  // ---- fault-tolerant superstep protocol ----
+
+  size_t LinkIndex(int src, int dst) const {
+    return static_cast<size_t>(src) * config_.num_workers + dst;
+  }
+
+  /// Rebuilds the query replicas owned by a killed worker from the
+  /// authoritative partition state its queries last saw. Returns the
+  /// recovery work units charged to that worker.
+  uint64_t RecoverKilledWorker(int worker);
+
+  /// Delivers every remote router2d buffer as an enveloped frame through the
+  /// fault injector with bounded same-sequence retransmission, filling
+  /// s2_inbox_ (src-ascending per destination, locals copied verbatim) and
+  /// link_payload_bytes_. Returns true when every link delivered; false when
+  /// some link exhausted its retries (the caller then falls into the
+  /// bootstrap reship path).
+  bool TransferEnveloped(uint64_t epoch,
+                         const MessageRouter<NeighborDelta>& router,
+                         SuperstepStats* s2, IterationStats* stats);
+
+  /// Protocol resync at a bootstrap: the full reship bypasses the enveloped
+  /// link protocol, so receive sequences jump to the send sequences and the
+  /// stale-frame history is dropped.
+  void ResyncLinks();
 
   const BipartiteGraph& graph_;
   RefinerOptions options_;
@@ -172,6 +240,24 @@ class BspRefiner : public RefinerInterface {
   AffinitySweep sweep_;
   bool sweep_valid_ = false;
   uint64_t num_bootstraps_ = 0;  ///< bootstrap reships (diagnostics/tests)
+
+  // Fault-tolerant superstep protocol state. epoch_ is the engine's own
+  // monotonic iteration counter (the caller's `iteration` parameter restarts
+  // under recursion drivers, so it cannot key the wire protocol). The link_*
+  // vectors are W×W, indexed by LinkIndex.
+  uint64_t epoch_ = 0;
+  FaultInjector injector_;
+  std::vector<uint64_t> link_send_seq_;
+  std::vector<uint64_t> link_recv_seq_;
+  /// Last successfully delivered frame per link — what a reordering network
+  /// would deliver in place of the current one (stale-epoch injection).
+  std::vector<std::vector<uint8_t>> link_last_wire_;
+  std::vector<int> link_fail_streak_;       ///< consecutive failed epochs
+  std::vector<uint64_t> link_backoff_until_;  ///< in backoff while epoch <
+  std::vector<int> link_backoff_len_;       ///< next backoff length (epochs)
+  std::vector<uint64_t> link_payload_bytes_;  ///< per-epoch payload sizes
+  FaultCounters counters_;
+  std::unique_ptr<CheckpointManager> checkpoints_;
 
   // Cached per-vertex proposals (clean vertices re-propose unchanged).
   std::vector<BucketId> cached_target_;

@@ -1,7 +1,9 @@
 #include "engine/wire_format.h"
 
+#include <cstring>
 #include <limits>
 
+#include "common/checksum.h"
 #include "common/logging.h"
 
 namespace shp::wire {
@@ -99,6 +101,10 @@ bool DecodeGroupedDeltas(std::span<const uint8_t> bytes,
     uint64_t count = 0;
     if (!ReadVarint(&p, end, &q_delta)) return false;
     if (!ReadVarint(&p, end, &count)) return false;
+    // Unbounded-allocation guard: every record costs at least three stream
+    // bytes, so a count claim exceeding the remaining bytes is a lie — reject
+    // it before the record loop starts appending.
+    if (count > static_cast<uint64_t>(end - p)) return false;
     const uint64_t q = prev_q + q_delta;
     if (!FitsId(q)) return false;
     prev_q = q;  // zero-count groups still advance the qid chain
@@ -150,6 +156,74 @@ size_t GroupedWireBytes(std::span<const NeighborDelta> records) {
   }
 #endif
   return scratch.size();
+}
+
+const char* WireVerdictName(WireVerdict verdict) {
+  switch (verdict) {
+    case WireVerdict::kOk:
+      return "ok";
+    case WireVerdict::kTruncated:
+      return "truncated";
+    case WireVerdict::kCorrupt:
+      return "corrupt";
+  }
+  return "unknown";
+}
+
+size_t EncodeEnveloped(const EnvelopeHeader& header,
+                       std::span<const uint8_t> payload,
+                       std::vector<uint8_t>* out) {
+  const size_t start = out->size();
+  AppendVarint(out, header.epoch);
+  AppendVarint(out, header.sequence);
+  AppendVarint(out, header.record_count);
+  AppendVarint(out, payload.size());
+  uint32_t crc = Crc32c(out->data() + start, out->size() - start);
+  crc = Crc32c(payload.data(), payload.size(), crc);
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>(crc >> (8 * i)));  // little-endian
+  }
+  out->insert(out->end(), payload.begin(), payload.end());
+  return out->size() - start - payload.size();
+}
+
+WireVerdict DecodeEnveloped(std::span<const uint8_t> bytes,
+                            EnvelopeHeader* header,
+                            std::vector<NeighborDelta>* out) {
+  const uint8_t* const begin = bytes.data();
+  const uint8_t* p = begin;
+  const uint8_t* const end = begin + bytes.size();
+  if (!ReadVarint(&p, end, &header->epoch)) return WireVerdict::kTruncated;
+  if (!ReadVarint(&p, end, &header->sequence)) return WireVerdict::kTruncated;
+  if (!ReadVarint(&p, end, &header->record_count)) {
+    return WireVerdict::kTruncated;
+  }
+  if (!ReadVarint(&p, end, &header->payload_bytes)) {
+    return WireVerdict::kTruncated;
+  }
+  const size_t header_bytes = static_cast<size_t>(p - begin);
+  if (end - p < 4) return WireVerdict::kTruncated;
+  uint32_t stored_crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored_crc |= static_cast<uint32_t>(p[i]) << (8 * i);
+  }
+  p += 4;
+  const size_t remaining = static_cast<size_t>(end - p);
+  if (header->payload_bytes > remaining) return WireVerdict::kTruncated;
+  // Length pin: the frame must end exactly where the header says — trailing
+  // garbage is corruption, not padding.
+  if (header->payload_bytes < remaining) return WireVerdict::kCorrupt;
+  uint32_t crc = Crc32c(begin, header_bytes);
+  crc = Crc32c(p, remaining, crc);
+  if (crc != stored_crc) return WireVerdict::kCorrupt;
+  const size_t before = out->size();
+  if (!DecodeGroupedDeltas(std::span<const uint8_t>(p, remaining), out)) {
+    return WireVerdict::kCorrupt;
+  }
+  if (out->size() - before != header->record_count) {
+    return WireVerdict::kCorrupt;
+  }
+  return WireVerdict::kOk;
 }
 
 }  // namespace shp::wire

@@ -26,10 +26,26 @@
 // input records bit-identically, and GroupedWireBytes proves it per buffer in
 // Debug builds.
 //
-// The BSP engine uses this purely for *byte accounting* (the simulated wire
-// cost of superstep 2); the in-memory exchange still moves structs. The raw
-// 16-byte sizing remains available as a reference switch
-// (BspConfig::varint_wire = false).
+// Since the fault-tolerant superstep protocol landed, every remote (src,
+// dst) superstep-2 buffer actually flows through this codec: the sender
+// encodes its records, wraps them in the self-verifying envelope below, and
+// the receiver decodes the wire image — the structs the accumulator replicas
+// patch from are the *decoded* ones, so the wire format is load-bearing, not
+// accounting-only. The raw 16-byte sizing remains available as a reference
+// switch (BspConfig::varint_wire = false; accounting only).
+//
+// Envelope grammar (docs/distributed.md "Failure model & recovery"):
+//
+//   enveloped := varint(epoch) varint(sequence) varint(record_count)
+//                varint(payload_bytes) crc32c-u32-LE payload
+//
+// The CRC32C covers the four header varints plus the payload, so a bit flip
+// anywhere in the frame is detected; `payload_bytes` pins the frame length,
+// so truncation is detected before the payload is parsed; `epoch` (one per
+// refinement iteration) detects stale replays; the per-(src, dst)-link
+// monotonic `sequence` detects gaps and duplicates. The varint payload is
+// bit-identical to the plain grouped stream — the envelope wraps it, never
+// rewrites it.
 #pragma once
 
 #include <cstdint>
@@ -67,5 +83,50 @@ bool DecodeGroupedDeltas(std::span<const uint8_t> bytes,
 /// decodes the scratch and CHECKs the records round-trip bit-identically —
 /// the exact decode-equivalence gate on every simulated exchange.
 size_t GroupedWireBytes(std::span<const NeighborDelta> records);
+
+// ------------------------------------------------------------- envelope ---
+
+/// Per-buffer envelope header. `epoch` is the engine's iteration counter;
+/// `sequence` is the per-(src, dst)-link monotonic delivery number;
+/// `record_count` must equal the number of records the payload decodes to;
+/// `payload_bytes` the exact payload length.
+struct EnvelopeHeader {
+  uint64_t epoch = 0;
+  uint64_t sequence = 0;
+  uint64_t record_count = 0;
+  uint64_t payload_bytes = 0;
+};
+
+/// Integrity verdict of one enveloped frame. Epoch/sequence anomalies
+/// (stale replay, gap, duplicate) are classified by the *link state* the
+/// receiver keeps, not by the frame alone — see BspRefiner's superstep-2
+/// transfer loop.
+enum class WireVerdict : uint8_t {
+  kOk = 0,
+  kTruncated,  ///< frame shorter than the header claims (or header cut off)
+  kCorrupt,    ///< CRC mismatch, trailing garbage, or undecodable payload
+};
+
+const char* WireVerdictName(WireVerdict verdict);
+
+/// Appends the envelope (header varints + CRC32C) followed by `payload` to
+/// *out. The payload bytes are appended verbatim — bit-identical to the
+/// plain grouped stream. Returns the envelope overhead in bytes (frame size
+/// minus payload size). `header.payload_bytes` is taken from
+/// `payload.size()`; the caller's value is ignored.
+size_t EncodeEnveloped(const EnvelopeHeader& header,
+                       std::span<const uint8_t> payload,
+                       std::vector<uint8_t>* out);
+
+/// Verifies and decodes one enveloped frame: parses the header, checks the
+/// length pin and the CRC32C, decodes the grouped payload (appending to
+/// *out), and checks the decoded record count against the header. On any
+/// verdict other than kOk, *out may hold partially decoded records and
+/// *header whatever fields parsed before the failure. Never crashes, hangs,
+/// or allocates unboundedly on arbitrary bytes (fuzz-hardened with
+/// DecodeGroupedDeltas).
+WireVerdict DecodeEnveloped(std::span<const uint8_t> bytes,
+                            EnvelopeHeader* header,
+                            std::vector<NeighborDelta>* out);
 
 }  // namespace shp::wire

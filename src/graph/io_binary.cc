@@ -4,6 +4,8 @@
 #include <cstring>
 #include <vector>
 
+#include "common/checksum.h"
+
 namespace shp {
 
 namespace {
@@ -11,32 +13,20 @@ namespace {
 constexpr char kMagic[4] = {'S', 'H', 'P', 'G'};
 constexpr uint32_t kVersion = 1;
 
-uint64_t Fnv1a(const void* data, size_t size, uint64_t seed) {
-  const auto* bytes = static_cast<const unsigned char*>(data);
-  uint64_t hash = seed;
-  for (size_t i = 0; i < size; ++i) {
-    hash ^= bytes[i];
-    hash *= 0x100000001b3ULL;
-  }
-  return hash;
-}
-
-constexpr uint64_t kFnvInit = 0xcbf29ce484222325ULL;
-
 class FileWriter {
  public:
   explicit FileWriter(std::FILE* f) : f_(f) {}
 
   template <typename T>
   bool WriteValue(const T& value) {
-    checksum_ = Fnv1a(&value, sizeof(T), checksum_);
+    checksum_ = Fnv1a64(&value, sizeof(T), checksum_);
     return std::fwrite(&value, sizeof(T), 1, f_) == 1;
   }
 
   template <typename T>
   bool WriteVector(const std::vector<T>& vec) {
     if (vec.empty()) return true;
-    checksum_ = Fnv1a(vec.data(), vec.size() * sizeof(T), checksum_);
+    checksum_ = Fnv1a64(vec.data(), vec.size() * sizeof(T), checksum_);
     return std::fwrite(vec.data(), sizeof(T), vec.size(), f_) == vec.size();
   }
 
@@ -44,7 +34,7 @@ class FileWriter {
 
  private:
   std::FILE* f_;
-  uint64_t checksum_ = kFnvInit;
+  uint64_t checksum_ = kFnv1a64Init;
 };
 
 class FileReader {
@@ -54,7 +44,7 @@ class FileReader {
   template <typename T>
   bool ReadValue(T* value) {
     if (std::fread(value, sizeof(T), 1, f_) != 1) return false;
-    checksum_ = Fnv1a(value, sizeof(T), checksum_);
+    checksum_ = Fnv1a64(value, sizeof(T), checksum_);
     return true;
   }
 
@@ -63,7 +53,7 @@ class FileReader {
     vec->resize(count);
     if (count == 0) return true;
     if (std::fread(vec->data(), sizeof(T), count, f_) != count) return false;
-    checksum_ = Fnv1a(vec->data(), count * sizeof(T), checksum_);
+    checksum_ = Fnv1a64(vec->data(), count * sizeof(T), checksum_);
     return true;
   }
 
@@ -71,7 +61,7 @@ class FileReader {
 
  private:
   std::FILE* f_;
-  uint64_t checksum_ = kFnvInit;
+  uint64_t checksum_ = kFnv1a64Init;
 };
 
 }  // namespace
@@ -96,9 +86,52 @@ Status WriteBinaryGraph(const BipartiteGraph& graph, const std::string& path) {
   return Status::Ok();
 }
 
+namespace {
+
+// Rejects non-decreasing violations and out-of-range adjacency ids before the
+// vectors reach the BipartiteGraph constructor, whose SHP_CHECKs abort the
+// process — crafted input must surface as a Status instead.
+bool OffsetsConsistent(const std::vector<EdgeIndex>& offsets,
+                       EdgeIndex num_edges) {
+  if (offsets.empty() || offsets.front() != 0 ||
+      offsets.back() != num_edges) {
+    return false;
+  }
+  for (size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i] < offsets[i - 1]) return false;
+  }
+  return true;
+}
+
+bool AdjInRange(const std::vector<VertexId>& adj, VertexId limit) {
+  for (VertexId v : adj) {
+    if (v >= limit) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 Result<BipartiteGraph> ReadBinaryGraph(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return Status::IoError("cannot open " + path);
+  // Pin the real file size up front so file-supplied counts are validated
+  // before any allocation — an oversized count in a truncated or crafted
+  // header must not trigger a multi-gigabyte resize.
+  uint64_t file_size = 0;
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return Status::IoError(path + ": seek failed");
+  }
+  {
+    const long end = std::ftell(f);
+    if (end < 0) {
+      std::fclose(f);
+      return Status::IoError(path + ": tell failed");
+    }
+    file_size = static_cast<uint64_t>(end);
+    std::rewind(f);
+  }
   char magic[4];
   if (std::fread(magic, 1, 4, f) != 4 ||
       std::memcmp(magic, kMagic, 4) != 0) {
@@ -118,6 +151,21 @@ Result<BipartiteGraph> ReadBinaryGraph(const std::string& path) {
   ok = ok && r.ReadValue(&num_queries);
   ok = ok && r.ReadValue(&num_data);
   ok = ok && r.ReadValue(&num_edges);
+  if (ok) {
+    const uint64_t header_bytes = 4 + sizeof(version) + sizeof(num_queries) +
+                                  sizeof(num_data) + sizeof(num_edges);
+    const uint64_t body_bytes =
+        (uint64_t{num_queries} + 1 + uint64_t{num_data} + 1) *
+            sizeof(EdgeIndex) +
+        2 * num_edges * sizeof(VertexId) + sizeof(uint64_t);
+    // num_edges > file_size also catches counts large enough to overflow the
+    // body_bytes product. file_size >= header_bytes: the header reads passed.
+    if (num_edges > file_size || body_bytes != file_size - header_bytes) {
+      std::fclose(f);
+      return Status::Corruption(path + ": header counts do not match size " +
+                                std::to_string(file_size));
+    }
+  }
 
   std::vector<EdgeIndex> query_offsets, data_offsets;
   std::vector<VertexId> query_adj, data_adj;
@@ -132,8 +180,12 @@ Result<BipartiteGraph> ReadBinaryGraph(const std::string& path) {
   if (stored_checksum != r.checksum()) {
     return Status::Corruption(path + ": checksum mismatch");
   }
-  if (query_offsets.back() != num_edges || data_offsets.back() != num_edges) {
+  if (!OffsetsConsistent(query_offsets, num_edges) ||
+      !OffsetsConsistent(data_offsets, num_edges)) {
     return Status::Corruption(path + ": inconsistent offsets");
+  }
+  if (!AdjInRange(query_adj, num_data) || !AdjInRange(data_adj, num_queries)) {
+    return Status::Corruption(path + ": adjacency id out of range");
   }
   return BipartiteGraph(std::move(query_offsets), std::move(query_adj),
                         std::move(data_offsets), std::move(data_adj));

@@ -30,6 +30,11 @@ Status ForEachPair(std::istream& in,
       return Status::Corruption("edge list: negative id at line " +
                                 std::to_string(line_number));
     }
+    std::string rest;
+    if (ls >> rest) {
+      return Status::Corruption("edge list: trailing garbage at line " +
+                                std::to_string(line_number) + ": " + line);
+    }
     fn(a, b);
   }
   return Status::Ok();

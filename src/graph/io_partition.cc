@@ -37,6 +37,11 @@ Result<std::vector<BucketId>> ReadPartition(const std::string& path,
                                 " out of range at line " +
                                 std::to_string(line_number));
     }
+    std::string rest;
+    if (ls >> rest) {
+      return Status::Corruption(path + ": trailing garbage at line " +
+                                std::to_string(line_number) + ": " + line);
+    }
     assignment.push_back(static_cast<BucketId>(bucket));
   }
   if (expected_size > 0 && assignment.size() != expected_size) {

@@ -1,0 +1,215 @@
+// Epoch checkpoint tests: file round-trip, corruption detection with
+// fallback to an older valid checkpoint, bounded retention, and
+// rollback-and-replay equivalence through BspRefiner::RestoreLatestCheckpoint
+// (replay from the restored epoch matches the uninterrupted run).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/move_topology.h"
+#include "core/partition.h"
+#include "engine/checkpoint.h"
+#include "engine/shp_bsp.h"
+#include "graph/gen_social.h"
+#include "objective/objective.h"
+
+namespace shp {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+CheckpointData Sample(uint64_t epoch) {
+  CheckpointData data;
+  data.epoch = epoch;
+  data.num_moved = 123;
+  data.gain_moved = 4.5;
+  data.moved_fraction = 0.125;
+  data.k = 4;
+  data.assignment = {0, 1, 2, 3, 2, 1, 0, 3};
+  return data;
+}
+
+TEST(CheckpointFile, RoundTripPreservesEveryField) {
+  const std::string dir = FreshDir("ckpt_rt");
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/one.shpc";
+  const CheckpointData data = Sample(17);
+  ASSERT_TRUE(WriteCheckpointFile(data, path).ok());
+  auto back = ReadCheckpointFile(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value().epoch, 17u);
+  EXPECT_EQ(back.value().num_moved, 123u);
+  EXPECT_DOUBLE_EQ(back.value().gain_moved, 4.5);
+  EXPECT_DOUBLE_EQ(back.value().moved_fraction, 0.125);
+  EXPECT_EQ(back.value().k, 4u);
+  EXPECT_EQ(back.value().assignment, data.assignment);
+}
+
+TEST(CheckpointFile, EveryBitFlipAndTruncationIsAStatus) {
+  const std::string dir = FreshDir("ckpt_mangle");
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/victim.shpc";
+  ASSERT_TRUE(WriteCheckpointFile(Sample(3), path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::vector<char> full((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  in.close();
+
+  const std::string mangled = dir + "/mangled.shpc";
+  // Flip one bit per byte position: all must be rejected cleanly.
+  for (size_t i = 0; i < full.size(); ++i) {
+    std::vector<char> copy = full;
+    copy[i] = static_cast<char>(copy[i] ^ 0x10);
+    std::ofstream(mangled, std::ios::binary | std::ios::trunc)
+        .write(copy.data(), static_cast<std::streamsize>(copy.size()));
+    EXPECT_FALSE(ReadCheckpointFile(mangled).ok())
+        << "bit flip at byte " << i << " went undetected";
+  }
+  // Every truncation point.
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    std::ofstream(mangled, std::ios::binary | std::ios::trunc)
+        .write(full.data(), static_cast<std::streamsize>(cut));
+    EXPECT_FALSE(ReadCheckpointFile(mangled).ok())
+        << "prefix of " << cut << " bytes accepted";
+  }
+}
+
+TEST(CheckpointManager, RetainsNewestAndPrunes) {
+  const std::string dir = FreshDir("ckpt_keep");
+  CheckpointManager manager(dir, /*keep=*/2);
+  for (uint64_t e = 0; e < 5; ++e) {
+    ASSERT_TRUE(manager.Write(Sample(e)).ok());
+  }
+  size_t files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    (void)entry;
+    ++files;
+  }
+  EXPECT_EQ(files, 2u) << "older checkpoints must be pruned";
+  auto latest = manager.LoadLatest();
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(latest.value().epoch, 4u);
+}
+
+TEST(CheckpointManager, CorruptNewestFallsBackToOlder) {
+  const std::string dir = FreshDir("ckpt_fallback");
+  CheckpointManager manager(dir, /*keep=*/3);
+  ASSERT_TRUE(manager.Write(Sample(7)).ok());
+  ASSERT_TRUE(manager.Write(Sample(8)).ok());
+  // Corrupt the newest file in place.
+  std::string newest;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string p = entry.path().string();
+    if (newest.empty() || p > newest) newest = p;
+  }
+  {
+    std::fstream f(newest, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(10);
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(10);
+    byte = static_cast<char>(byte ^ 0xff);
+    f.write(&byte, 1);
+  }
+  auto latest = manager.LoadLatest();
+  ASSERT_TRUE(latest.ok()) << latest.status().ToString();
+  EXPECT_EQ(latest.value().epoch, 7u)
+      << "a corrupt newest checkpoint must fall back, not fail";
+}
+
+TEST(CheckpointManager, EmptyDirIsNotFound) {
+  CheckpointManager manager(FreshDir("ckpt_empty"), 2);
+  auto latest = manager.LoadLatest();
+  ASSERT_FALSE(latest.ok());
+  EXPECT_EQ(latest.status().code(), StatusCode::kNotFound);
+}
+
+// ---- rollback-and-replay through the BSP engine ----
+
+BipartiteGraph TestGraph() {
+  SocialGraphConfig config;
+  config.num_users = 800;
+  config.avg_degree = 8;
+  config.seed = 3;
+  return GenerateSocialGraph(config);
+}
+
+TEST(BspCheckpoint, RestoreWithoutCheckpointingIsNotFound) {
+  const BipartiteGraph g = TestGraph();
+  RefinerOptions options;
+  BspConfig config;
+  config.num_workers = 3;
+  BspRefiner refiner(g, options, config);
+  Partition partition = Partition::BalancedRandom(g.num_data(), 4, 2);
+  EXPECT_EQ(refiner.RestoreLatestCheckpoint(&partition).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(BspCheckpoint, RollbackAndReplayMatchesUninterruptedRun) {
+  // Reference: one uninterrupted run, trajectory recorded per iteration.
+  // Crash run: same engine config with checkpointing on; after iteration 3
+  // the engine "crashes" (we roll it back via RestoreLatestCheckpoint) and
+  // replays — the replayed iterations must land on the uninterrupted
+  // trajectory within the established rtol 1e-4 fanout contract.
+  const BipartiteGraph g = TestGraph();
+  const BucketId k = 8;
+  const MoveTopology topo = MoveTopology::FullK(k, g.num_data(), 0.05);
+  RefinerOptions options;
+  options.sweep_mode = RefinerOptions::SweepMode::kPush;
+  const uint64_t iterations = 6;
+
+  std::vector<double> reference;
+  {
+    BspConfig config;
+    config.num_workers = 3;
+    BspRefiner refiner(g, options, config);
+    Partition partition = Partition::BalancedRandom(g.num_data(), k, 2);
+    for (uint64_t iter = 0; iter < iterations; ++iter) {
+      refiner.RunIteration(topo, &partition, 9, iter);
+      reference.push_back(AveragePFanout(g, partition.assignment(), 0.5));
+    }
+  }
+
+  BspConfig config;
+  config.num_workers = 3;
+  config.checkpoint_dir = FreshDir("ckpt_replay");
+  config.checkpoint_interval = 1;
+  config.checkpoint_keep = 2;
+  BspRefiner refiner(g, options, config, nullptr);
+  Partition partition = Partition::BalancedRandom(g.num_data(), k, 2);
+  for (uint64_t iter = 0; iter < 4; ++iter) {
+    refiner.RunIteration(topo, &partition, 9, iter);
+    ASSERT_NEAR(AveragePFanout(g, partition.assignment(), 0.5),
+                reference[iter], 1e-4 * reference[iter]);
+  }
+  EXPECT_EQ(refiner.fault_counters().checkpoints_written, 4u);
+
+  // Crash: clobber the partition, then roll back to the newest checkpoint
+  // (written after iteration 3) and replay the remaining iterations.
+  for (VertexId v = 0; v < g.num_data(); ++v) partition.Move(v, 0);
+  ASSERT_TRUE(refiner.RestoreLatestCheckpoint(&partition).ok());
+  EXPECT_EQ(refiner.fault_counters().rollbacks, 1u);
+  ASSERT_NEAR(AveragePFanout(g, partition.assignment(), 0.5), reference[3],
+              1e-4 * reference[3])
+      << "restore must reproduce the checkpointed assignment";
+  for (uint64_t iter = 4; iter < iterations; ++iter) {
+    refiner.RunIteration(topo, &partition, 9, iter);
+    ASSERT_NEAR(AveragePFanout(g, partition.assignment(), 0.5),
+                reference[iter], 1e-4 * reference[iter])
+        << "replayed iteration " << iter
+        << " diverged from the uninterrupted run";
+  }
+}
+
+}  // namespace
+}  // namespace shp

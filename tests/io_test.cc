@@ -1,13 +1,21 @@
 // I/O tests: hgr and edge-list parsing (including malformed inputs), binary
-// snapshot round-trip and corruption detection.
+// snapshot round-trip and corruption detection, and mangled-fixture
+// regressions — truncated files, flipped bytes, oversized counts, trailing
+// garbage — all of which must surface as a Status, never a crash or an
+// unbounded allocation.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstring>
 #include <fstream>
+#include <vector>
 
+#include "common/checksum.h"
 #include "graph/graph_builder.h"
 #include "graph/io_binary.h"
 #include "graph/io_edgelist.h"
 #include "graph/io_hgr.h"
+#include "graph/io_partition.h"
 
 namespace shp {
 namespace {
@@ -185,6 +193,165 @@ TEST(BinaryIo, RejectsWrongMagic) {
   auto result = ReadBinaryGraph(path);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+// ---- mangled-fixture regressions: hand-crafted binary snapshots ----
+
+// Builds a binary graph snapshot byte-for-byte, with a VALID trailing FNV-1a
+// checksum, so structural validation paths past the checksum are reachable.
+class BinaryFixture {
+ public:
+  BinaryFixture() { bytes_ = {'S', 'H', 'P', 'G'}; }
+
+  template <typename T>
+  BinaryFixture& Value(T v) {
+    const auto* p = reinterpret_cast<const uint8_t*>(&v);
+    bytes_.insert(bytes_.end(), p, p + sizeof(T));
+    return *this;
+  }
+
+  template <typename T>
+  BinaryFixture& Vector(const std::vector<T>& vec) {
+    for (const T& v : vec) Value(v);
+    return *this;
+  }
+
+  std::string WriteTo(const std::string& name) {
+    const uint64_t checksum =
+        Fnv1a64(bytes_.data() + 4, bytes_.size() - 4, kFnv1a64Init);
+    std::vector<uint8_t> out = bytes_;
+    const auto* p = reinterpret_cast<const uint8_t*>(&checksum);
+    out.insert(out.end(), p, p + sizeof(checksum));
+    const std::string path = TempPath(name);
+    std::ofstream f(path, std::ios::binary);
+    f.write(reinterpret_cast<const char*>(out.data()),
+            static_cast<std::streamsize>(out.size()));
+    return path;
+  }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+TEST(BinaryIo, RejectsOversizedEdgeCountBeforeAllocating) {
+  // A 44-byte file whose header claims 10^15 edges: the size pin must reject
+  // it before ReadVector tries an 8 PB resize.
+  const std::string path =
+      BinaryFixture()
+          .Value(uint32_t{1})                       // version
+          .Value(uint32_t{1})                       // num_queries
+          .Value(uint32_t{1})                       // num_data
+          .Value(uint64_t{1000000000000000ull})     // num_edges (absurd)
+          .Value(uint64_t{0})                       // a little fake payload
+          .Value(uint64_t{1})
+          .WriteTo("oversized.shpg");
+  auto result = ReadBinaryGraph(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(BinaryIo, RejectsNonMonotonicOffsets) {
+  // Checksum is valid; the decreasing query offsets must still be rejected
+  // (they would abort inside the BipartiteGraph constructor otherwise).
+  const std::string path =
+      BinaryFixture()
+          .Value(uint32_t{1})  // version
+          .Value(uint32_t{2})  // num_queries
+          .Value(uint32_t{2})  // num_data
+          .Value(uint64_t{2})  // num_edges
+          .Vector(std::vector<uint64_t>{0, 2, 2})  // query offsets (ok)
+          .Vector(std::vector<uint32_t>{0, 1})     // query adj
+          .Vector(std::vector<uint64_t>{0, 2, 1})  // data offsets: 2 > 1 (!)
+          .Vector(std::vector<uint32_t>{0, 0})     // data adj
+          .WriteTo("nonmono.shpg");
+  auto result = ReadBinaryGraph(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(BinaryIo, RejectsOutOfRangeAdjacencyIds) {
+  const std::string path =
+      BinaryFixture()
+          .Value(uint32_t{1})  // version
+          .Value(uint32_t{2})  // num_queries
+          .Value(uint32_t{2})  // num_data
+          .Value(uint64_t{2})  // num_edges
+          .Vector(std::vector<uint64_t>{0, 2, 2})  // query offsets
+          .Vector(std::vector<uint32_t>{0, 9})     // query adj: 9 >= num_data
+          .Vector(std::vector<uint64_t>{0, 1, 2})  // data offsets
+          .Vector(std::vector<uint32_t>{0, 0})     // data adj
+          .WriteTo("oorange.shpg");
+  auto result = ReadBinaryGraph(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(BinaryIo, RejectsTrailingGarbage) {
+  GraphBuilder b;
+  b.AddHyperedge(0, {0, 1});
+  b.AddHyperedge(1, {1, 2});
+  const std::string path = TempPath("trailing.shpg");
+  ASSERT_TRUE(WriteBinaryGraph(b.Build(), path).ok());
+  std::ofstream(path, std::ios::binary | std::ios::app) << "extra";
+  auto result = ReadBinaryGraph(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(BinaryIo, EveryTruncationPointIsAStatus) {
+  // Cut a valid snapshot at every byte boundary: each prefix must come back
+  // as a clean Status (truncation or corruption), never a crash.
+  GraphBuilder b;
+  b.AddHyperedge(0, {0, 1, 2});
+  b.AddHyperedge(1, {1, 2});
+  const std::string path = TempPath("cutpoints.shpg");
+  ASSERT_TRUE(WriteBinaryGraph(b.Build(), path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::vector<char> full((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    const std::string cut_path = TempPath("cutpoint_now.shpg");
+    std::ofstream(cut_path, std::ios::binary | std::ios::trunc)
+        .write(full.data(), static_cast<std::streamsize>(cut));
+    auto result = ReadBinaryGraph(cut_path);
+    EXPECT_FALSE(result.ok()) << "prefix of " << cut << " bytes accepted";
+  }
+}
+
+TEST(EdgeListIo, RejectsTrailingGarbageOnLine) {
+  auto result = ParseBipartiteEdgeList("1 2 junk\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+  EXPECT_FALSE(ParseBipartiteEdgeList("1 2 3\n").ok());
+}
+
+TEST(PartitionIo, RoundTrip) {
+  const std::vector<BucketId> assignment = {0, 2, 1, 1, 3};
+  const std::string path = TempPath("part.txt");
+  ASSERT_TRUE(WritePartition(assignment, path).ok());
+  auto back = ReadPartition(path, /*k=*/4, assignment.size());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value(), assignment);
+}
+
+TEST(PartitionIo, RejectsMangledInput) {
+  const std::string path = TempPath("part_bad.txt");
+  // Trailing garbage after the bucket number.
+  std::ofstream(path, std::ios::trunc) << "0\n1 stray\n";
+  auto r1 = ReadPartition(path, 4, 0);
+  ASSERT_FALSE(r1.ok());
+  EXPECT_EQ(r1.status().code(), StatusCode::kCorruption);
+  // Non-numeric line.
+  std::ofstream(path, std::ios::trunc) << "zero\n";
+  EXPECT_FALSE(ReadPartition(path, 4, 0).ok());
+  // Bucket out of range.
+  std::ofstream(path, std::ios::trunc) << "0\n7\n";
+  auto r2 = ReadPartition(path, 4, 0);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), StatusCode::kOutOfRange);
+  // Truncated: fewer entries than expected.
+  std::ofstream(path, std::ios::trunc) << "0\n1\n";
+  EXPECT_FALSE(ReadPartition(path, 4, /*expected_size=*/5).ok());
 }
 
 }  // namespace

@@ -21,7 +21,15 @@ and fails (exit 1) on:
     a deterministic message-accounting result, not a timing, so there is no
     noise to tolerate. The varint series gate the grouped codec: a framing
     or delta-width regression shows up here as a byte increase even when the
-    raw-record series are unchanged.
+    raw-record series are unchanged. The self-verifying envelope keeps its
+    overhead out of `steady_s2_remote_bytes`, so the fault-free payload
+    series stays comparable across the protocol change.
+
+ 3. Envelope budget: for the varint-wire series, the fresh
+    `steady_s2_envelope_bytes` (integrity framing: header varints + CRC32C)
+    must stay <= 4% of the fresh `steady_s2_remote_bytes` varint payload.
+    This gate reads only the fresh file — baselines that predate the
+    envelope simply lack the field and are skipped.
 
 Missing or unreadable baseline → exit 0 with a SKIP notice (first run on a
 branch that predates the baseline, or a series newly added by this change).
@@ -35,6 +43,8 @@ import sys
 ANCHOR_SERIES = "full_rebuild"
 DELTA_BYTE_SERIES = ("bsp_push", "bsp_push_varint", "bsp_push_grouped",
                      "bsp_push_grouped_varint")
+ENVELOPE_SERIES = ("bsp_push_varint", "bsp_push_grouped_varint")
+ENVELOPE_BUDGET = 0.04
 
 
 MISSING = object()
@@ -152,6 +162,31 @@ def main():
                 f"(fresh {fresh_bytes} vs baseline {base_bytes})")
         print(f"  {name:<18} fresh {fresh_bytes:>12}  baseline "
               f"{base_bytes:>12}  {verdict}")
+
+    # --- envelope gate: integrity framing stays within its 4% budget ---
+    print(f"envelope budget gate (fresh file only, <= "
+          f"{ENVELOPE_BUDGET:.0%} of the varint payload):")
+    for name in ENVELOPE_SERIES:
+        series = fresh.get(name)
+        if not isinstance(series, dict):
+            print(f"  {name:<18} not in fresh file — skipped")
+            continue
+        envelope = series.get("steady_s2_envelope_bytes")
+        payload = series.get("steady_s2_remote_bytes")
+        if not isinstance(envelope, int) or not isinstance(payload, int) \
+                or payload <= 0:
+            print(f"  {name:<18} envelope/payload fields missing — skipped")
+            continue
+        fraction = envelope / payload
+        verdict = "ok"
+        if fraction > ENVELOPE_BUDGET:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{name}: envelope overhead {envelope} bytes is "
+                f"{fraction:.1%} of the {payload}-byte varint payload "
+                f"(budget {ENVELOPE_BUDGET:.0%})")
+        print(f"  {name:<18} envelope {envelope:>10}  payload "
+              f"{payload:>12}  {fraction:6.2%}  {verdict}")
 
     if failures:
         print("\nFAIL:")
