@@ -1,0 +1,249 @@
+// Online repartitioning under live replayed traffic: the serving-loop bench
+// (sharding/serving_loop.h). Four scenarios share one generated power-law
+// workload graph:
+//
+//   * serving_powerlaw    — static skewed traffic; the headline series. The
+//     run FAILS (exit 2) unless the settled post-repartition p99 is
+//     strictly below the pre-repartition p99.
+//   * serving_hotkey      — a 1% hot set absorbing half the mass.
+//   * serving_diurnal     — the popularity center rotates each epoch.
+//   * serving_worker_kill — a server dies mid-run; its records are
+//     emergency-rehomed through the dual-read restore path.
+//
+// Each scenario emits before/during/after p50/p99/mean series plus the
+// migration accounting (moves per epoch vs budget, migrated records/bytes,
+// dual-read query counts) into BENCH_serving JSON. CI diffs the fresh run
+// against the committed baseline with tools/check_bench_regression.py:
+// the p99-during-migration inflation (during/before ratio) must not regress
+// by more than 20%.
+//
+// Hard in-binary gates (deterministic, so they always run):
+//   * powerlaw: p99_end < p99_start (the repartition must pay for itself),
+//   * every epoch's executed moves <= the configured budget,
+//   * zero scratch growths across all replay phases (allocation regression),
+//   * every dual-read serveability check passed (the loop aborts otherwise).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "graph/gen_powerlaw.h"
+#include "sharding/serving_loop.h"
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  using namespace shp;
+  auto flags = Flags::Parse(argc, argv).value();
+  bench::PrintBanner(
+      "Serving loop: online repartitioning under live replayed traffic",
+      flags);
+
+  PowerLawConfig graph_config;
+  graph_config.num_queries = static_cast<VertexId>(
+      flags.GetInt("queries", 24000) * flags.GetDouble("scale", 1.0));
+  graph_config.num_data = static_cast<VertexId>(
+      flags.GetInt("data", 16000) * flags.GetDouble("scale", 1.0));
+  graph_config.target_edges = static_cast<EdgeIndex>(
+      flags.GetInt("edges", 180000) * flags.GetDouble("scale", 1.0));
+  graph_config.seed = 17;
+  const BipartiteGraph graph = GeneratePowerLaw(graph_config);
+
+  ServingLoopConfig base;
+  base.num_epochs = static_cast<uint64_t>(flags.GetInt("epochs", 3));
+  base.requests_per_phase =
+      static_cast<uint64_t>(flags.GetInt("requests", 12000));
+  base.iterations_per_epoch =
+      static_cast<uint64_t>(flags.GetInt("iterations", 6));
+  base.move_budget_per_epoch = static_cast<uint64_t>(
+      flags.GetInt("budget", static_cast<int64_t>(graph.num_data() / 4)));
+  base.cluster.num_servers =
+      static_cast<uint32_t>(flags.GetInt("servers", 24));
+  base.seed = 404;
+
+  std::printf("graph: %u queries, %u data, %llu pins, %u servers, "
+              "budget %llu moves/epoch\n",
+              graph.num_queries(), graph.num_data(),
+              static_cast<unsigned long long>(graph.num_edges()),
+              base.cluster.num_servers,
+              static_cast<unsigned long long>(base.move_budget_per_epoch));
+
+  struct ScenarioRun {
+    std::string name;
+    ServingReport report;
+  };
+  std::vector<ScenarioRun> runs;
+
+  auto run_scenario = [&](const char* name, TrafficScenario scenario,
+                          std::vector<ServerKillEvent> kills) {
+    ServingLoopConfig config = base;
+    config.scenario = scenario;
+    config.kill_events = std::move(kills);
+    ServingLoop loop(graph, config);
+    ScenarioRun run;
+    run.name = name;
+    run.report = loop.Run();
+    const ServingReport& r = run.report;
+    std::printf("%-20s p99 %.3f -> %.3f (worst during %.3f), "
+                "%llu moves, %llu records / %llu bytes migrated, "
+                "%llu dual-read queries, %llu recovered\n",
+                name, r.p99_start, r.p99_end, r.p99_during_worst,
+                static_cast<unsigned long long>(r.total_moves),
+                static_cast<unsigned long long>(r.total_migrated_records),
+                static_cast<unsigned long long>(r.total_migration_bytes),
+                static_cast<unsigned long long>(r.total_dual_read_queries),
+                static_cast<unsigned long long>(r.total_recovered_records));
+    runs.push_back(std::move(run));
+  };
+
+  run_scenario("serving_powerlaw", TrafficScenario::kPowerLaw, {});
+  run_scenario("serving_hotkey", TrafficScenario::kHotKey, {});
+  run_scenario("serving_diurnal", TrafficScenario::kDiurnal, {});
+  // Kill one server at the start of the second epoch — after the first
+  // epoch's repartition has settled, so the restore path runs against an
+  // optimized assignment, not the random start.
+  run_scenario("serving_worker_kill", TrafficScenario::kPowerLaw,
+               {{/*epoch=*/1, /*server=*/3}});
+
+  // ---- deterministic gates ----
+  int failures = 0;
+  for (const ScenarioRun& run : runs) {
+    const ServingReport& r = run.report;
+    for (size_t e = 0; e < r.epochs.size(); ++e) {
+      if (base.move_budget_per_epoch != 0 &&
+          r.epochs[e].executed_moves > base.move_budget_per_epoch) {
+        std::fprintf(stderr, "FAIL: %s epoch %zu executed %llu moves over "
+                     "budget %llu\n",
+                     run.name.c_str(), e,
+                     static_cast<unsigned long long>(
+                         r.epochs[e].executed_moves),
+                     static_cast<unsigned long long>(
+                         base.move_budget_per_epoch));
+        ++failures;
+      }
+    }
+    if (r.scratch_grow_events != 0) {
+      std::fprintf(stderr, "FAIL: %s replay grew the multiget scratch %llu "
+                   "times (zero-allocation steady state regressed)\n",
+                   run.name.c_str(),
+                   static_cast<unsigned long long>(r.scratch_grow_events));
+      ++failures;
+    }
+    if (r.serveability_checks == 0) {
+      std::fprintf(stderr,
+                   "FAIL: %s performed no dual-read serveability checks\n",
+                   run.name.c_str());
+      ++failures;
+    }
+  }
+  const ServingReport& powerlaw = runs[0].report;
+  if (!(powerlaw.p99_end < powerlaw.p99_start)) {
+    std::fprintf(stderr,
+                 "FAIL: post-repartition p99 %.4f not strictly below "
+                 "pre-repartition p99 %.4f on the power-law scenario\n",
+                 powerlaw.p99_end, powerlaw.p99_start);
+    ++failures;
+  }
+  if (powerlaw.total_migrated_records == 0 ||
+      powerlaw.total_migration_bytes !=
+          powerlaw.total_migrated_records * base.record_bytes) {
+    std::fprintf(stderr,
+                 "FAIL: migration byte accounting inconsistent "
+                 "(%llu records, %llu bytes, %llu bytes/record)\n",
+                 static_cast<unsigned long long>(
+                     powerlaw.total_migrated_records),
+                 static_cast<unsigned long long>(
+                     powerlaw.total_migration_bytes),
+                 static_cast<unsigned long long>(base.record_bytes));
+    ++failures;
+  }
+
+  // Default output deliberately differs from the committed baseline
+  // (BENCH_serving.json) so ad-hoc runs never clobber the file CI diffs
+  // against; refresh the baseline explicitly with --out=BENCH_serving.json.
+  const std::string out_path =
+      flags.GetString("out", "BENCH_serving_fresh.json");
+  std::FILE* out = std::fopen(out_path.c_str(), "wb");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n  \"benchmark\": \"serving_loop\",\n"
+               "  \"num_queries\": %u,\n  \"num_data\": %u,\n"
+               "  \"num_pins\": %llu,\n  \"num_servers\": %u,\n"
+               "  \"num_epochs\": %llu,\n  \"requests_per_phase\": %llu,\n"
+               "  \"move_budget_per_epoch\": %llu,\n"
+               "  \"record_bytes\": %llu",
+               graph.num_queries(), graph.num_data(),
+               static_cast<unsigned long long>(graph.num_edges()),
+               base.cluster.num_servers,
+               static_cast<unsigned long long>(base.num_epochs),
+               static_cast<unsigned long long>(base.requests_per_phase),
+               static_cast<unsigned long long>(base.move_budget_per_epoch),
+               static_cast<unsigned long long>(base.record_bytes));
+  auto write_phase_array = [&](const char* field,
+                               const ServingReport& r,
+                               double PhaseStats::*member,
+                               const PhaseStats EpochReport::*phase) {
+    std::fprintf(out, "    \"%s\": [", field);
+    for (size_t e = 0; e < r.epochs.size(); ++e) {
+      std::fprintf(out, "%s%.6f", e == 0 ? "" : ", ",
+                   r.epochs[e].*phase.*member);
+    }
+    std::fprintf(out, "],\n");
+  };
+  for (const ScenarioRun& run : runs) {
+    const ServingReport& r = run.report;
+    std::fprintf(out, ",\n  \"%s\": {\n", run.name.c_str());
+    write_phase_array("serving_p50_before", r, &PhaseStats::p50,
+                      &EpochReport::before);
+    write_phase_array("serving_p50_during", r, &PhaseStats::p50,
+                      &EpochReport::during_migration);
+    write_phase_array("serving_p50_after", r, &PhaseStats::p50,
+                      &EpochReport::after);
+    write_phase_array("serving_p99_before", r, &PhaseStats::p99,
+                      &EpochReport::before);
+    write_phase_array("serving_p99_during", r, &PhaseStats::p99,
+                      &EpochReport::during_migration);
+    write_phase_array("serving_p99_after", r, &PhaseStats::p99,
+                      &EpochReport::after);
+    write_phase_array("mean_before", r, &PhaseStats::mean,
+                      &EpochReport::before);
+    write_phase_array("mean_after", r, &PhaseStats::mean,
+                      &EpochReport::after);
+    write_phase_array("fanout_before", r, &PhaseStats::average_fanout,
+                      &EpochReport::before);
+    write_phase_array("fanout_after", r, &PhaseStats::average_fanout,
+                      &EpochReport::after);
+    std::fprintf(out, "    \"moves_per_epoch\": [");
+    for (size_t e = 0; e < r.epochs.size(); ++e) {
+      std::fprintf(out, "%s%llu", e == 0 ? "" : ", ",
+                   static_cast<unsigned long long>(
+                       r.epochs[e].executed_moves));
+    }
+    std::fprintf(out, "],\n");
+    std::fprintf(out,
+                 "    \"p99_start\": %.6f,\n"
+                 "    \"p99_during_worst\": %.6f,\n"
+                 "    \"p99_end\": %.6f,\n"
+                 "    \"total_moves\": %llu,\n"
+                 "    \"migrated_records\": %llu,\n"
+                 "    \"migration_bytes\": %llu,\n"
+                 "    \"recovered_records\": %llu,\n"
+                 "    \"dual_read_queries\": %llu,\n"
+                 "    \"serveability_checks\": %llu\n  }",
+                 r.p99_start, r.p99_during_worst, r.p99_end,
+                 static_cast<unsigned long long>(r.total_moves),
+                 static_cast<unsigned long long>(r.total_migrated_records),
+                 static_cast<unsigned long long>(r.total_migration_bytes),
+                 static_cast<unsigned long long>(r.total_recovered_records),
+                 static_cast<unsigned long long>(r.total_dual_read_queries),
+                 static_cast<unsigned long long>(r.serveability_checks));
+  }
+  std::fprintf(out, "\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  return failures == 0 ? 0 : 2;
+}

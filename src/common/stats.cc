@@ -19,6 +19,25 @@ double Percentile(std::vector<double> samples, double p) {
   return samples[lo] * (1.0 - frac) + samples[hi] * frac;
 }
 
+double PercentileInPlace(std::vector<double>* samples, double p) {
+  if (samples == nullptr || samples->empty()) return 0.0;
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank =
+      clamped / 100.0 * static_cast<double>(samples->size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(rank));
+  const size_t hi = static_cast<size_t>(std::ceil(rank));
+  auto lo_it = samples->begin() + static_cast<int64_t>(lo);
+  std::nth_element(samples->begin(), lo_it, samples->end());
+  const double lo_value = *lo_it;
+  if (lo == hi) return lo_value;
+  // The hi-th order statistic is the minimum of the suffix nth_element
+  // left to the right of lo.
+  const double hi_value =
+      *std::min_element(lo_it + 1, samples->end());
+  const double frac = rank - static_cast<double>(lo);
+  return lo_value * (1.0 - frac) + hi_value * frac;
+}
+
 void RunningStats::Add(double x) {
   if (count_ == 0) {
     min_ = max_ = x;

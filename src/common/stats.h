@@ -12,6 +12,16 @@ namespace shp {
 /// between order statistics.
 double Percentile(std::vector<double> samples, double p);
 
+/// Exact percentile computed in place with nth_element — no copy, no full
+/// sort; O(n) expected instead of O(n log n) per call. Returns the same
+/// interpolated order statistic as Percentile (the equivalence test pins
+/// this). The sample order is scrambled on return; callers that need
+/// several percentiles of one buffer just call repeatedly — each call
+/// re-selects in O(n). This is the replay/serving hot-path variant:
+/// percentile snapshots per fanout row per epoch must not re-copy and
+/// re-sort the whole sample set.
+double PercentileInPlace(std::vector<double>* samples, double p);
+
 /// Streaming mean / variance / min / max.
 class RunningStats {
  public:

@@ -33,6 +33,20 @@ void MoveBroker::CollectNetMoves(const std::vector<VertexId>& moved,
   SHP_DCHECK(outcome->moves.size() == outcome->num_moved);
 }
 
+void MoveBroker::TrimToBudget(uint64_t budget,
+                              const std::vector<double>& gains,
+                              std::vector<VertexId>* movers) {
+  if (budget == 0 || movers->size() <= budget) return;
+  std::nth_element(movers->begin(),
+                   movers->begin() + static_cast<int64_t>(budget),
+                   movers->end(), [&gains](VertexId a, VertexId b) {
+                     if (gains[a] != gains[b]) return gains[a] > gains[b];
+                     return a < b;
+                   });
+  movers->resize(budget);
+  std::sort(movers->begin(), movers->end());
+}
+
 MoveOutcome MoveBroker::Apply(const MoveTopology& topo,
                               const std::vector<BucketId>& targets,
                               const std::vector<double>& gains, uint64_t seed,
@@ -102,6 +116,13 @@ MoveOutcome MoveBroker::ApplyExactPairing(const MoveTopology& topo,
     ++outcome.num_moved;
     outcome.gain_moved += gains[v];
   };
+  // Per-round move budget at pair granularity: a swap is only started when
+  // both of its moves fit (executing half a pair would unbalance the
+  // buckets this strategy promises never to touch).
+  const uint64_t budget = options_.max_moves_per_round;
+  auto budget_allows = [&](uint64_t extra_moves) {
+    return budget == 0 || outcome.num_moved + extra_moves <= budget;
+  };
   for (uint64_t key : keys) {
     const BucketId i = static_cast<BucketId>(key >> 32);
     const BucketId j = static_cast<BucketId>(key & 0xffffffffULL);
@@ -118,6 +139,7 @@ MoveOutcome MoveBroker::ApplyExactPairing(const MoveTopology& topo,
                                std::min(forward.size(), backward.size())));
     size_t a = 0, b = 0;
     while (a < forward.size() && b < backward.size() && a < max_pairs &&
+           budget_allows(2) &&
            gains[forward[a]] + gains[backward[b]] > 0.0) {
       execute(forward[a++]);
       execute(backward[b++]);
@@ -125,12 +147,14 @@ MoveOutcome MoveBroker::ApplyExactPairing(const MoveTopology& topo,
     if (options_.use_capacity_slack) {
       // One-sided extras into spare capacity (positive gains only).
       while (a < forward.size() && gains[forward[a]] > 0.0 &&
+             budget_allows(1) &&
              slack[static_cast<size_t>(j)] > 0) {
         --slack[static_cast<size_t>(j)];
         ++slack[static_cast<size_t>(i)];
         execute(forward[a++]);
       }
       while (b < backward.size() && gains[backward[b]] > 0.0 &&
+             budget_allows(1) &&
              slack[static_cast<size_t>(i)] > 0) {
         --slack[static_cast<size_t>(i)];
         ++slack[static_cast<size_t>(j)];
@@ -197,12 +221,17 @@ MoveOutcome MoveBroker::ApplyPlain(const MoveTopology& topo,
   for (const uint64_t d : draws_per_worker) outcome.num_draws += d;
 
   std::vector<VertexId> moved;
-  std::vector<BucketId> original(n, -1);
   for (VertexId v = 0; v < n; ++v) {
-    if (!decided[v]) continue;
+    if (decided[v]) moved.push_back(v);
+  }
+  // Per-round move budget (partition stability): keep only the
+  // highest-gain drawn movers. Applied before execution, so post-repair
+  // executed moves can only be fewer.
+  TrimToBudget(options_.max_moves_per_round, gains, &moved);
+  std::vector<BucketId> original(n, -1);
+  for (VertexId v : moved) {
     original[v] = partition->bucket_of(v);
     partition->Move(v, targets[v]);
-    moved.push_back(v);
     ++outcome.num_moved;
     outcome.gain_moved += gains[v];
   }
@@ -432,12 +461,17 @@ MoveOutcome MoveBroker::ApplyHistogram(const MoveTopology& topo,
   for (const uint64_t d : draws_per_worker) outcome.num_draws += d;
 
   std::vector<VertexId> moved;
-  std::vector<BucketId> original(n, -1);
   for (VertexId v = 0; v < n; ++v) {
-    if (!decided[v]) continue;
+    if (decided[v]) moved.push_back(v);
+  }
+  // Per-round move budget (partition stability): keep only the
+  // highest-gain drawn movers. Applied before execution, so post-repair
+  // executed moves can only be fewer.
+  TrimToBudget(options_.max_moves_per_round, gains, &moved);
+  std::vector<BucketId> original(n, -1);
+  for (VertexId v : moved) {
     original[v] = partition->bucket_of(v);
     partition->Move(v, targets[v]);
-    moved.push_back(v);
     ++outcome.num_moved;
     outcome.gain_moved += gains[v];
   }

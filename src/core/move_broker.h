@@ -63,6 +63,14 @@ struct MoveBrokerOptions {
   /// matched. false restores the draw-everything reference (the regression
   /// test compares the two trajectories).
   bool skip_zero_probability_pairs = true;
+  /// Ceiling on executed moves per round; 0 = unlimited. The online
+  /// repartitioning stability knob (paper §5(i) alongside damping): when a
+  /// round's drawn movers exceed the budget, the highest-gain movers are
+  /// kept (deterministic tie-break on vertex id) and the rest stay put, so
+  /// a serving tier migrates at a bounded rate per epoch. Enforced by all
+  /// three strategies and by the BSP master; post-repair executed moves
+  /// never exceed the budget (balance reversions only shrink the set).
+  uint64_t max_moves_per_round = 0;
 };
 
 struct MoveOutcome {
@@ -112,6 +120,13 @@ class MoveBroker {
 
   const MoveBrokerOptions& options() const { return options_; }
 
+  /// Adjusts the per-round move budget between rounds (the serving loop
+  /// passes its remaining epoch budget before every iteration). 0 =
+  /// unlimited. Does not disturb the incremental histogram state.
+  void set_max_moves_per_round(uint64_t max_moves) {
+    options_.max_moves_per_round = max_moves;
+  }
+
   /// Executes one move round. targets[v] = proposed bucket (or -1);
   /// gains[v] = proposal gain (improvement; may be ≤ 0 under histogram
   /// matching). Deterministic in (seed, iteration) for a fixed thread count.
@@ -148,6 +163,13 @@ class MoveBroker {
                               const std::vector<BucketId>& original_bucket,
                               const Partition& partition,
                               MoveOutcome* outcome);
+
+  /// Trims a drawn mover list to `budget` vertices (0 = unlimited): keeps
+  /// the highest gains, ties broken on the lower vertex id, and restores
+  /// ascending-by-vertex order on return. Deterministic for a fixed input.
+  /// Shared with the BSP master's superstep 4.
+  static void TrimToBudget(uint64_t budget, const std::vector<double>& gains,
+                           std::vector<VertexId>* movers);
 
  private:
   MoveOutcome ApplyPlain(const MoveTopology& topo,

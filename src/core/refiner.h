@@ -177,6 +177,15 @@ class RefinerInterface {
                                       const std::vector<BucketId>* anchor =
                                           nullptr,
                                       double anchor_penalty = 0.0) = 0;
+
+  /// Caps executed (post-repair) moves of subsequent iterations at
+  /// `max_moves` (0 = unlimited). The serving loop's per-epoch stability
+  /// budget: it hands each iteration the remaining epoch budget so a live
+  /// repartition migrates records at a bounded rate. Both engines forward
+  /// this to MoveBrokerOptions::max_moves_per_round; the default is a
+  /// no-op so third-party engines without move caps still satisfy the
+  /// interface.
+  virtual void SetMoveBudget(uint64_t max_moves) { (void)max_moves; }
 };
 
 /// Factory installed into driver options to swap the iteration engine.
@@ -193,6 +202,11 @@ class Refiner : public RefinerInterface {
                               ThreadPool* pool = nullptr,
                               const std::vector<BucketId>* anchor = nullptr,
                               double anchor_penalty = 0.0) override;
+
+  void SetMoveBudget(uint64_t max_moves) override {
+    options_.broker.max_moves_per_round = max_moves;
+    broker_.set_max_moves_per_round(max_moves);
+  }
 
   /// Neighbor data from the most recent iteration (for diagnostics/tests).
   const QueryNeighborData& neighbor_data() const { return ndata_; }

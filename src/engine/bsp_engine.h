@@ -56,6 +56,14 @@ struct BspConfig {
   int checkpoint_interval = 1;
   /// Checkpoints retained on disk (older ones pruned).
   int checkpoint_keep = 2;
+
+  /// Epoch-boundary hook: invoked after every completed iteration (all four
+  /// supersteps done, moves executed and repaired, checkpoint written if
+  /// due) with the engine's epoch id and the round's post-repair executed
+  /// move count. The serving loop hangs its migration bookkeeping and
+  /// budget accounting off this boundary; it runs on the driver thread, so
+  /// callbacks may inspect the partition the caller passed to RunIteration.
+  std::function<void(uint64_t epoch, uint64_t executed_moves)> on_epoch_end;
 };
 
 /// Accounting for one executed superstep.

@@ -1082,6 +1082,11 @@ IterationStats BspRefiner::RunIteration(const MoveTopology& topo,
                    mover_lists_[static_cast<size_t>(w)].end());
   }
   std::sort(movers_.begin(), movers_.end());
+  // Per-round move budget (partition stability): identical rule to the
+  // threaded broker — keep the highest-gain drawn movers, execute only
+  // those. Repair below can only shrink the executed set further.
+  MoveBroker::TrimToBudget(options_.broker.max_moves_per_round, cached_gain_,
+                           &movers_);
   for (VertexId v : movers_) {
     original_[v] = partition->bucket_of(v);
     partition->Move(v, cached_target_[v]);
@@ -1165,6 +1170,10 @@ IterationStats BspRefiner::RunIteration(const MoveTopology& topo,
                        << ckpt_status.ToString();
     }
   }
+  // Epoch boundary: everything of this iteration — moves, repair,
+  // checkpoint — is committed; external observers (the serving loop's
+  // migration bookkeeping) hook in here.
+  if (config_.on_epoch_end) config_.on_epoch_end(epoch, stats.num_moved);
   return stats;
 }
 

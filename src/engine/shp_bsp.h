@@ -112,6 +112,14 @@ class BspRefiner : public RefinerInterface {
                               const std::vector<BucketId>* anchor = nullptr,
                               double anchor_penalty = 0.0) override;
 
+  /// Per-round executed-move cap (0 = unlimited): the master trims the
+  /// drawn superstep-4 movers to the budget, highest gain first, before
+  /// execution — same contract as the threaded broker's
+  /// max_moves_per_round (the serving loop's epoch budget hook).
+  void SetMoveBudget(uint64_t max_moves) override {
+    options_.broker.max_moves_per_round = max_moves;
+  }
+
   /// Estimated peak bytes of distributed state on the most loaded worker
   /// (adjacency shard + neighbor-data or accumulator replicas + proposal
   /// vectors).

@@ -6,6 +6,13 @@
 // a request's service time is a stochastic draw plus a per-record cost, so
 // concentrating a query's records on few servers both lowers fanout and
 // grows the largest request — the trade-off §5 discusses.
+//
+// The cluster also supports the serving loop's live-migration view
+// (sharding/serving_loop.h): a record may have a secondary location while
+// its copy is in flight (dual-read — both locations are contacted until the
+// cutover), the primary may be transiently unassigned after a server kill
+// (the restore copy then serves alone), and servers running copy streams
+// charge a latency surcharge to foreground requests.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +36,41 @@ struct KvClusterConfig {
 struct QueryTrace {
   uint32_t fanout = 0;
   double latency = 0.0;
+  /// Records read from two locations this query (dual-read path only) —
+  /// the per-query migration tax the serving loop aggregates.
+  uint32_t dual_records = 0;
+};
+
+/// Reusable per-caller (or per-thread) workspace for IssueQuery. The replay
+/// hot path issues millions of queries; without this every query
+/// heap-allocated two vectors. Prepare() reserves for the worst case up
+/// front, after which steady-state replay performs zero per-query
+/// allocations — grow_events counts any capacity growth past Prepare (the
+/// regression tests pin it at 0).
+struct MultiGetScratch {
+  std::vector<BucketId> servers;        ///< one entry per record location
+  std::vector<BucketId> distinct;       ///< deduplicated contacted servers
+  std::vector<uint32_t> records;        ///< records per contacted server
+  std::vector<double> surcharges;       ///< per contacted server (dual path)
+  uint64_t grow_events = 0;             ///< capacity growths since Prepare
+  uint64_t serveability_checks = 0;     ///< dual-read neither-location checks
+
+  /// Reserves for the worst query of `graph`: a dual-read can contact two
+  /// locations per record, so capacity is 2 × max query degree.
+  void Prepare(const BipartiteGraph& graph);
+};
+
+/// Per-record migration overlay for IssueQueryDual, owned by the serving
+/// loop; the cluster only reads it.
+struct DualReadView {
+  /// Secondary server per record (-1 = settled, serve the primary alone).
+  /// Must outlive the call; size = num records.
+  const BucketId* secondary = nullptr;
+  /// Active copy streams per server (nullable = no interference modeled):
+  /// any server with a nonzero count adds `interference` to its requests.
+  const int32_t* copy_streams = nullptr;
+  /// Latency surcharge per request to a server with an active copy stream.
+  double interference = 0.0;
 };
 
 class KvClusterSim {
@@ -39,10 +81,31 @@ class KvClusterSim {
                std::vector<BucketId> assignment);
 
   /// Replays query q of `graph`: one request per distinct server holding
-  /// q's records.
-  QueryTrace IssueQuery(const BipartiteGraph& graph, VertexId q, Rng* rng) const;
+  /// q's records. The scratch overload is the hot path (no allocations
+  /// once prepared); the two-vector convenience overload allocates.
+  QueryTrace IssueQuery(const BipartiteGraph& graph, VertexId q, Rng* rng,
+                        MultiGetScratch* scratch) const;
+  QueryTrace IssueQuery(const BipartiteGraph& graph, VertexId q,
+                        Rng* rng) const;
+
+  /// Dual-read replay under live migration: each record is served from its
+  /// primary (this cluster's assignment) and/or its secondary (the view) —
+  /// both are contacted while a copy is in flight. Checked invariant: a
+  /// record with neither a valid primary nor a valid secondary is a
+  /// migration state-machine bug and aborts (SHP_CHECK), never a silent
+  /// wrong answer; every check is counted into scratch->serveability_checks.
+  QueryTrace IssueQueryDual(const BipartiteGraph& graph, VertexId q, Rng* rng,
+                            const DualReadView& view,
+                            MultiGetScratch* scratch) const;
+
+  /// Re-homes one record (the serving loop's cutover / kill-purge edit).
+  /// -1 marks the primary unassigned — legal only while a DualReadView
+  /// supplies a valid secondary for the record.
+  void SetRecordServer(VertexId v, BucketId server);
+  BucketId record_server(VertexId v) const { return assignment_[v]; }
 
   const KvClusterConfig& config() const { return config_; }
+  const std::vector<BucketId>& assignment() const { return assignment_; }
 
  private:
   KvClusterConfig config_;

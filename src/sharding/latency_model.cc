@@ -48,4 +48,17 @@ double LatencyModel::SampleMultiGetSized(const uint32_t* records_per_server,
   return worst;
 }
 
+double LatencyModel::SampleMultiGetSizedSurcharged(
+    const uint32_t* records_per_server, const double* surcharge_per_server,
+    uint32_t fanout, double per_record_cost, Rng* rng) const {
+  double worst = 0.0;
+  for (uint32_t i = 0; i < fanout; ++i) {
+    const double latency = SampleRequest(rng) +
+                           records_per_server[i] * per_record_cost +
+                           surcharge_per_server[i];
+    worst = std::max(worst, latency);
+  }
+  return worst;
+}
+
 }  // namespace shp

@@ -53,6 +53,17 @@ class LatencyModel {
                              uint32_t fanout, double per_record_cost,
                              Rng* rng) const;
 
+  /// Sized variant with an additive per-server surcharge: request i costs
+  /// request_latency + records·per_record_cost + surcharge_per_server[i].
+  /// The serving loop charges live-migration interference through this —
+  /// a server running a copy stream (dual-read cutover in flight) serves
+  /// its foreground requests slower, so migration traffic shows up in the
+  /// during-migration percentiles instead of being free.
+  double SampleMultiGetSizedSurcharged(const uint32_t* records_per_server,
+                                       const double* surcharge_per_server,
+                                       uint32_t fanout, double per_record_cost,
+                                       Rng* rng) const;
+
  private:
   LatencyModelConfig config_;
 };

@@ -25,6 +25,14 @@ struct ReplayReport {
   std::vector<double> mean_latency_by_fanout;
   std::vector<double> p99_latency_by_fanout;
   std::vector<uint64_t> count_by_fanout;
+  /// Issued queries that touched zero servers (isolated query vertices).
+  /// They are excluded from every latency statistic — the denominator of
+  /// average_fanout / average_latency is served queries only, i.e.
+  /// Σ count_by_fanout == num_requests − empty_queries.
+  uint64_t empty_queries = 0;
+  /// Scratch-capacity growths observed during the replay. 0 in steady state;
+  /// nonzero means the per-query zero-allocation guarantee regressed.
+  uint64_t scratch_grow_events = 0;
   double average_fanout = 0.0;
   double average_latency = 0.0;
 };

@@ -167,6 +167,38 @@ TEST(Stats, PercentileEmptyIsZero) {
   EXPECT_DOUBLE_EQ(Percentile({}, 50), 0.0);
 }
 
+TEST(Stats, PercentileInPlaceMatchesSortingReference) {
+  // The nth_element path must return bit-identical values to the sorting
+  // reference for every percentile, on data of every parity and with ties.
+  Rng rng(77);
+  for (size_t n : {1u, 2u, 3u, 10u, 101u, 1000u}) {
+    std::vector<double> samples;
+    samples.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      // Quantized draws force duplicate values into the sample.
+      samples.push_back(std::floor(rng.NextDouble() * 50.0) / 5.0);
+    }
+    for (double p : {0.0, 1.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9, 100.0}) {
+      std::vector<double> scratch = samples;
+      EXPECT_DOUBLE_EQ(PercentileInPlace(&scratch, p), Percentile(samples, p))
+          << "n=" << n << " p=" << p;
+    }
+  }
+}
+
+TEST(Stats, PercentileInPlaceEdgeCases) {
+  std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(PercentileInPlace(&empty, 50), 0.0);
+  EXPECT_DOUBLE_EQ(PercentileInPlace(nullptr, 50), 0.0);
+  std::vector<double> one = {7.0};
+  EXPECT_DOUBLE_EQ(PercentileInPlace(&one, 0), 7.0);
+  EXPECT_DOUBLE_EQ(PercentileInPlace(&one, 100), 7.0);
+  // Out-of-range percentiles clamp instead of reading out of bounds.
+  std::vector<double> v = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(PercentileInPlace(&v, -5), 1.0);
+  EXPECT_DOUBLE_EQ(PercentileInPlace(&v, 200), 3.0);
+}
+
 TEST(Stats, RunningStatsMatchesDirectComputation) {
   RunningStats stats;
   std::vector<double> v = {2, 4, 4, 4, 5, 5, 7, 9};

@@ -229,6 +229,68 @@ TEST(MoveBroker, SymmetricSwapsPreserveSizes) {
   EXPECT_LE(partition.bucket_size(1), topo.capacity[1]);
 }
 
+TEST(MoveBroker, MoveBudgetCapsEveryStrategy) {
+  // Heavy reciprocal demand: without a budget every strategy moves far more
+  // than 40 vertices; with max_moves_per_round = 40 none may exceed it.
+  const VertexId n = 400;
+  std::vector<BucketId> assignment(n);
+  for (VertexId v = 0; v < n; ++v) assignment[v] = v < 200 ? 0 : 1;
+  const MoveTopology topo = MoveTopology::FullK(2, n, 0.1);
+  std::vector<BucketId> targets(n);
+  std::vector<double> gains(n);
+  for (VertexId v = 0; v < n; ++v) {
+    targets[v] = 1 - assignment[v];
+    gains[v] = 1.0 + 0.001 * static_cast<double>(v % 7);
+  }
+  for (const auto strategy :
+       {MoveBrokerOptions::Strategy::kPlainProbability,
+        MoveBrokerOptions::Strategy::kHistogramMatching,
+        MoveBrokerOptions::Strategy::kExactPairing}) {
+    auto run = [&](uint64_t budget) {
+      Partition partition = Partition::FromAssignment(assignment, 2);
+      MoveBrokerOptions options;
+      options.strategy = strategy;
+      options.max_moves_per_round = budget;
+      MoveBroker broker(options);
+      const MoveOutcome outcome =
+          broker.Apply(topo, targets, gains, 9, 0, &partition);
+      partition.CheckInvariants();
+      return outcome;
+    };
+    const MoveOutcome unlimited = run(0);
+    EXPECT_GT(unlimited.num_moved, 40u)
+        << "strategy " << static_cast<int>(strategy)
+        << ": the budget must actually bind in this test";
+    const MoveOutcome capped = run(40);
+    EXPECT_LE(capped.num_moved, 40u)
+        << "strategy " << static_cast<int>(strategy);
+    EXPECT_GT(capped.num_moved, 0u)
+        << "strategy " << static_cast<int>(strategy)
+        << ": a budget is a cap, not a disable switch";
+  }
+}
+
+TEST(MoveBroker, MoveBudgetKeepsHighestGains) {
+  // Two gain tiers proposing 0 -> 1; the trimmed set must be exactly the
+  // high-gain tier (deterministic nth_element with a vertex-id tie-break).
+  std::vector<VertexId> movers;
+  std::vector<double> gains(100);
+  for (VertexId v = 0; v < 100; ++v) {
+    movers.push_back(v);
+    gains[v] = v % 2 == 0 ? 2.0 : 1.0;
+  }
+  MoveBroker::TrimToBudget(50, gains, &movers);
+  ASSERT_EQ(movers.size(), 50u);
+  for (VertexId v : movers) {
+    EXPECT_EQ(v % 2, 0) << "low-gain mover survived the trim";
+  }
+  // Budget 0 means unlimited: nothing trimmed.
+  std::vector<VertexId> all(100);
+  for (VertexId v = 0; v < 100; ++v) all[v] = v;
+  MoveBroker::TrimToBudget(0, gains, &all);
+  EXPECT_EQ(all.size(), 100u);
+}
+
 TEST(MoveBroker, DrawFloorSkipsDeadRowsWithoutChangingMoves) {
   // One-sided negative demand: every (1 -> 0) histogram bin is negative and
   // nothing proposes (0 -> 1), so the matched probability row is all zero

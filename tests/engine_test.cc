@@ -783,5 +783,64 @@ TEST(DistributedShp, MoreWorkersMoreCommunication) {
   EXPECT_GT(traffic(8), traffic(2));
 }
 
+TEST(BspRefiner, EpochEndCallbackFiresPerIteration) {
+  // The serving loop hangs its epoch bookkeeping off on_epoch_end: it must
+  // fire exactly once per completed iteration, on the driver thread, with
+  // the executed move count of that iteration.
+  const BipartiteGraph g = TestGraph();
+  const BucketId k = 4;
+  const MoveTopology topo = MoveTopology::FullK(k, g.num_data(), 0.05);
+  RefinerOptions options;
+  BspConfig config;
+  config.num_workers = 3;
+  std::vector<std::pair<uint64_t, uint64_t>> calls;
+  config.on_epoch_end = [&calls](uint64_t epoch, uint64_t moves) {
+    calls.emplace_back(epoch, moves);
+  };
+  BspRefiner refiner(g, options, config);
+  Partition partition = Partition::BalancedRandom(g.num_data(), k, 5);
+  std::vector<uint64_t> moved;
+  for (uint64_t iter = 0; iter < 3; ++iter) {
+    moved.push_back(refiner.RunIteration(topo, &partition, 9, iter).num_moved);
+  }
+  ASSERT_EQ(calls.size(), 3u);
+  for (size_t i = 0; i < calls.size(); ++i) {
+    EXPECT_EQ(calls[i].first, i);
+    EXPECT_EQ(calls[i].second, moved[i]);
+  }
+}
+
+TEST(BspRefiner, MoveBudgetCapsIteration) {
+  // SetMoveBudget flows through BspConfig-independent broker options into
+  // superstep 4's trim: no iteration may exceed it, on either engine.
+  const BipartiteGraph g = TestGraph();
+  const BucketId k = 4;
+  const MoveTopology topo = MoveTopology::FullK(k, g.num_data(), 0.05);
+  RefinerOptions options;
+  BspConfig config;
+  config.num_workers = 3;
+  BspRefiner bsp(g, options, config);
+  Refiner threaded(g, options);
+  for (RefinerInterface* refiner :
+       std::initializer_list<RefinerInterface*>{&bsp, &threaded}) {
+    Partition partition = Partition::BalancedRandom(g.num_data(), k, 5);
+    // First iteration unlimited: from a random start the refiner moves far
+    // more than the budget we are about to impose.
+    const IterationStats free_run =
+        refiner->RunIteration(topo, &partition, 9, 0);
+    EXPECT_GT(free_run.num_moved, 50u);
+    refiner->SetMoveBudget(50);
+    for (uint64_t iter = 1; iter < 4; ++iter) {
+      const IterationStats stats =
+          refiner->RunIteration(topo, &partition, 9, iter);
+      EXPECT_LE(stats.num_moved, 50u);
+    }
+    refiner->SetMoveBudget(0);
+    // 0 restores unlimited (no crash, no residual cap semantics to assert
+    // beyond the run completing).
+    refiner->RunIteration(topo, &partition, 9, 4);
+  }
+}
+
 }  // namespace
 }  // namespace shp

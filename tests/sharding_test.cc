@@ -3,6 +3,8 @@
 // fanout means lower latency (Fig. 4 mechanism).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/recursive.h"
 #include "core/shp.h"
 #include "graph/gen_social.h"
@@ -96,6 +98,102 @@ TEST(KvCluster, FanoutEqualsDistinctServers) {
   EXPECT_GT(trace.latency, 0.0);
 }
 
+TEST(KvCluster, FanoutBoundedByDegreeAndServerCount) {
+  SocialGraphConfig social;
+  social.num_users = 600;
+  social.avg_degree = 12;
+  const BipartiteGraph g = GenerateSocialGraph(social);
+  KvClusterConfig config;
+  config.num_servers = 4;
+  const KvClusterSim cluster(
+      config, Partition::Random(g.num_data(), 4, 7).assignment());
+  Rng rng(6);
+  MultiGetScratch scratch;
+  scratch.Prepare(g);
+  for (VertexId q = 0; q < g.num_queries(); ++q) {
+    const QueryTrace trace = cluster.IssueQuery(g, q, &rng, &scratch);
+    EXPECT_LE(trace.fanout,
+              std::min<uint32_t>(g.QueryDegree(q), config.num_servers));
+    EXPECT_GE(trace.fanout, g.QueryDegree(q) > 0 ? 1u : 0u);
+  }
+}
+
+TEST(KvCluster, ScratchAndConvenienceOverloadsAgree) {
+  GraphBuilder b;
+  b.AddHyperedge(0, {0, 1, 2, 3});
+  b.AddHyperedge(1, {1, 3});
+  const BipartiteGraph g = b.Build();
+  KvClusterConfig config;
+  config.num_servers = 3;
+  const KvClusterSim cluster(config, {0, 0, 1, 2});
+  MultiGetScratch scratch;
+  scratch.Prepare(g);
+  for (VertexId q = 0; q < g.num_queries(); ++q) {
+    // Same seed → same draws: the scratch overload must not change the RNG
+    // consumption pattern of the convenience overload.
+    Rng rng_a(40 + q), rng_b(40 + q);
+    const QueryTrace a = cluster.IssueQuery(g, q, &rng_a);
+    const QueryTrace b2 = cluster.IssueQuery(g, q, &rng_b, &scratch);
+    EXPECT_EQ(a.fanout, b2.fanout);
+    EXPECT_DOUBLE_EQ(a.latency, b2.latency);
+  }
+  EXPECT_EQ(scratch.grow_events, 0u);
+}
+
+TEST(KvCluster, DualReadContactsBothLocations) {
+  GraphBuilder b;
+  b.AddHyperedge(0, {0, 1});
+  const BipartiteGraph g = b.Build();
+  KvClusterConfig config;
+  config.num_servers = 3;
+  KvClusterSim cluster(config, {0, 0});
+  MultiGetScratch scratch;
+  scratch.Prepare(g);
+  // Record 1 is migrating from server 0 to server 2: the query must fan out
+  // to both and report one dual-read record.
+  const std::vector<BucketId> secondary = {-1, 2};
+  DualReadView view;
+  view.secondary = secondary.data();
+  Rng rng(7);
+  const QueryTrace trace = cluster.IssueQueryDual(g, 0, &rng, view, &scratch);
+  EXPECT_EQ(trace.fanout, 2u);
+  EXPECT_EQ(trace.dual_records, 1u);
+  EXPECT_EQ(scratch.serveability_checks, 2u);
+
+  // After the cutover the secondary alone serves: primary unassigned is
+  // legal while the view still names a live home.
+  cluster.SetRecordServer(1, -1);
+  const std::vector<BucketId> restore = {-1, 2};
+  view.secondary = restore.data();
+  const QueryTrace after = cluster.IssueQueryDual(g, 0, &rng, view, &scratch);
+  EXPECT_EQ(after.fanout, 2u);  // server 0 (record 0) + server 2 (record 1)
+  EXPECT_EQ(after.dual_records, 0u);
+}
+
+TEST(KvCluster, MigrationInterferenceRaisesLatency) {
+  GraphBuilder b;
+  b.AddHyperedge(0, {0, 1});
+  const BipartiteGraph g = b.Build();
+  KvClusterConfig config;
+  config.num_servers = 2;
+  config.latency.shape = 1e-6;  // nearly deterministic service time
+  const KvClusterSim cluster(config, {0, 1});
+  MultiGetScratch scratch;
+  scratch.Prepare(g);
+  const std::vector<BucketId> secondary = {-1, -1};
+  const std::vector<int32_t> idle = {0, 0};
+  const std::vector<int32_t> streaming = {1, 0};
+  DualReadView view;
+  view.secondary = secondary.data();
+  view.interference = 5.0;
+  view.copy_streams = idle.data();
+  Rng rng_a(8), rng_b(8);
+  const QueryTrace quiet = cluster.IssueQueryDual(g, 0, &rng_a, view, &scratch);
+  view.copy_streams = streaming.data();
+  const QueryTrace busy = cluster.IssueQueryDual(g, 0, &rng_b, view, &scratch);
+  EXPECT_NEAR(busy.latency - quiet.latency, 5.0, 1.0);
+}
+
 TEST(Replay, CountsAndAveragesConsistent) {
   SocialGraphConfig social;
   social.num_users = 800;
@@ -109,11 +207,68 @@ TEST(Replay, CountsAndAveragesConsistent) {
   ReplayConfig replay;
   replay.num_requests = 20000;
   const ReplayReport report = ReplayTraffic(g, cluster, replay);
+  // Documented denominator: every issued request is either served (counted
+  // in exactly one fanout bucket) or empty — nothing silently dropped.
   uint64_t total = 0;
   for (uint64_t c : report.count_by_fanout) total += c;
-  EXPECT_EQ(total, replay.num_requests);
+  EXPECT_EQ(total + report.empty_queries, replay.num_requests);
   EXPECT_GT(report.average_fanout, 1.0);
   EXPECT_GT(report.average_latency, 0.0);
+  // The reusable scratch never grew after its up-front reservation.
+  EXPECT_EQ(report.scratch_grow_events, 0u);
+}
+
+TEST(Replay, EmptyQueriesCountedNotDropped) {
+  // Query 2 is isolated (degree 0): with trivial-query dropping disabled it
+  // survives into the graph and replays as an empty query.
+  GraphBuilder b(/*num_queries=*/3, /*num_data=*/4);
+  b.AddHyperedge(0, {0, 1});
+  b.AddHyperedge(1, {2, 3});
+  GraphBuilder::Options keep_all;
+  keep_all.drop_trivial_queries = false;
+  keep_all.compact_queries = false;
+  const BipartiteGraph g = b.Build(keep_all);
+  ASSERT_EQ(g.num_queries(), 3);
+  KvClusterConfig config;
+  config.num_servers = 2;
+  const KvClusterSim cluster(config, {0, 0, 1, 1});
+  ReplayConfig replay;
+  replay.num_requests = 9000;
+  replay.popularity_skew = 0.0;  // uniform: the isolated query gets traffic
+  const ReplayReport report = ReplayTraffic(g, cluster, replay);
+  EXPECT_GT(report.empty_queries, 0u);
+  uint64_t served = 0;
+  for (uint64_t c : report.count_by_fanout) served += c;
+  EXPECT_EQ(served + report.empty_queries, replay.num_requests);
+  // Latency averages are over served queries only.
+  EXPECT_GT(report.average_latency, 0.0);
+}
+
+TEST(Replay, DeterministicInSeed) {
+  SocialGraphConfig social;
+  social.num_users = 500;
+  social.avg_degree = 8;
+  const BipartiteGraph g = GenerateSocialGraph(social);
+  KvClusterConfig config;
+  config.num_servers = 6;
+  const KvClusterSim cluster(
+      config, Partition::Random(g.num_data(), 6, 11).assignment());
+  ReplayConfig replay;
+  replay.num_requests = 15000;
+  replay.seed = 1234;
+  const ReplayReport a = ReplayTraffic(g, cluster, replay);
+  const ReplayReport b = ReplayTraffic(g, cluster, replay);
+  EXPECT_EQ(a.count_by_fanout, b.count_by_fanout);
+  EXPECT_EQ(a.empty_queries, b.empty_queries);
+  EXPECT_DOUBLE_EQ(a.average_latency, b.average_latency);
+  EXPECT_DOUBLE_EQ(a.average_fanout, b.average_fanout);
+  for (size_t f = 0; f < a.p99_latency_by_fanout.size(); ++f) {
+    EXPECT_DOUBLE_EQ(a.p99_latency_by_fanout[f], b.p99_latency_by_fanout[f]);
+  }
+  // A different seed samples different traffic.
+  replay.seed = 4321;
+  const ReplayReport c = ReplayTraffic(g, cluster, replay);
+  EXPECT_NE(a.count_by_fanout, c.count_by_fanout);
 }
 
 TEST(Replay, ShpShardingBeatsRandomEndToEnd) {

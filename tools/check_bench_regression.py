@@ -31,6 +31,16 @@ and fails (exit 1) on:
     This gate reads only the fresh file — baselines that predate the
     envelope simply lack the field and are skipped.
 
+ 4. Serving gate (only when --serving-fresh/--serving-baseline are given):
+    for every scenario series in BENCH_serving.json, the during-migration
+    p99 inflation — worst during-phase p99 divided by the run's starting
+    p99, a within-run ratio and therefore host-speed-invariant — must not
+    exceed the baseline's inflation by more than --max-regression. This is
+    the "online repartitioning must not wreck the tail while it migrates"
+    contract; the absolute before/after win is enforced inside the bench
+    binary itself (it exits nonzero unless post-repartition p99 beats
+    pre-repartition p99 on the power-law scenario).
+
 Missing or unreadable baseline → exit 0 with a SKIP notice (first run on a
 branch that predates the baseline, or a series newly added by this change).
 """
@@ -45,6 +55,8 @@ DELTA_BYTE_SERIES = ("bsp_push", "bsp_push_varint", "bsp_push_grouped",
                      "bsp_push_grouped_varint")
 ENVELOPE_SERIES = ("bsp_push_varint", "bsp_push_grouped_varint")
 ENVELOPE_BUDGET = 0.04
+SERVING_SERIES = ("serving_powerlaw", "serving_hotkey", "serving_diurnal",
+                  "serving_worker_kill")
 
 
 MISSING = object()
@@ -81,6 +93,11 @@ def main():
                         help="committed BENCH_refine.json to diff against")
     parser.add_argument("--max-regression", type=float, default=0.20,
                         help="allowed fractional median-ms regression")
+    parser.add_argument("--serving-fresh", default=None,
+                        help="BENCH_serving.json produced by this run "
+                        "(enables the serving p99 gate)")
+    parser.add_argument("--serving-baseline", default=None,
+                        help="committed BENCH_serving.json to diff against")
     args = parser.parse_args()
 
     baseline = load(args.baseline)
@@ -187,6 +204,59 @@ def main():
                 f"(budget {ENVELOPE_BUDGET:.0%})")
         print(f"  {name:<18} envelope {envelope:>10}  payload "
               f"{payload:>12}  {fraction:6.2%}  {verdict}")
+
+    # --- serving gate: during-migration p99 inflation per scenario ---
+    if args.serving_fresh is not None:
+        serving_fresh = load(args.serving_fresh)
+        serving_base = load(args.serving_baseline) \
+            if args.serving_baseline is not None else MISSING
+        if not isinstance(serving_fresh, dict):
+            failures.append(
+                f"serving: fresh results {args.serving_fresh} missing or "
+                "unreadable")
+        elif serving_base is MISSING:
+            print(f"serving gate: SKIP — baseline "
+                  f"{args.serving_baseline} does not exist")
+        elif not isinstance(serving_base, dict):
+            failures.append(
+                f"serving: baseline {args.serving_baseline} exists but is "
+                "unreadable — a corrupt baseline must not silently disable "
+                "the gate")
+        else:
+            print(f"serving gate (during-migration p99 inflation, threshold "
+                  f"{args.max_regression:.0%}):")
+            for name in SERVING_SERIES:
+                fresh_series = serving_fresh.get(name)
+                base_series = serving_base.get(name)
+                if not isinstance(fresh_series, dict) or \
+                        not isinstance(base_series, dict):
+                    print(f"  {name:<20} not in both files — skipped")
+                    continue
+
+                def inflation(series):
+                    worst = series.get("p99_during_worst")
+                    start = series.get("p99_start")
+                    if not isinstance(worst, (int, float)) or \
+                            not isinstance(start, (int, float)) or start <= 0:
+                        return None
+                    return worst / start
+
+                fresh_ratio = inflation(fresh_series)
+                base_ratio = inflation(base_series)
+                if fresh_ratio is None or base_ratio is None or \
+                        base_ratio <= 0:
+                    print(f"  {name:<20} p99 fields missing — skipped")
+                    continue
+                ratio = fresh_ratio / base_ratio
+                verdict = "ok"
+                if ratio > 1.0 + args.max_regression:
+                    verdict = "REGRESSION"
+                    failures.append(
+                        f"{name}: during-migration p99 inflation regressed "
+                        f"{ratio - 1.0:+.1%} (fresh {fresh_ratio:.4f}x vs "
+                        f"baseline {base_ratio:.4f}x of the starting p99)")
+                print(f"  {name:<20} fresh {fresh_ratio:7.4f}x  baseline "
+                      f"{base_ratio:7.4f}x  ratio {ratio:6.3f}  {verdict}")
 
     if failures:
         print("\nFAIL:")
