@@ -1,0 +1,285 @@
+// Bounded-memory streaming ingest series: ingest throughput (MB/s over the
+// on-disk input), spill volume, and the refinement slowdown of running the
+// same SHP sweep over a partially spilled graph versus the fully resident
+// one (docs/ingest.md).
+//
+// Protocol: generate a power-law workload, snapshot it as both a text edge
+// list and an SHPG binary, then stream each snapshot back in under a budget
+// that forces the high-degree split to spill (factor 0.5 spills
+// above-half-mean-degree lists regardless of the budget, so the spill path
+// is always exercised at the default configuration). Refinement timing runs
+// the incremental pull engine from an identical warm start on the in-memory
+// graph and on the streamed (spilled) graph; the determinism contract says
+// those trajectories are bit-identical, so the run exits 2 if the final
+// assignments differ — the slowdown series is only meaningful if both legs
+// did exactly the same work. Timing gates default to 0 (disabled) so ad-hoc
+// runs never fail; the deterministic gates (spill exercised, identical
+// trajectory, identical edge counts) always apply. Results go to stdout and
+// BENCH_ingest_fresh.json for the CI regression gate
+// (tools/check_bench_regression.py --ingest-fresh/--ingest-baseline).
+//
+// Peak-RSS ceilings are deliberately NOT asserted here: this process holds
+// the reference graph and both streamed graphs at once. The budget
+// assertion lives in tools/streaming_partition.cc, which isolates
+// generation from the run under test in separate processes.
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/timer.h"
+#include "core/move_topology.h"
+#include "core/partition.h"
+#include "core/refiner.h"
+#include "graph/bipartite_graph.h"
+#include "graph/gen_powerlaw.h"
+#include "graph/io_binary.h"
+#include "graph/io_edgelist.h"
+#include "graph/streaming_ingest.h"
+#include "harness.h"
+
+namespace {
+
+using namespace shp;  // NOLINT
+
+uint64_t FileBytes(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 ? static_cast<uint64_t>(st.st_size)
+                                        : 0;
+}
+
+struct IngestRun {
+  double seconds = 0.0;
+  double mb_per_s = 0.0;
+  uint64_t file_bytes = 0;
+  StreamingIngestStats stats;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags = Flags::Parse(argc, argv).value();
+  bench::PrintBanner(
+      "Streaming ingest: throughput, spill volume, refinement slowdown",
+      flags);
+
+  const double scale = flags.GetDouble("scale", 1.0);
+  PowerLawConfig config;
+  config.num_queries =
+      static_cast<VertexId>(flags.GetInt("queries", 20000) * scale);
+  config.num_data = static_cast<VertexId>(flags.GetInt("data", 40000) * scale);
+  config.target_edges =
+      static_cast<EdgeIndex>(flags.GetInt("edges", 500000) * scale);
+  config.seed = 9;
+  const BipartiteGraph reference = GeneratePowerLaw(config);
+  const BucketId k = static_cast<BucketId>(flags.GetInt("k", 16));
+  const uint32_t timed_iterations = static_cast<uint32_t>(
+      std::max<int64_t>(1, flags.GetInt("iterations", 12)));
+  const uint64_t seed = 11;
+
+  const std::string work_dir = flags.GetString("work_dir", "/tmp");
+  const std::string text_path = work_dir + "/shp_ingest_bench.txt";
+  const std::string binary_path = work_dir + "/shp_ingest_bench.shpg";
+  const std::string spill_dir = work_dir + "/shp_ingest_bench_spill";
+  if (!WriteBipartiteEdgeList(reference, text_path).ok() ||
+      !WriteBinaryGraph(reference, binary_path).ok()) {
+    std::fprintf(stderr, "cannot write snapshots under %s\n",
+                 work_dir.c_str());
+    return 1;
+  }
+
+  StreamingIngestOptions options;
+  options.memory_budget_mb =
+      static_cast<uint64_t>(flags.GetInt("memory_budget_mb", 12));
+  options.high_degree_factor = flags.GetDouble("high_degree_factor", 0.5);
+  options.spill_dir = spill_dir;
+
+  std::printf("graph: %u queries, %u data, %llu pins, k=%d, budget %llu MB, "
+              "factor %.2f\n",
+              reference.num_queries(), reference.num_data(),
+              static_cast<unsigned long long>(reference.num_edges()), k,
+              static_cast<unsigned long long>(options.memory_budget_mb),
+              options.high_degree_factor);
+
+  auto ingest = [&](const char* what, bool binary)
+      -> std::pair<IngestRun, Result<BipartiteGraph>> {
+    IngestRun run;
+    const std::string& path = binary ? binary_path : text_path;
+    run.file_bytes = FileBytes(path);
+    Timer timer;
+    auto graph = binary ? StreamingIngestBinary(path, options, &run.stats)
+                        : StreamingIngestEdgeList(path, options, &run.stats);
+    run.seconds = timer.ElapsedMillis() / 1000.0;
+    run.mb_per_s = run.seconds > 0.0
+                       ? static_cast<double>(run.file_bytes) / (1 << 20) /
+                             run.seconds
+                       : 0.0;
+    if (graph.ok()) {
+      std::printf("%s: %.3f s, %.1f MB/s over %llu file bytes — spilled "
+                  "%llu bytes (%u+%u lists), resident %llu bytes\n",
+                  what, run.seconds, run.mb_per_s,
+                  static_cast<unsigned long long>(run.file_bytes),
+                  static_cast<unsigned long long>(run.stats.spilled_bytes),
+                  run.stats.spilled_queries, run.stats.spilled_data,
+                  static_cast<unsigned long long>(run.stats.resident_bytes));
+    }
+    return {run, std::move(graph)};
+  };
+
+  auto [edgelist_run, edgelist_graph] = ingest("ingest edgelist", false);
+  auto [binary_run, binary_graph] = ingest("ingest binary  ", true);
+  std::remove(text_path.c_str());
+  std::remove(binary_path.c_str());
+  if (!edgelist_graph.ok() || !binary_graph.ok()) {
+    std::fprintf(stderr, "FAIL: ingest error: %s\n",
+                 (!edgelist_graph.ok() ? edgelist_graph.status()
+                                       : binary_graph.status())
+                     .ToString()
+                     .c_str());
+    return 2;
+  }
+  // Deterministic gates: both paths must reconstruct the exact edge set and
+  // must actually exercise the spill machinery this bench exists to time.
+  for (const auto* run : {&edgelist_run, &binary_run}) {
+    if (run->stats.spilled_bytes == 0) {
+      std::fprintf(stderr,
+                   "FAIL: nothing spilled — the series would time the "
+                   "in-memory path twice (raise --edges or lower "
+                   "--high_degree_factor)\n");
+      return 2;
+    }
+  }
+  if (edgelist_graph.value().num_edges() != reference.num_edges() ||
+      binary_graph.value().num_edges() != reference.num_edges()) {
+    std::fprintf(stderr, "FAIL: streamed edge count diverged from source\n");
+    return 2;
+  }
+
+  // Refinement slowdown: the identical incremental-pull sweep from the same
+  // warm start, on the fully resident graph vs the spilled one. The spilled
+  // leg reads its high-degree adjacency through the mmap'd arena under the
+  // residency cap; the ratio of mean iteration times is the price of that.
+  const MoveTopology topo = MoveTopology::FullK(k, reference.num_data(), 0.05);
+  const std::vector<BucketId> start =
+      Partition::BalancedRandom(reference.num_data(), k, seed).assignment();
+  auto run_refine = [&](const BipartiteGraph& graph) {
+    RefinerOptions refiner_options;
+    refiner_options.sweep_mode = RefinerOptions::SweepMode::kPull;
+    Refiner refiner(graph, refiner_options);
+    Partition partition = Partition::FromAssignment(start, k);
+    std::vector<double> iteration_ms;
+    for (uint32_t i = 0; i < timed_iterations; ++i) {
+      Timer timer;
+      refiner.RunIteration(topo, &partition, seed, i);
+      iteration_ms.push_back(timer.ElapsedMillis());
+    }
+    return std::make_pair(iteration_ms, partition.assignment());
+  };
+  const auto [memory_ms, memory_assignment] = run_refine(reference);
+  const auto [streaming_ms, streaming_assignment] =
+      run_refine(binary_graph.value());
+  if (streaming_assignment != memory_assignment) {
+    std::fprintf(stderr,
+                 "FAIL: refinement over the spilled graph diverged from the "
+                 "in-memory run (the determinism contract in "
+                 "graph/streaming_ingest.h)\n");
+    return 2;
+  }
+  auto mean_of = [](const std::vector<double>& v) {
+    return std::accumulate(v.begin(), v.end(), 0.0) /
+           static_cast<double>(v.size());
+  };
+  const double memory_mean = mean_of(memory_ms);
+  const double streaming_mean = mean_of(streaming_ms);
+  const double slowdown =
+      memory_mean > 0.0 ? streaming_mean / memory_mean : 0.0;
+  std::printf("refine in-memory : %.3f ms/iteration\n", memory_mean);
+  std::printf("refine streaming : %.3f ms/iteration (%.2fx slowdown, "
+              "bit-identical trajectory)\n",
+              streaming_mean, slowdown);
+
+  // Default output deliberately differs from the committed baseline
+  // (BENCH_ingest.json): an ad-hoc run must not clobber the file the CI
+  // regression gate diffs against.
+  const std::string out_path =
+      flags.GetString("out", "BENCH_ingest_fresh.json");
+  std::FILE* out = std::fopen(out_path.c_str(), "wb");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  auto write_ingest_series = [&](const char* name, const IngestRun& run) {
+    std::fprintf(out,
+                 "  \"%s\": {\n"
+                 "    \"seconds\": %.6f,\n"
+                 "    \"mb_per_s\": %.3f,\n"
+                 "    \"file_bytes\": %llu,\n"
+                 "    \"spilled_bytes\": %llu,\n"
+                 "    \"resident_bytes\": %llu,\n"
+                 "    \"spilled_vertices\": %llu,\n"
+                 "    \"spill_cache_bytes\": %llu\n"
+                 "  }",
+                 name, run.seconds, run.mb_per_s,
+                 static_cast<unsigned long long>(run.file_bytes),
+                 static_cast<unsigned long long>(run.stats.spilled_bytes),
+                 static_cast<unsigned long long>(run.stats.resident_bytes),
+                 static_cast<unsigned long long>(run.stats.spilled_queries +
+                                                 run.stats.spilled_data),
+                 static_cast<unsigned long long>(
+                     run.stats.spill_cache_bytes));
+  };
+  auto write_refine_series = [&](const char* name,
+                                 const std::vector<double>& ms, double mean) {
+    std::fprintf(out,
+                 "  \"%s\": {\n"
+                 "    \"mean_iteration_ms\": %.6f,\n"
+                 "    \"iteration_ms\": [",
+                 name, mean);
+    for (size_t i = 0; i < ms.size(); ++i) {
+      std::fprintf(out, "%s%.6f", i == 0 ? "" : ", ", ms[i]);
+    }
+    std::fprintf(out, "]\n  }");
+  };
+  std::fprintf(out,
+               "{\n  \"benchmark\": \"streaming_ingest\",\n"
+               "  \"num_queries\": %u,\n  \"num_data\": %u,\n"
+               "  \"num_pins\": %llu,\n  \"k\": %d,\n"
+               "  \"memory_budget_mb\": %llu,\n"
+               "  \"high_degree_factor\": %.4f,\n"
+               "  \"timed_iterations\": %u,\n",
+               reference.num_queries(), reference.num_data(),
+               static_cast<unsigned long long>(reference.num_edges()), k,
+               static_cast<unsigned long long>(options.memory_budget_mb),
+               options.high_degree_factor, timed_iterations);
+  write_ingest_series("ingest_edgelist", edgelist_run);
+  std::fprintf(out, ",\n");
+  write_ingest_series("ingest_binary", binary_run);
+  std::fprintf(out, ",\n");
+  write_refine_series("refine_in_memory", memory_ms, memory_mean);
+  std::fprintf(out, ",\n");
+  write_refine_series("refine_streaming", streaming_ms, streaming_mean);
+  std::fprintf(out,
+               ",\n  \"refine_slowdown\": %.4f,\n"
+               "  \"identical_assignment\": true\n}\n",
+               slowdown);
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  // Optional timing gate (host-dependent, so default 0 = disabled; CI sets
+  // a generous ceiling — the trend lives in the regression script, which
+  // compares the within-run slowdown ratio, not absolute ms).
+  const double max_slowdown = flags.GetDouble("max_slowdown", 0.0);
+  if (max_slowdown > 0.0 && slowdown > max_slowdown) {
+    std::fprintf(stderr,
+                 "FAIL: streaming refinement slowdown %.2fx above allowed "
+                 "%.2fx\n",
+                 slowdown, max_slowdown);
+    return 3;
+  }
+  return 0;
+}

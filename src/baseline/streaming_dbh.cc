@@ -1,0 +1,72 @@
+#include "baseline/streaming_dbh.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace shp {
+
+namespace {
+
+class StreamingDbh : public Partitioner {
+ public:
+  explicit StreamingDbh(const StreamingDbhOptions& options)
+      : options_(options) {}
+
+  std::string name() const override { return "DBH-stream"; }
+
+  Result<std::vector<BucketId>> Partition(const BipartiteGraph& graph,
+                                          BucketId k, ThreadPool*) override {
+    if (k < 1) return Status::InvalidArgument("k must be ≥ 1");
+    const VertexId n = graph.num_data();
+    std::vector<uint64_t> loads(k, 0);
+    const uint64_t cap = std::max<uint64_t>(
+        1, static_cast<uint64_t>(
+               std::ceil((1.0 + options_.epsilon) * n / k)));
+    std::vector<BucketId> assignment(n);
+    for (VertexId v = 0; v < n; ++v) {
+      auto queries = graph.DataNeighbors(v);
+      // Hash through the minimum-degree incident query (lowest id on ties):
+      // small hyperedges stay whole, hubs spread.
+      VertexId anchor = kInvalidVertex;
+      EdgeIndex anchor_degree = 0;
+      for (VertexId q : queries) {
+        const EdgeIndex deg = graph.QueryDegree(q);
+        if (anchor == kInvalidVertex || deg < anchor_degree) {
+          anchor = q;
+          anchor_degree = deg;
+        }
+      }
+      BucketId target;
+      if (anchor == kInvalidVertex) {
+        target = static_cast<BucketId>(HashToBounded(
+            options_.salt, v, 0xdb11, static_cast<uint64_t>(k)));
+      } else {
+        target = static_cast<BucketId>(HashToBounded(
+            options_.salt, anchor, 0xdb00, static_cast<uint64_t>(k)));
+      }
+      if (loads[target] >= cap) {  // capacity overflow → least loaded
+        target = 0;
+        for (BucketId b = 1; b < k; ++b) {
+          if (loads[b] < loads[target]) target = b;
+        }
+      }
+      assignment[v] = target;
+      ++loads[target];
+    }
+    return assignment;
+  }
+
+ private:
+  StreamingDbhOptions options_;
+};
+
+}  // namespace
+
+std::unique_ptr<Partitioner> MakeStreamingDbh(
+    const StreamingDbhOptions& options) {
+  return std::make_unique<StreamingDbh>(options);
+}
+
+}  // namespace shp

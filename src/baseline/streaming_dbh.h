@@ -1,0 +1,31 @@
+// DBH (Degree-Based Hashing, Xie et al., NIPS'14) adapted to vertex
+// placement, as the cheapest one-pass streaming baseline.
+//
+// The original DBH assigns each edge by hashing its lower-degree endpoint,
+// so low-degree vertices keep their edges together while high-degree hubs
+// get cut. The vertex-placement mirror: data vertex v is hashed through its
+// minimum-degree incident query (lowest query id on ties) — queries with
+// few pins thus pull their whole hyperedge into one bucket, while hub
+// queries spread. Vertices whose target bucket is at the (1+ε)·n/k
+// capacity cap fall back to the least-loaded bucket (lowest id on ties),
+// keeping the pass deterministic.
+//
+// State is just the bucket loads; adjacency is consumed through the
+// accessors, so it runs unchanged over hybrid (spilled) graphs.
+#pragma once
+
+#include <memory>
+
+#include "core/shp.h"
+
+namespace shp {
+
+struct StreamingDbhOptions {
+  uint64_t salt = 0;      ///< hash salt (varies the placement)
+  double epsilon = 0.05;  ///< capacity slack: cap = ceil((1+ε)·n/k)
+};
+
+std::unique_ptr<Partitioner> MakeStreamingDbh(
+    const StreamingDbhOptions& options = {});
+
+}  // namespace shp

@@ -1,0 +1,96 @@
+#include "baseline/streaming_hdrf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace shp {
+
+namespace {
+
+class StreamingHdrf : public Partitioner {
+ public:
+  explicit StreamingHdrf(const StreamingHdrfOptions& options)
+      : options_(options) {}
+
+  std::string name() const override { return "HDRF-stream"; }
+
+  Result<std::vector<BucketId>> Partition(const BipartiteGraph& graph,
+                                          BucketId k, ThreadPool*) override {
+    if (k < 1) return Status::InvalidArgument("k must be ≥ 1");
+    const VertexId n = graph.num_data();
+    const VertexId nq = graph.num_queries();
+    const size_t words = (static_cast<size_t>(k) + 63) / 64;
+    std::vector<uint64_t> touched(static_cast<size_t>(nq) * words, 0);
+    std::vector<uint32_t> placed(nq, 0);
+    std::vector<uint64_t> loads(k, 0);
+    const uint64_t cap = std::max<uint64_t>(
+        1, static_cast<uint64_t>(
+               std::ceil((1.0 + options_.epsilon) * n / k)));
+    std::vector<BucketId> assignment(n);
+    std::vector<double> score(k);
+
+    for (VertexId v = 0; v < n; ++v) {
+      auto queries = graph.DataNeighbors(v);
+      // Balance term first, then co-location affinity on top.
+      const uint64_t max_load = *std::max_element(loads.begin(), loads.end());
+      const uint64_t min_load = *std::min_element(loads.begin(), loads.end());
+      const double denom = 1.0 + static_cast<double>(max_load - min_load);
+      for (BucketId b = 0; b < k; ++b) {
+        score[b] =
+            options_.lambda * static_cast<double>(max_load - loads[b]) / denom;
+      }
+      for (VertexId q : queries) {
+        const double deg = static_cast<double>(graph.QueryDegree(q));
+        const double remaining = deg - static_cast<double>(placed[q]);
+        const double theta = 1.0 + remaining / deg;
+        const uint64_t* mask = touched.data() + static_cast<size_t>(q) * words;
+        for (size_t w = 0; w < words; ++w) {
+          uint64_t bits = mask[w];
+          while (bits != 0) {
+            const int bit = __builtin_ctzll(bits);
+            bits &= bits - 1;
+            score[w * 64 + static_cast<size_t>(bit)] += theta;
+          }
+        }
+      }
+      // Strict > keeps the lowest bucket id on ties → deterministic pass.
+      BucketId best = -1;
+      double best_score = 0.0;
+      for (BucketId b = 0; b < k; ++b) {
+        if (loads[b] >= cap) continue;
+        if (best < 0 || score[b] > best_score) {
+          best = b;
+          best_score = score[b];
+        }
+      }
+      if (best < 0) {  // every bucket at cap: overflow to the least loaded
+        best = 0;
+        for (BucketId b = 1; b < k; ++b) {
+          if (loads[b] < loads[best]) best = b;
+        }
+      }
+      assignment[v] = best;
+      ++loads[best];
+      for (VertexId q : queries) {
+        ++placed[q];
+        touched[static_cast<size_t>(q) * words +
+                static_cast<size_t>(best) / 64] |=
+            uint64_t{1} << (static_cast<size_t>(best) % 64);
+      }
+    }
+    return assignment;
+  }
+
+ private:
+  StreamingHdrfOptions options_;
+};
+
+}  // namespace
+
+std::unique_ptr<Partitioner> MakeStreamingHdrf(
+    const StreamingHdrfOptions& options) {
+  return std::make_unique<StreamingHdrf>(options);
+}
+
+}  // namespace shp

@@ -1,0 +1,41 @@
+// HDRF (High-Degree Replicated First, Petroni et al., CIKM'15) adapted to
+// the paper's vertex-placement objective, as a one-pass streaming baseline
+// for the quality-comparison tables.
+//
+// The original HDRF is an *edge* partitioner: each arriving edge is placed
+// on the machine where the endpoint replicas already are, weighting
+// endpoints by partial degree so that high-degree vertices get replicated
+// and low-degree vertices stay whole. Here the stream is the data-vertex
+// sequence of the bipartite hypergraph and the replicas are hyperedge
+// (query) bucket sets: data vertex v goes to the bucket b maximizing
+//
+//   score(b) = Σ_{q ∈ N(v), b ∈ touched(q)} θ(q)
+//              + λ · (maxload − load(b)) / (1 + maxload − minload)
+//
+// with θ(q) = 1 + remaining(q)/deg(q) — hyperedges with many still-unplaced
+// pins carry more weight, since co-locating with them anchors future
+// placements (the vertex-placement mirror of HDRF's partial-degree rule).
+// Buckets at the (1+ε)·n/k capacity cap are skipped; ties break to the
+// lowest bucket id, so the result is deterministic.
+//
+// One pass, O(|N(v)|·k) per vertex, and the only state is the per-query
+// touched-bucket bitmask (⌈k/64⌉ words per query) plus bucket loads — no
+// adjacency is materialized, so it runs unchanged over hybrid (spilled)
+// graphs from the streaming ingest.
+#pragma once
+
+#include <memory>
+
+#include "core/shp.h"
+
+namespace shp {
+
+struct StreamingHdrfOptions {
+  double lambda = 1.1;    ///< balance-term weight (paper's λ)
+  double epsilon = 0.05;  ///< capacity slack: cap = ceil((1+ε)·n/k)
+};
+
+std::unique_ptr<Partitioner> MakeStreamingHdrf(
+    const StreamingHdrfOptions& options = {});
+
+}  // namespace shp

@@ -1,8 +1,31 @@
 #include "common/env.h"
 
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace shp {
+
+namespace {
+
+// Reads a "VmXXX:  <kB> kB" line from /proc/self/status.
+uint64_t ProcStatusBytes(const char* key) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  uint64_t bytes = 0;
+  const size_t key_len = std::strlen(key);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, key, key_len) != 0) continue;
+    unsigned long long kb = 0;
+    if (std::sscanf(line + key_len, ": %llu", &kb) == 1) bytes = kb * 1024;
+    break;
+  }
+  std::fclose(f);
+  return bytes;
+}
+
+}  // namespace
 
 int64_t GetEnvInt(const std::string& name, int64_t def) {
   const char* value = std::getenv(name.c_str());
@@ -29,5 +52,9 @@ std::string GetEnvString(const std::string& name, const std::string& def) {
 }
 
 double BenchScale() { return GetEnvDouble("SHP_BENCH_SCALE", 1.0); }
+
+uint64_t CurrentRssBytes() { return ProcStatusBytes("VmRSS"); }
+
+uint64_t PeakRssBytes() { return ProcStatusBytes("VmHWM"); }
 
 }  // namespace shp

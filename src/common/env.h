@@ -21,4 +21,14 @@ std::string GetEnvString(const std::string& name, const std::string& def);
 /// paper-size runs on bigger machines.
 double BenchScale();
 
+/// Current resident set size of this process in bytes (VmRSS from
+/// /proc/self/status), or 0 if unavailable. Used by the streaming-ingest
+/// memory-ceiling assertions.
+uint64_t CurrentRssBytes();
+
+/// Lifetime peak resident set size in bytes (VmHWM from /proc/self/status),
+/// or 0 if unavailable. Monotone over the process lifetime — measure a
+/// baseline before the phase under test and compare deltas.
+uint64_t PeakRssBytes();
+
 }  // namespace shp

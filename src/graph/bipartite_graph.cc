@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "graph/disk_arena.h"
 
 namespace shp {
 
@@ -19,6 +20,28 @@ BipartiteGraph::BipartiteGraph(std::vector<EdgeIndex> query_offsets,
   SHP_CHECK_EQ(query_offsets_.back(), query_adj_.size());
   SHP_CHECK_EQ(data_offsets_.back(), data_adj_.size());
   SHP_CHECK_EQ(query_adj_.size(), data_adj_.size());
+}
+
+BipartiteGraph::BipartiteGraph(HybridAdjacency hybrid)
+    : hybrid_(std::make_shared<const HybridAdjacency>(std::move(hybrid))) {
+  SHP_CHECK_EQ(hybrid_->query.degree.size(), hybrid_->query.loc.size());
+  SHP_CHECK_EQ(hybrid_->data.degree.size(), hybrid_->data.loc.size());
+}
+
+std::span<const VertexId> BipartiteGraph::HybridNeighbors(
+    const HybridAdjacency::Side& side, VertexId v) {
+  const uint32_t deg = side.degree[v];
+  if (deg == 0) return {};
+  const uint64_t loc = side.loc[v];
+  if ((loc & HybridAdjacency::kSpilledBit) == 0) {
+    return {side.resident.data() + loc, deg};
+  }
+  const uint64_t offset = loc & ~HybridAdjacency::kSpilledBit;
+  const uint64_t bytes = static_cast<uint64_t>(deg) * sizeof(VertexId);
+  side.spill->TouchPayload(offset, bytes);
+  return {
+      reinterpret_cast<const VertexId*>(side.spill->payload_base() + offset),
+      deg};
 }
 
 EdgeIndex BipartiteGraph::MaxQueryDegree() const {
@@ -42,15 +65,25 @@ bool BipartiteGraph::Validate(std::string* error) const {
     if (error != nullptr) *error = msg;
     return false;
   };
-  // Offsets monotone.
-  for (size_t i = 0; i + 1 < query_offsets_.size(); ++i) {
-    if (query_offsets_[i] > query_offsets_[i + 1]) {
-      return fail("query offsets not monotone at " + std::to_string(i));
+  if (hybrid_ == nullptr) {
+    // Offsets monotone (hybrid storage has no offsets arrays; its per-vertex
+    // location words are range-checked through the accessors below).
+    for (size_t i = 0; i + 1 < query_offsets_.size(); ++i) {
+      if (query_offsets_[i] > query_offsets_[i + 1]) {
+        return fail("query offsets not monotone at " + std::to_string(i));
+      }
     }
-  }
-  for (size_t i = 0; i + 1 < data_offsets_.size(); ++i) {
-    if (data_offsets_[i] > data_offsets_[i + 1]) {
-      return fail("data offsets not monotone at " + std::to_string(i));
+    for (size_t i = 0; i + 1 < data_offsets_.size(); ++i) {
+      if (data_offsets_[i] > data_offsets_[i + 1]) {
+        return fail("data offsets not monotone at " + std::to_string(i));
+      }
+    }
+  } else {
+    EdgeIndex query_sum = 0, data_sum = 0;
+    for (uint32_t d : hybrid_->query.degree) query_sum += d;
+    for (uint32_t d : hybrid_->data.degree) data_sum += d;
+    if (query_sum != hybrid_->num_edges || data_sum != hybrid_->num_edges) {
+      return fail("hybrid degree sums disagree with num_edges");
     }
   }
   // Adjacency sorted, deduplicated, in range.
@@ -83,7 +116,7 @@ bool BipartiteGraph::Validate(std::string* error) const {
   // The two directions describe the same edge set: rebuild (q, v) pairs from
   // the data side and compare against the query side.
   std::vector<std::pair<VertexId, VertexId>> from_data;
-  from_data.reserve(data_adj_.size());
+  from_data.reserve(num_edges());
   for (VertexId v = 0; v < num_data(); ++v) {
     for (VertexId q : DataNeighbors(v)) from_data.emplace_back(q, v);
   }
@@ -103,10 +136,23 @@ bool BipartiteGraph::Validate(std::string* error) const {
 }
 
 size_t BipartiteGraph::MemoryBytes() const {
-  return query_offsets_.size() * sizeof(EdgeIndex) +
-         data_offsets_.size() * sizeof(EdgeIndex) +
-         query_adj_.size() * sizeof(VertexId) +
-         data_adj_.size() * sizeof(VertexId);
+  if (hybrid_ == nullptr) {
+    return query_offsets_.size() * sizeof(EdgeIndex) +
+           data_offsets_.size() * sizeof(EdgeIndex) +
+           query_adj_.size() * sizeof(VertexId) +
+           data_adj_.size() * sizeof(VertexId);
+  }
+  auto side_bytes = [](const HybridAdjacency::Side& side) {
+    size_t bytes = side.degree.size() * sizeof(uint32_t) +
+                   side.loc.size() * sizeof(uint64_t) +
+                   side.resident.size() * sizeof(VertexId);
+    if (side.spill != nullptr) {
+      bytes += side.spill->resident_cap_bytes() +
+               side.spill->index().size() * sizeof(DiskArenaEntry);
+    }
+    return bytes;
+  };
+  return side_bytes(hybrid_->query) + side_bytes(hybrid_->data);
 }
 
 }  // namespace shp

@@ -7,14 +7,31 @@
 // query (superstep 1: collect neighbor data) and neighbors of a data vertex
 // (superstep 2: compute move gains) in O(degree).
 //
+// Two storage modes share the same accessor API:
+//
+//  * fully resident — the original CSR arrays in RAM (default; every
+//    in-memory loader builds this).
+//  * hybrid — built by the bounded-memory streaming ingest
+//    (graph/streaming_ingest.h): low-degree neighbor lists live in a packed
+//    in-RAM arena, high-degree lists live in an mmap'd on-disk arena
+//    (graph/disk_arena.h) and are served as zero-copy spans out of the
+//    mapping. Callers cannot tell the difference — QueryNeighbors /
+//    DataNeighbors / degrees behave identically — which is what lets the
+//    whole refinement stack (QueryNeighborData, AffinitySweep, the BSP
+//    engine) run over spilled data unchanged. Only the raw CSR accessors
+//    used for serialization require a fully resident graph.
+//
 // The structure is immutable after construction; all partitioner state lives
 // outside the graph, which lets multiple partitioners share one instance.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
+
+#include "common/logging.h"
 
 namespace shp {
 
@@ -24,6 +41,28 @@ using VertexId = uint32_t;
 using EdgeIndex = uint64_t;
 
 constexpr VertexId kInvalidVertex = static_cast<VertexId>(-1);
+
+class DiskArena;
+
+/// Storage of a hybrid (partially spilled) graph. Produced by the streaming
+/// ingest; consumed by the BipartiteGraph hybrid constructor.
+struct HybridAdjacency {
+  /// Set in a `loc` word when the list lives in the disk arena; the low bits
+  /// are then a byte offset into the arena payload. Cleared when the list is
+  /// resident; the low bits are then an element index into `resident`.
+  static constexpr uint64_t kSpilledBit = 1ull << 63;
+
+  struct Side {
+    std::vector<uint32_t> degree;    ///< final (deduplicated) degree
+    std::vector<uint64_t> loc;       ///< per-vertex location word (see above)
+    std::vector<VertexId> resident;  ///< packed low-degree neighbor lists
+    std::shared_ptr<DiskArena> spill;  ///< nullptr when nothing spilled
+  };
+
+  Side query;
+  Side data;
+  EdgeIndex num_edges = 0;
+};
 
 class BipartiteGraph {
  public:
@@ -38,58 +77,107 @@ class BipartiteGraph {
                  std::vector<EdgeIndex> data_offsets,
                  std::vector<VertexId> data_adj);
 
+  /// Constructs a hybrid graph whose high-degree lists live in a disk arena.
+  /// Use graph/streaming_ingest.h rather than building one by hand.
+  explicit BipartiteGraph(HybridAdjacency hybrid);
+
   VertexId num_queries() const {
+    if (hybrid_ != nullptr) {
+      return static_cast<VertexId>(hybrid_->query.degree.size());
+    }
     return query_offsets_.empty()
                ? 0
                : static_cast<VertexId>(query_offsets_.size() - 1);
   }
   VertexId num_data() const {
+    if (hybrid_ != nullptr) {
+      return static_cast<VertexId>(hybrid_->data.degree.size());
+    }
     return data_offsets_.empty()
                ? 0
                : static_cast<VertexId>(data_offsets_.size() - 1);
   }
-  EdgeIndex num_edges() const { return query_adj_.size(); }
+  EdgeIndex num_edges() const {
+    return hybrid_ != nullptr ? hybrid_->num_edges : query_adj_.size();
+  }
 
   /// Data vertices of hyperedge q (sorted ascending).
   std::span<const VertexId> QueryNeighbors(VertexId q) const {
-    return {query_adj_.data() + query_offsets_[q],
-            query_adj_.data() + query_offsets_[q + 1]};
+    if (hybrid_ == nullptr) {
+      return {query_adj_.data() + query_offsets_[q],
+              query_adj_.data() + query_offsets_[q + 1]};
+    }
+    return HybridNeighbors(hybrid_->query, q);
   }
 
   /// Hyperedges incident to data vertex v (sorted ascending).
   std::span<const VertexId> DataNeighbors(VertexId v) const {
-    return {data_adj_.data() + data_offsets_[v],
-            data_adj_.data() + data_offsets_[v + 1]};
+    if (hybrid_ == nullptr) {
+      return {data_adj_.data() + data_offsets_[v],
+              data_adj_.data() + data_offsets_[v + 1]};
+    }
+    return HybridNeighbors(hybrid_->data, v);
   }
 
   EdgeIndex QueryDegree(VertexId q) const {
-    return query_offsets_[q + 1] - query_offsets_[q];
+    if (hybrid_ == nullptr) return query_offsets_[q + 1] - query_offsets_[q];
+    return hybrid_->query.degree[q];
   }
   EdgeIndex DataDegree(VertexId v) const {
-    return data_offsets_[v + 1] - data_offsets_[v];
+    if (hybrid_ == nullptr) return data_offsets_[v + 1] - data_offsets_[v];
+    return hybrid_->data.degree[v];
   }
 
   EdgeIndex MaxQueryDegree() const;
   EdgeIndex MaxDataDegree() const;
 
+  /// True when all adjacency is in RAM (no disk arena behind the accessors).
+  /// Serialization and the raw CSR accessors require this.
+  bool fully_resident() const { return hybrid_ == nullptr; }
+
+  /// Hybrid storage diagnostics (spill arenas, resident arena sizes);
+  /// nullptr for fully resident graphs.
+  const HybridAdjacency* hybrid() const { return hybrid_.get(); }
+
   /// Full consistency check (symmetric edge sets, sortedness, no duplicate
   /// edges, ids in range). O(|E| log |E|); used by tests and after I/O.
   bool Validate(std::string* error = nullptr) const;
 
-  /// Estimated resident memory of the CSR arrays in bytes.
+  /// Estimated resident memory in bytes: the CSR arrays, or for hybrid
+  /// graphs the metadata + packed resident arena + the spill arenas'
+  /// residency caps (their steady-state page footprint).
   size_t MemoryBytes() const;
 
-  // Raw access for serialization.
-  const std::vector<EdgeIndex>& query_offsets() const { return query_offsets_; }
-  const std::vector<VertexId>& query_adj() const { return query_adj_; }
-  const std::vector<EdgeIndex>& data_offsets() const { return data_offsets_; }
-  const std::vector<VertexId>& data_adj() const { return data_adj_; }
+  // Raw access for serialization. Fully resident graphs only.
+  const std::vector<EdgeIndex>& query_offsets() const {
+    SHP_CHECK(hybrid_ == nullptr) << "raw CSR access on a hybrid graph";
+    return query_offsets_;
+  }
+  const std::vector<VertexId>& query_adj() const {
+    SHP_CHECK(hybrid_ == nullptr) << "raw CSR access on a hybrid graph";
+    return query_adj_;
+  }
+  const std::vector<EdgeIndex>& data_offsets() const {
+    SHP_CHECK(hybrid_ == nullptr) << "raw CSR access on a hybrid graph";
+    return data_offsets_;
+  }
+  const std::vector<VertexId>& data_adj() const {
+    SHP_CHECK(hybrid_ == nullptr) << "raw CSR access on a hybrid graph";
+    return data_adj_;
+  }
 
  private:
+  static std::span<const VertexId> HybridNeighbors(
+      const HybridAdjacency::Side& side, VertexId v);
+
   std::vector<EdgeIndex> query_offsets_;
   std::vector<VertexId> query_adj_;
   std::vector<EdgeIndex> data_offsets_;
   std::vector<VertexId> data_adj_;
+
+  // shared_ptr keeps the graph cheaply copyable (partitioners copy graphs by
+  // value in a few places); the adjacency is immutable either way.
+  std::shared_ptr<const HybridAdjacency> hybrid_;
 };
 
 }  // namespace shp

@@ -1,0 +1,525 @@
+#include "graph/disk_arena.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/checksum.h"
+#include "common/logging.h"
+
+namespace shp {
+namespace {
+
+constexpr char kMagic[4] = {'S', 'H', 'P', 'A'};
+constexpr uint32_t kVersion = 1;
+constexpr uint64_t kIndexEntryBytes = 16;
+constexpr uint64_t kFooterBytes = 8 + 8 + 4;  // num_entries | payload_bytes | crc
+
+Status ErrnoError(const char* what, const std::string& path) {
+  return Status::IoError(std::string(what) + " " + path + ": " +
+                         std::strerror(errno));
+}
+
+Status PReadFull(int fd, uint64_t offset, void* data, size_t size,
+                 const std::string& path) {
+  uint8_t* out = static_cast<uint8_t*>(data);
+  while (size > 0) {
+    ssize_t n = ::pread(fd, out, size, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoError("pread", path);
+    }
+    if (n == 0) return Status::Corruption("unexpected EOF reading " + path);
+    out += n;
+    offset += static_cast<uint64_t>(n);
+    size -= static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status PWriteFull(int fd, uint64_t offset, const void* data, size_t size,
+                  const std::string& path) {
+  const uint8_t* in = static_cast<const uint8_t*>(data);
+  while (size > 0) {
+    ssize_t n = ::pwrite(fd, in, size, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoError("pwrite", path);
+    }
+    in += n;
+    offset += static_cast<uint64_t>(n);
+    size -= static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+void PackEntry(const DiskArenaEntry& e, uint8_t out[kIndexEntryBytes]) {
+  std::memcpy(out, &e.vertex, 4);
+  std::memcpy(out + 4, &e.count, 4);
+  std::memcpy(out + 8, &e.offset, 8);
+}
+
+DiskArenaEntry UnpackEntry(const uint8_t in[kIndexEntryBytes]) {
+  DiskArenaEntry e;
+  std::memcpy(&e.vertex, in, 4);
+  std::memcpy(&e.count, in + 4, 4);
+  std::memcpy(&e.offset, in + 8, 8);
+  return e;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- writer ----
+
+Result<DiskArenaWriter> DiskArenaWriter::Create(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return ErrnoError("open", path);
+  DiskArenaWriter writer(fd, path);
+  uint8_t header[DiskArena::kHeaderBytes];
+  std::memcpy(header, kMagic, 4);
+  std::memcpy(header + 4, &kVersion, 4);
+  Status st = writer.WriteAt(0, header, sizeof(header));
+  if (!st.ok()) return st;
+  // The CRC chain covers everything after the magic; start it at the version
+  // field so sequential feeding never has to re-read the payload.
+  writer.crc_ = Crc32c(header + 4, 4, 0);
+  return writer;
+}
+
+DiskArenaWriter::DiskArenaWriter(int fd, std::string path)
+    : fd_(fd), path_(std::move(path)) {}
+
+DiskArenaWriter::~DiskArenaWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+DiskArenaWriter::DiskArenaWriter(DiskArenaWriter&& other) noexcept {
+  *this = std::move(other);
+}
+
+DiskArenaWriter& DiskArenaWriter::operator=(DiskArenaWriter&& other) noexcept {
+  if (this == &other) return *this;
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = std::exchange(other.fd_, -1);
+  path_ = std::move(other.path_);
+  scatter_ = other.scatter_;
+  sequential_ = other.sequential_;
+  finished_ = other.finished_;
+  index_ = std::move(other.index_);
+  cursor_ = std::move(other.cursor_);
+  payload_bytes_ = other.payload_bytes_;
+  crc_ = other.crc_;
+  open_count_ = other.open_count_;
+  append_offset_ = other.append_offset_;
+  last_vertex_ = other.last_vertex_;
+  have_entry_ = other.have_entry_;
+  scatter_buffer_ = std::move(other.scatter_buffer_);
+  scatter_buffer_cap_ = other.scatter_buffer_cap_;
+  append_buffer_ = std::move(other.append_buffer_);
+  return *this;
+}
+
+Status DiskArenaWriter::WriteAt(uint64_t offset, const void* data,
+                                size_t size) {
+  return PWriteFull(fd_, offset, data, size, path_);
+}
+
+Status DiskArenaWriter::ReadAt(uint64_t offset, void* data, size_t size) {
+  return PReadFull(fd_, offset, data, size, path_);
+}
+
+Status DiskArenaWriter::BeginEntry(VertexId v, uint32_t count) {
+  if (finished_ || scatter_) {
+    return Status::InvalidArgument("BeginEntry: writer not in sequential mode");
+  }
+  if (open_count_ != 0) {
+    return Status::InvalidArgument("BeginEntry: previous entry short by " +
+                                   std::to_string(open_count_) + " neighbors");
+  }
+  if (have_entry_ && v <= last_vertex_) {
+    return Status::InvalidArgument("BeginEntry: vertices must be ascending");
+  }
+  sequential_ = true;
+  have_entry_ = true;
+  last_vertex_ = v;
+  index_.push_back(DiskArenaEntry{v, count, payload_bytes_});
+  open_count_ = count;
+  return Status::Ok();
+}
+
+Status DiskArenaWriter::AppendToEntry(std::span<const VertexId> neighbors) {
+  if (!sequential_ || finished_) {
+    return Status::InvalidArgument("AppendToEntry: no entry open");
+  }
+  if (neighbors.size() > open_count_) {
+    return Status::InvalidArgument("AppendToEntry: entry overflow");
+  }
+  crc_ = Crc32c(neighbors.data(), neighbors.size() * sizeof(VertexId), crc_);
+  append_buffer_.insert(append_buffer_.end(), neighbors.begin(),
+                        neighbors.end());
+  payload_bytes_ += neighbors.size() * sizeof(VertexId);
+  open_count_ -= static_cast<uint32_t>(neighbors.size());
+  if (append_buffer_.size() * sizeof(VertexId) >= scatter_buffer_cap_) {
+    return FlushAppend();
+  }
+  return Status::Ok();
+}
+
+Status DiskArenaWriter::FlushAppend() {
+  if (append_buffer_.empty()) return Status::Ok();
+  const uint64_t bytes = append_buffer_.size() * sizeof(VertexId);
+  SHP_RETURN_IF_ERROR(WriteAt(DiskArena::kHeaderBytes + append_offset_,
+                              append_buffer_.data(), bytes));
+  append_offset_ += bytes;
+  append_buffer_.clear();
+  return Status::Ok();
+}
+
+Status DiskArenaWriter::PlanScatter(
+    const std::vector<std::pair<VertexId, uint32_t>>& plan) {
+  if (sequential_ || scatter_ || finished_) {
+    return Status::InvalidArgument("PlanScatter: writer already in use");
+  }
+  scatter_ = true;
+  index_.reserve(plan.size());
+  uint64_t off = 0;
+  for (const auto& [v, count] : plan) {
+    if (!index_.empty() && v <= index_.back().vertex) {
+      return Status::InvalidArgument("PlanScatter: vertices must be ascending");
+    }
+    index_.push_back(DiskArenaEntry{v, count, off});
+    off += static_cast<uint64_t>(count) * sizeof(VertexId);
+  }
+  payload_bytes_ = off;
+  cursor_.assign(plan.size(), 0);
+  if (::ftruncate(fd_, static_cast<off_t>(DiskArena::kHeaderBytes + off)) !=
+      0) {
+    return ErrnoError("ftruncate", path_);
+  }
+  return Status::Ok();
+}
+
+Status DiskArenaWriter::ScatterAdd(uint32_t rank, VertexId neighbor) {
+  if (!scatter_ || finished_) {
+    return Status::InvalidArgument("ScatterAdd: PlanScatter not called");
+  }
+  if (rank >= index_.size()) {
+    return Status::InvalidArgument("ScatterAdd: rank out of range");
+  }
+  DiskArenaEntry& e = index_[rank];
+  if (cursor_[rank] >= e.count) {
+    return Status::InvalidArgument("ScatterAdd: entry " +
+                                   std::to_string(e.vertex) + " overflow");
+  }
+  const uint64_t slot =
+      e.offset + static_cast<uint64_t>(cursor_[rank]++) * sizeof(VertexId);
+  scatter_buffer_.emplace_back(slot, neighbor);
+  if (scatter_buffer_.size() * sizeof(scatter_buffer_[0]) >=
+      scatter_buffer_cap_) {
+    return FlushScatter();
+  }
+  return Status::Ok();
+}
+
+void DiskArenaWriter::SetScatterBufferBytes(uint64_t bytes) {
+  scatter_buffer_cap_ = std::max<uint64_t>(bytes, 64 * 1024);
+}
+
+Status DiskArenaWriter::FlushScatter() {
+  if (scatter_buffer_.empty()) return Status::Ok();
+  std::sort(scatter_buffer_.begin(), scatter_buffer_.end());
+  // Coalesce adjacent slots into single pwrites.
+  std::vector<VertexId> run;
+  size_t i = 0;
+  while (i < scatter_buffer_.size()) {
+    const uint64_t start = scatter_buffer_[i].first;
+    run.clear();
+    run.push_back(scatter_buffer_[i].second);
+    size_t j = i + 1;
+    while (j < scatter_buffer_.size() &&
+           scatter_buffer_[j].first ==
+               start + run.size() * sizeof(VertexId)) {
+      run.push_back(scatter_buffer_[j].second);
+      ++j;
+    }
+    SHP_RETURN_IF_ERROR(WriteAt(DiskArena::kHeaderBytes + start, run.data(),
+                                run.size() * sizeof(VertexId)));
+    i = j;
+  }
+  scatter_buffer_.clear();
+  return Status::Ok();
+}
+
+Status DiskArenaWriter::Finish(bool normalize) {
+  if (finished_) return Status::InvalidArgument("Finish: already finished");
+  if (scatter_) {
+    if (!normalize) {
+      return Status::InvalidArgument(
+          "Finish: scatter feeding requires normalize");
+    }
+    for (size_t i = 0; i < index_.size(); ++i) {
+      if (cursor_[i] != index_[i].count) {
+        return Status::InvalidArgument(
+            "Finish: entry " + std::to_string(index_[i].vertex) +
+            " short by " + std::to_string(index_[i].count - cursor_[i]) +
+            " neighbors");
+      }
+    }
+    SHP_RETURN_IF_ERROR(FlushScatter());
+  } else {
+    if (open_count_ != 0) {
+      return Status::InvalidArgument("Finish: last entry short by " +
+                                     std::to_string(open_count_) +
+                                     " neighbors");
+    }
+    SHP_RETURN_IF_ERROR(FlushAppend());
+  }
+
+  if (normalize) {
+    // Rewrite every list sorted + deduplicated, compacting the payload in
+    // place. Entries are laid out in ascending offset order and dedup only
+    // shrinks, so the write cursor never passes the read cursor.
+    uint32_t crc = Crc32c(&kVersion, 4, 0);
+    uint64_t compact = 0;
+    std::vector<VertexId> buf;
+    for (DiskArenaEntry& e : index_) {
+      buf.resize(e.count);
+      SHP_RETURN_IF_ERROR(ReadAt(DiskArena::kHeaderBytes + e.offset,
+                                 buf.data(), buf.size() * sizeof(VertexId)));
+      std::sort(buf.begin(), buf.end());
+      buf.erase(std::unique(buf.begin(), buf.end()), buf.end());
+      SHP_CHECK_LE(compact, e.offset);
+      SHP_RETURN_IF_ERROR(WriteAt(DiskArena::kHeaderBytes + compact,
+                                  buf.data(), buf.size() * sizeof(VertexId)));
+      crc = Crc32c(buf.data(), buf.size() * sizeof(VertexId), crc);
+      e.count = static_cast<uint32_t>(buf.size());
+      e.offset = compact;
+      compact += buf.size() * sizeof(VertexId);
+    }
+    payload_bytes_ = compact;
+    crc_ = crc;
+  }
+
+  // Index + footer, CRC-chained; the CRC field itself is excluded.
+  std::vector<uint8_t> tail(index_.size() * kIndexEntryBytes + kFooterBytes);
+  uint8_t* out = tail.data();
+  for (const DiskArenaEntry& e : index_) {
+    PackEntry(e, out);
+    out += kIndexEntryBytes;
+  }
+  const uint64_t num_entries = index_.size();
+  std::memcpy(out, &num_entries, 8);
+  std::memcpy(out + 8, &payload_bytes_, 8);
+  crc_ = Crc32c(tail.data(), tail.size() - 4, crc_);
+  std::memcpy(out + 16, &crc_, 4);
+  const uint64_t tail_offset = DiskArena::kHeaderBytes + payload_bytes_;
+  SHP_RETURN_IF_ERROR(WriteAt(tail_offset, tail.data(), tail.size()));
+  if (::ftruncate(fd_, static_cast<off_t>(tail_offset + tail.size())) != 0) {
+    return ErrnoError("ftruncate", path_);
+  }
+  if (::fsync(fd_) != 0) return ErrnoError("fsync", path_);
+  ::close(fd_);
+  fd_ = -1;
+  finished_ = true;
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------- reader ----
+
+Result<std::shared_ptr<DiskArena>> DiskArena::Open(
+    const std::string& path, uint64_t resident_cap_bytes) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return ErrnoError("open", path);
+  struct FdCloser {
+    int fd;
+    ~FdCloser() { ::close(fd); }
+  } closer{fd};
+
+  struct stat st;
+  if (::fstat(fd, &st) != 0) return ErrnoError("fstat", path);
+  const uint64_t file_size = static_cast<uint64_t>(st.st_size);
+  if (file_size < kHeaderBytes + kFooterBytes) {
+    return Status::Corruption("arena " + path + " truncated: " +
+                              std::to_string(file_size) + " bytes");
+  }
+
+  // Validate with bounded memory: pread (page cache, not RSS) rather than
+  // faulting the whole mapping just to checksum it.
+  uint8_t header[kHeaderBytes];
+  SHP_RETURN_IF_ERROR(PReadFull(fd, 0, header, sizeof(header), path));
+  if (std::memcmp(header, kMagic, 4) != 0) {
+    return Status::Corruption("arena " + path + " has bad magic");
+  }
+  uint32_t version;
+  std::memcpy(&version, header + 4, 4);
+  if (version != kVersion) {
+    return Status::Corruption("arena " + path + " has unsupported version " +
+                              std::to_string(version));
+  }
+
+  uint8_t footer[kFooterBytes];
+  SHP_RETURN_IF_ERROR(
+      PReadFull(fd, file_size - kFooterBytes, footer, sizeof(footer), path));
+  uint64_t num_entries, payload_bytes;
+  uint32_t stored_crc;
+  std::memcpy(&num_entries, footer, 8);
+  std::memcpy(&payload_bytes, footer + 8, 8);
+  std::memcpy(&stored_crc, footer + 16, 4);
+
+  // Pin counts against the actual file size before trusting them for any
+  // allocation (same discipline as the SHPG reader).
+  if (payload_bytes > file_size ||
+      num_entries > file_size / kIndexEntryBytes) {
+    return Status::Corruption("arena " + path + " footer counts exceed file");
+  }
+  const uint64_t expected =
+      kHeaderBytes + payload_bytes + num_entries * kIndexEntryBytes +
+      kFooterBytes;
+  if (expected != file_size) {
+    return Status::Corruption(
+        "arena " + path + " size mismatch: footer implies " +
+        std::to_string(expected) + " bytes, file has " +
+        std::to_string(file_size));
+  }
+
+  // CRC32C over [magic end, crc field): header version + payload + index +
+  // footer counts, streamed in bounded chunks.
+  {
+    uint32_t crc = 0;
+    std::vector<uint8_t> chunk(1 << 20);
+    uint64_t off = 4;
+    const uint64_t end = file_size - 4;
+    while (off < end) {
+      const size_t n =
+          static_cast<size_t>(std::min<uint64_t>(chunk.size(), end - off));
+      SHP_RETURN_IF_ERROR(PReadFull(fd, off, chunk.data(), n, path));
+      crc = Crc32c(chunk.data(), n, crc);
+      off += n;
+    }
+    if (crc != stored_crc) {
+      return Status::Corruption("arena " + path + " CRC32C mismatch");
+    }
+  }
+
+  // Index: copy out of the file and validate structurally.
+  std::vector<DiskArenaEntry> index(num_entries);
+  if (num_entries > 0) {
+    std::vector<uint8_t> raw(num_entries * kIndexEntryBytes);
+    SHP_RETURN_IF_ERROR(PReadFull(fd, kHeaderBytes + payload_bytes, raw.data(),
+                                  raw.size(), path));
+    for (uint64_t i = 0; i < num_entries; ++i) {
+      index[i] = UnpackEntry(raw.data() + i * kIndexEntryBytes);
+      const DiskArenaEntry& e = index[i];
+      if (i > 0 && e.vertex <= index[i - 1].vertex) {
+        return Status::Corruption("arena " + path +
+                                  " index vertices not ascending at entry " +
+                                  std::to_string(i));
+      }
+      if (e.offset % sizeof(VertexId) != 0) {
+        return Status::Corruption("arena " + path + " entry " +
+                                  std::to_string(i) + " offset misaligned");
+      }
+      const uint64_t list_bytes =
+          static_cast<uint64_t>(e.count) * sizeof(VertexId);
+      if (e.offset > payload_bytes || list_bytes > payload_bytes - e.offset) {
+        return Status::Corruption("arena " + path + " entry " +
+                                  std::to_string(i) +
+                                  " list out of payload range");
+      }
+    }
+  }
+
+  void* map =
+      ::mmap(nullptr, file_size, PROT_READ, MAP_PRIVATE, fd, 0);
+  if (map == MAP_FAILED) return ErrnoError("mmap", path);
+
+  std::shared_ptr<DiskArena> arena(new DiskArena());
+  arena->map_ = static_cast<const uint8_t*>(map);
+  arena->map_bytes_ = file_size;
+  arena->payload_bytes_ = payload_bytes;
+  arena->index_ = std::move(index);
+  if (resident_cap_bytes > 0) {
+    arena->max_windows_ =
+        std::max<uint64_t>(2, resident_cap_bytes / kWindowBytes);
+    const uint64_t num_windows =
+        (file_size + kWindowBytes - 1) / kWindowBytes;
+    arena->resident_ = std::vector<std::atomic<uint8_t>>(num_windows);
+  }
+  return arena;
+}
+
+DiskArena::~DiskArena() {
+  if (map_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(map_), map_bytes_);
+  }
+}
+
+std::span<const VertexId> DiskArena::Neighbors(VertexId v) const {
+  auto it = std::lower_bound(
+      index_.begin(), index_.end(), v,
+      [](const DiskArenaEntry& e, VertexId x) { return e.vertex < x; });
+  if (it == index_.end() || it->vertex != v) return {};
+  const uint64_t bytes = static_cast<uint64_t>(it->count) * sizeof(VertexId);
+  TouchPayload(it->offset, bytes);
+  return {reinterpret_cast<const VertexId*>(payload_base() + it->offset),
+          it->count};
+}
+
+void DiskArena::TouchPayload(uint64_t offset, uint64_t bytes) const {
+  if (max_windows_ == 0 || bytes == 0) return;
+  const uint64_t abs = kHeaderBytes + offset;
+  const uint64_t first = abs / kWindowBytes;
+  const uint64_t last = (abs + bytes - 1) / kWindowBytes;
+  for (uint64_t w = first; w <= last; ++w) {
+    // Fast path doubles as the CLOCK reference: a touch of a tracked window
+    // marks it referenced so the evictor gives it a second chance instead
+    // of madvising it out from under the reader (see header comment).
+    const uint8_t prev =
+        resident_[w].fetch_or(kReferenced, std::memory_order_relaxed);
+    if ((prev & kTracked) != 0) continue;
+    std::lock_guard<std::mutex> lock(mu_);
+    if ((resident_[w].load(std::memory_order_relaxed) & kTracked) != 0) {
+      continue;
+    }
+    resident_[w].store(kTracked | kReferenced, std::memory_order_relaxed);
+    fifo_.push_back(static_cast<uint32_t>(w));
+    touches_.fetch_add(1, std::memory_order_relaxed);
+    // Bound the second-chance sweep: if every window keeps getting
+    // re-referenced by concurrent readers, force-evict after two passes
+    // rather than spin under the lock.
+    uint64_t attempts = 2 * fifo_.size();
+    while (fifo_.size() > max_windows_) {
+      const uint64_t victim = fifo_.front();
+      fifo_.pop_front();
+      uint8_t expected = kTracked;
+      const bool force = attempts == 0;
+      if (attempts > 0) --attempts;
+      if (!force && !resident_[victim].compare_exchange_strong(
+                        expected, 0, std::memory_order_relaxed)) {
+        // Referenced since last pass: clear the bit and requeue.
+        resident_[victim].store(kTracked, std::memory_order_relaxed);
+        fifo_.push_back(static_cast<uint32_t>(victim));
+        continue;
+      }
+      if (force) resident_[victim].store(0, std::memory_order_relaxed);
+      const uint64_t start = victim * kWindowBytes;
+      const uint64_t len = std::min(kWindowBytes, map_bytes_ - start);
+      // Read-only file-backed mapping: dropping the pages only evicts the
+      // resident copy; the next access refaults identical bytes from disk.
+      ::madvise(const_cast<uint8_t*>(map_) + start, len, MADV_DONTNEED);
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Peak is sampled after eviction: the just-pushed window's pages have
+    // not been faulted yet, so post-eviction queue depth is what bounds RSS.
+    if (fifo_.size() > peak_resident_.load(std::memory_order_relaxed)) {
+      peak_resident_.store(fifo_.size(), std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace shp

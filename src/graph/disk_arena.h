@@ -1,0 +1,223 @@
+// Compact on-disk adjacency arena for the bounded-memory streaming ingest
+// (graph/streaming_ingest.h): high-degree vertices' neighbor lists are
+// spilled here instead of being materialized in RAM, and refinement reads
+// them back through an mmap'd view whose *residency* — not its contents —
+// is capped by a windowed madvise cache.
+//
+// File format (little-endian, CRC32C-framed like the checkpoint files):
+//
+//   magic "SHPA" | version u32 | payload bytes (packed u32 neighbor lists) |
+//   index: num_entries x { vertex u32 | count u32 | offset u64 } |
+//   num_entries u64 | payload_bytes u64 | crc32c u32
+//
+// The CRC32C covers everything after the magic except the CRC field itself,
+// so a flipped bit anywhere — header, payload, index, footer counts — is
+// detected at Open. Offsets are bytes from the start of the payload region
+// and must be 4-aligned (the payload region itself starts at byte 8, so
+// every list is 4-aligned in the mapping and can be handed out as a
+// span<const VertexId> with no copy). Index vertices are strictly
+// ascending. All structural invariants (counts vs file size, offset ranges,
+// ascending vertices) are validated before any allocation sized from
+// file-supplied counts, mirroring the hardened io_binary reader.
+//
+// Residency cap: the payload mapping is divided into fixed windows; every
+// span handed out marks its windows resident, and when more than
+// resident_cap_bytes worth of windows are live a victim is dropped with
+// madvise(MADV_DONTNEED). Eviction is CLOCK (second chance), not plain
+// FIFO: every fast-path touch sets a referenced bit, and the evictor
+// requeues referenced windows instead of dropping them. That keeps a
+// window another thread is actively reading from being madvised out from
+// under it — evicting such a window would refault its pages outside the
+// tracking (the window left the queue, so the refaulted pages would never
+// be dropped again) and silently inflate RSS past the cap under
+// concurrent scans. Dropping a window a reader still holds a span into
+// remains safe — the mapping is a read-only file mapping, so the next
+// access simply refaults the page from disk — which is what makes the cap
+// a pure residency bound with no correctness coupling.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/bipartite_graph.h"
+
+namespace shp {
+
+/// One spilled vertex's location in the arena payload.
+struct DiskArenaEntry {
+  VertexId vertex;
+  uint32_t count;   ///< neighbors (elements, not bytes)
+  uint64_t offset;  ///< bytes from payload start; 4-aligned
+
+  bool operator==(const DiskArenaEntry&) const = default;
+};
+
+/// Streaming writer. Two mutually exclusive feeding modes:
+///
+///  * sequential — BeginEntry/AppendToEntry in ascending vertex order, lists
+///    arriving contiguously (the binary-snapshot ingest path, whose CSR
+///    layout already delivers each list in one run). Bounded memory: only
+///    the append buffer.
+///  * scatter — PlanScatter fixes every entry's size up front (degrees are
+///    known after the counting pass), then ScatterAdd appends single
+///    neighbors in arbitrary arrival order (the edge-list ingest path).
+///    Writes are staged in a bounded buffer and flushed as offset-sorted
+///    coalesced pwrite runs.
+///
+/// Finish(normalize=true) rewrites the payload in entry order — sorting and
+/// deduplicating each list, compacting the file — and is required after
+/// scatter feeding; sequential feeding of already sorted/unique lists may
+/// pass normalize=false to keep the single-pass CRC. The sort buffer holds
+/// one list at a time, so transient memory is bounded by the largest spilled
+/// degree, not by the payload.
+class DiskArenaWriter {
+ public:
+  static Result<DiskArenaWriter> Create(const std::string& path);
+  ~DiskArenaWriter();
+
+  DiskArenaWriter(DiskArenaWriter&& other) noexcept;
+  DiskArenaWriter& operator=(DiskArenaWriter&& other) noexcept;
+  DiskArenaWriter(const DiskArenaWriter&) = delete;
+  DiskArenaWriter& operator=(const DiskArenaWriter&) = delete;
+
+  // ---- sequential mode ----
+
+  /// Starts vertex `v`'s list (strictly ascending v across calls) of exactly
+  /// `count` neighbors, delivered via AppendToEntry in one or more chunks.
+  Status BeginEntry(VertexId v, uint32_t count);
+  Status AppendToEntry(std::span<const VertexId> neighbors);
+
+  // ---- scatter mode ----
+
+  /// Declares the full entry set: (vertex, raw count) ascending by vertex.
+  /// Reserves the payload layout; every slot must be filled by ScatterAdd
+  /// before Finish.
+  Status PlanScatter(const std::vector<std::pair<VertexId, uint32_t>>& plan);
+
+  /// Appends one neighbor to the `rank`-th planned entry (0-based, in plan
+  /// order). Rank-based so the caller's per-vertex lookup stays O(1).
+  Status ScatterAdd(uint32_t rank, VertexId neighbor);
+
+  /// Staged-write buffer size for scatter mode (default 4 MB).
+  void SetScatterBufferBytes(uint64_t bytes);
+
+  /// Finalizes payload, writes index + footer + CRC32C. normalize sorts and
+  /// deduplicates every list (rewriting the payload compactly); mandatory
+  /// after scatter feeding. After an OK Finish, index() holds the final
+  /// (post-dedup) entries.
+  Status Finish(bool normalize);
+
+  const std::vector<DiskArenaEntry>& index() const { return index_; }
+  uint64_t payload_bytes() const { return payload_bytes_; }
+
+ private:
+  explicit DiskArenaWriter(int fd, std::string path);
+
+  Status WriteAt(uint64_t offset, const void* data, size_t size);
+  Status ReadAt(uint64_t offset, void* data, size_t size);
+  Status FlushScatter();
+  Status FlushAppend();
+
+  int fd_ = -1;
+  std::string path_;
+  bool scatter_ = false;
+  bool sequential_ = false;
+  bool finished_ = false;
+
+  std::vector<DiskArenaEntry> index_;   // planned, then finalized
+  std::vector<uint32_t> cursor_;        // scatter: filled slots per entry
+  uint64_t payload_bytes_ = 0;          // raw (pre-normalize) payload size
+  uint32_t crc_ = 0;                    // sequential-mode chained CRC
+  uint32_t open_count_ = 0;             // sequential: remaining slots of the
+  uint64_t append_offset_ = 0;          //   open entry / its write position
+  VertexId last_vertex_ = 0;
+  bool have_entry_ = false;
+
+  std::vector<std::pair<uint64_t, VertexId>> scatter_buffer_;
+  uint64_t scatter_buffer_cap_ = 4ull << 20;
+  std::vector<VertexId> append_buffer_;  // sequential-mode write combining
+};
+
+/// Read view: validates the whole file once at Open (CRC + structure), then
+/// serves zero-copy spans out of a private read-only mapping under the
+/// windowed residency cap described in the file comment.
+class DiskArena {
+ public:
+  /// resident_cap_bytes caps how much of the payload may be resident at
+  /// once; 0 = unbounded (no tracking, no madvise). The effective cap is
+  /// floored at two windows (see kWindowBytes).
+  static Result<std::shared_ptr<DiskArena>> Open(const std::string& path,
+                                                 uint64_t resident_cap_bytes);
+  ~DiskArena();
+
+  DiskArena(const DiskArena&) = delete;
+  DiskArena& operator=(const DiskArena&) = delete;
+
+  /// Neighbors of spilled vertex v (binary search over the index); empty
+  /// span if v is not in the arena.
+  std::span<const VertexId> Neighbors(VertexId v) const;
+
+  /// Entry table (ascending vertex ids).
+  const std::vector<DiskArenaEntry>& index() const { return index_; }
+
+  uint64_t payload_bytes() const { return payload_bytes_; }
+
+  /// Base of the payload region inside the mapping. Offsets from the index
+  /// are relative to this pointer. Callers resolving spans directly (the
+  /// hybrid BipartiteGraph keeps per-vertex offsets) must pair every access
+  /// with TouchPayload so the residency accounting sees it.
+  const uint8_t* payload_base() const { return map_ + kHeaderBytes; }
+
+  /// Marks the windows of payload range [offset, offset + bytes) resident,
+  /// evicting the oldest windows beyond the cap. Thread-safe; the fast path
+  /// (window already resident) is one relaxed atomic load per window.
+  void TouchPayload(uint64_t offset, uint64_t bytes) const;
+
+  /// Residency cap this arena was opened with (0 = unbounded).
+  uint64_t resident_cap_bytes() const { return max_windows_ * kWindowBytes; }
+
+  // ---- residency diagnostics (approximate under concurrency) ----
+  uint64_t window_evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  uint64_t windows_touched() const {
+    return touches_.load(std::memory_order_relaxed);
+  }
+  uint64_t peak_resident_windows() const {
+    return peak_resident_.load(std::memory_order_relaxed);
+  }
+
+  static constexpr uint64_t kWindowBytes = 128 * 1024;
+  static constexpr uint64_t kHeaderBytes = 8;  // magic + version
+
+ private:
+  DiskArena() = default;
+
+  const uint8_t* map_ = nullptr;
+  uint64_t map_bytes_ = 0;
+  uint64_t payload_bytes_ = 0;
+  std::vector<DiskArenaEntry> index_;
+
+  // Per-window CLOCK state: kTracked = in the eviction queue, kReferenced =
+  // touched since the evictor last considered it.
+  static constexpr uint8_t kTracked = 1;
+  static constexpr uint8_t kReferenced = 2;
+
+  uint64_t max_windows_ = 0;  // 0 = unbounded
+  mutable std::vector<std::atomic<uint8_t>> resident_;
+  mutable std::deque<uint32_t> fifo_;
+  mutable std::mutex mu_;
+  mutable std::atomic<uint64_t> evictions_{0};
+  mutable std::atomic<uint64_t> touches_{0};
+  mutable std::atomic<uint64_t> peak_resident_{0};
+};
+
+}  // namespace shp

@@ -67,6 +67,11 @@ class FileReader {
 }  // namespace
 
 Status WriteBinaryGraph(const BipartiteGraph& graph, const std::string& path) {
+  if (!graph.fully_resident()) {
+    return Status::InvalidArgument(
+        "WriteBinaryGraph: hybrid (partially spilled) graphs have no "
+        "resident CSR arrays to serialize; re-ingest in memory first");
+  }
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return Status::IoError("cannot open " + path);
   bool ok = std::fwrite(kMagic, 1, 4, f) == 4;

@@ -56,6 +56,13 @@ class IdCompactor {
 
 }  // namespace
 
+Status ForEachEdgePair(const std::string& path,
+                       const std::function<void(int64_t, int64_t)>& fn) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  return ForEachPair(in, fn);
+}
+
 Result<BipartiteGraph> ParseBipartiteEdgeList(const std::string& content,
                                               bool drop_trivial) {
   std::istringstream in(content);

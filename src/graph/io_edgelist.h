@@ -6,12 +6,21 @@
 // information about a user's friends" (paper §4.1).
 #pragma once
 
+#include <functional>
 #include <string>
 
 #include "common/status.h"
 #include "graph/bipartite_graph.h"
 
 namespace shp {
+
+/// Streams "q d" pairs from a file line by line, invoking fn(q, d) per edge,
+/// without materializing the graph — memory is bounded by one line. Same
+/// syntax rules as ReadBipartiteEdgeList ('#'/'%' comments, malformed or
+/// negative-id lines are Corruption). The bounded-memory ingest
+/// (graph/streaming_ingest.h) runs its counting and placement passes on this.
+Status ForEachEdgePair(const std::string& path,
+                       const std::function<void(int64_t, int64_t)>& fn);
 
 /// Reads "q d" pairs. Ids may be sparse; they are compacted preserving order.
 Result<BipartiteGraph> ReadBipartiteEdgeList(const std::string& path,

@@ -1,0 +1,715 @@
+#include "graph/streaming_ingest.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/checksum.h"
+#include "common/logging.h"
+#include "graph/disk_arena.h"
+#include "graph/io_edgelist.h"
+
+namespace shp {
+namespace {
+
+constexpr char kBinaryMagic[4] = {'S', 'H', 'P', 'G'};
+constexpr uint32_t kBinaryVersion = 1;
+
+// Rough per-entry cost of the sparse→dense id maps on the text path
+// (unordered_map node + bucket overhead); charged against the budget while
+// the maps are alive (both passes).
+constexpr uint64_t kIdMapBytesPerEntry = 48;
+
+Status EnsureDir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) return Status::Ok();
+  return Status::IoError("mkdir " + dir + ": " + std::strerror(errno));
+}
+
+/// Sorted-degree prefix sums: resident adjacency bytes if lists with
+/// degree ≤ T stay in RAM.
+class DegreeProfile {
+ public:
+  explicit DegreeProfile(const std::vector<uint32_t>& degrees)
+      : sorted_(degrees) {
+    std::sort(sorted_.begin(), sorted_.end());
+    prefix_bytes_.resize(sorted_.size() + 1, 0);
+    for (size_t i = 0; i < sorted_.size(); ++i) {
+      prefix_bytes_[i + 1] =
+          prefix_bytes_[i] + uint64_t{sorted_[i]} * sizeof(VertexId);
+    }
+  }
+
+  uint64_t ResidentBytes(uint32_t threshold) const {
+    auto it = std::upper_bound(sorted_.begin(), sorted_.end(), threshold);
+    return prefix_bytes_[static_cast<size_t>(it - sorted_.begin())];
+  }
+
+  uint64_t SpilledCount(uint32_t threshold) const {
+    auto it = std::upper_bound(sorted_.begin(), sorted_.end(), threshold);
+    return static_cast<uint64_t>(sorted_.end() - it);
+  }
+
+  uint32_t MaxDegree() const { return sorted_.empty() ? 0 : sorted_.back(); }
+
+ private:
+  std::vector<uint32_t> sorted_;
+  std::vector<uint64_t> prefix_bytes_;
+};
+
+struct ThresholdPlan {
+  uint32_t query_threshold = 0;
+  uint32_t data_threshold = 0;
+  double scale = 1.0;
+  bool spills = false;
+};
+
+/// Scales the requested thresholds down geometrically until metadata +
+/// resident adjacency + (cache, if anything spills) fits the budget.
+Result<ThresholdPlan> FitThresholds(const DegreeProfile& query_profile,
+                                    const DegreeProfile& data_profile,
+                                    double t0_query, double t0_data,
+                                    uint64_t fixed_bytes,
+                                    uint64_t cache_total_bytes,
+                                    uint64_t budget_bytes) {
+  auto clamp_t = [](double t) {
+    if (t < 0) return uint32_t{0};
+    if (t >= static_cast<double>(std::numeric_limits<uint32_t>::max())) {
+      return std::numeric_limits<uint32_t>::max();
+    }
+    return static_cast<uint32_t>(std::floor(t));
+  };
+  double alpha = 1.0;
+  uint64_t last_need = 0;
+  while (true) {
+    ThresholdPlan plan;
+    plan.query_threshold = clamp_t(alpha * t0_query);
+    plan.data_threshold = clamp_t(alpha * t0_data);
+    plan.scale = alpha;
+    plan.spills = query_profile.MaxDegree() > plan.query_threshold ||
+                  data_profile.MaxDegree() > plan.data_threshold;
+    const uint64_t resident =
+        query_profile.ResidentBytes(plan.query_threshold) +
+        data_profile.ResidentBytes(plan.data_threshold);
+    // Every spilled vertex costs an arena index entry twice at the pass-2
+    // peak: the writer's in-progress index and DiskArena::Open's validated
+    // owned copy (the read buffer overlaps the writer's freed allocation).
+    const uint64_t index_bytes =
+        2 * sizeof(DiskArenaEntry) *
+        (query_profile.SpilledCount(plan.query_threshold) +
+         data_profile.SpilledCount(plan.data_threshold));
+    last_need = fixed_bytes + resident + index_bytes +
+                (plan.spills ? cache_total_bytes : 0);
+    if (last_need <= budget_bytes) return plan;
+    if (plan.query_threshold == 0 && plan.data_threshold == 0) break;
+    alpha *= 0.8;
+  }
+  return Status::InvalidArgument(
+      "memory budget too small: even the all-spilled split needs " +
+      std::to_string(last_need) + " bytes (metadata + spill cache) against " +
+      std::to_string(budget_bytes));
+}
+
+/// One side's placement state during pass 2.
+struct SideState {
+  std::vector<uint32_t> degree;  // raw on entry, final after normalization
+  std::vector<uint64_t> loc;     // resident base index, or kSpilledBit|rank
+  std::vector<uint32_t> fill;    // resident fill cursors (scatter path only)
+  std::vector<VertexId> resident;
+  std::optional<DiskArenaWriter> writer;
+  std::string arena_path;
+  std::shared_ptr<DiskArena> arena;
+  uint32_t threshold = 0;
+  uint32_t num_spilled = 0;
+  uint64_t spilled_payload = 0;
+};
+
+/// Assigns every vertex either a resident base slot or a spill rank, sizes
+/// the resident arena, and opens the arena writer if needed — in scatter
+/// mode for interleaved arrivals (edge-list path), or left in its default
+/// state for the sequential BeginEntry path (binary path).
+Status LayOutSide(SideState* side, uint32_t threshold,
+                  const std::string& arena_path, uint64_t scatter_buffer,
+                  bool track_fill, bool scatter) {
+  side->threshold = threshold;
+  const size_t n = side->degree.size();
+  side->loc.resize(n);
+  std::vector<std::pair<VertexId, uint32_t>> plan;
+  uint64_t base = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (side->degree[i] > threshold) {
+      side->loc[i] = HybridAdjacency::kSpilledBit | plan.size();
+      plan.emplace_back(static_cast<VertexId>(i), side->degree[i]);
+    } else {
+      side->loc[i] = base;
+      base += side->degree[i];
+    }
+  }
+  side->num_spilled = static_cast<uint32_t>(plan.size());
+  side->resident.resize(base);
+  if (track_fill) side->fill.assign(n, 0);
+  if (!plan.empty()) {
+    auto writer = DiskArenaWriter::Create(arena_path);
+    if (!writer.ok()) return writer.status();
+    side->writer.emplace(std::move(writer).value());
+    side->writer->SetScatterBufferBytes(scatter_buffer);
+    side->arena_path = arena_path;
+    if (scatter) SHP_RETURN_IF_ERROR(side->writer->PlanScatter(plan));
+  }
+  return Status::Ok();
+}
+
+/// Routes one arriving neighbor to the resident arena or the spill writer.
+inline Status AddNeighbor(SideState* side, VertexId v, VertexId neighbor) {
+  const uint64_t loc = side->loc[v];
+  if ((loc & HybridAdjacency::kSpilledBit) != 0) {
+    return side->writer->ScatterAdd(
+        static_cast<uint32_t>(loc & ~HybridAdjacency::kSpilledBit), neighbor);
+  }
+  if (side->fill[v] >= side->degree[v]) {
+    return Status::Corruption(
+        "streaming ingest: input changed between passes (vertex " +
+        std::to_string(v) + " grew)");
+  }
+  side->resident[loc + side->fill[v]++] = neighbor;
+  return Status::Ok();
+}
+
+/// Sorts + dedups every resident list in place and repacks the arena
+/// compactly (the write cursor never passes a list's original base).
+Status NormalizeResident(SideState* side) {
+  uint64_t write = 0;
+  for (size_t i = 0; i < side->degree.size(); ++i) {
+    if ((side->loc[i] & HybridAdjacency::kSpilledBit) != 0) continue;
+    const uint64_t base = side->loc[i];
+    const uint32_t deg = side->degree[i];
+    if (!side->fill.empty() && side->fill[i] != deg) {
+      return Status::Corruption(
+          "streaming ingest: input changed between passes (vertex " +
+          std::to_string(i) + " shrank)");
+    }
+    auto begin = side->resident.begin() + static_cast<int64_t>(base);
+    auto end = begin + deg;
+    std::sort(begin, end);
+    auto last = std::unique(begin, end);
+    const uint32_t final_deg = static_cast<uint32_t>(last - begin);
+    SHP_CHECK_LE(write, base);
+    std::copy(begin, begin + final_deg,
+              side->resident.begin() + static_cast<int64_t>(write));
+    side->loc[i] = write;
+    side->degree[i] = final_deg;
+    write += final_deg;
+  }
+  side->resident.resize(write);
+  side->resident.shrink_to_fit();
+  side->fill.clear();
+  side->fill.shrink_to_fit();
+  return Status::Ok();
+}
+
+/// Finish the spill writer (normalizing if asked), patch degrees/locations
+/// from the final index, and record the payload size.
+Status FinishSpill(SideState* side, bool normalize) {
+  if (!side->writer.has_value()) return Status::Ok();
+  SHP_RETURN_IF_ERROR(side->writer->Finish(normalize));
+  for (const DiskArenaEntry& e : side->writer->index()) {
+    side->degree[e.vertex] = e.count;
+    side->loc[e.vertex] = HybridAdjacency::kSpilledBit | e.offset;
+  }
+  side->spilled_payload = side->writer->payload_bytes();
+  return Status::Ok();
+}
+
+/// Open the mmap'd read view and (optionally) unlink the backing file — the
+/// mapping keeps it alive until the graph is destroyed.
+Status OpenSpill(SideState* side, uint64_t cache_bytes, bool keep_file) {
+  if (!side->writer.has_value()) return Status::Ok();
+  side->writer.reset();  // closes the fd
+  auto arena = DiskArena::Open(side->arena_path, cache_bytes);
+  if (!arena.ok()) return arena.status();
+  side->arena = std::move(arena).value();
+  if (!keep_file) ::unlink(side->arena_path.c_str());
+  return Status::Ok();
+}
+
+struct BudgetShape {
+  uint64_t budget_bytes = 0;
+  uint64_t cache_total = 0;
+  uint64_t scatter_buffer = 0;
+};
+
+BudgetShape ShapeBudget(const StreamingIngestOptions& options) {
+  BudgetShape shape;
+  shape.budget_bytes = options.memory_budget_mb << 20;
+  shape.cache_total = options.spill_cache_mb != 0
+                          ? options.spill_cache_mb << 20
+                          : shape.budget_bytes / 4;
+  // Two arenas × the two-window eviction floor.
+  shape.cache_total =
+      std::max<uint64_t>(shape.cache_total, 4 * DiskArena::kWindowBytes);
+  shape.scatter_buffer = std::clamp<uint64_t>(shape.budget_bytes / 32,
+                                              64 * 1024, 4ull << 20);
+  return shape;
+}
+
+BipartiteGraph AssembleHybrid(SideState&& query_side, SideState&& data_side,
+                              EdgeIndex num_edges, const BudgetShape& shape,
+                              const ThresholdPlan& plan, uint64_t edges_read,
+                              StreamingIngestStats* stats) {
+  if (stats != nullptr) {
+    stats->edges_read = edges_read;
+    stats->num_edges = num_edges;
+    stats->num_queries = static_cast<VertexId>(query_side.degree.size());
+    stats->num_data = static_cast<VertexId>(data_side.degree.size());
+    stats->query_threshold = query_side.threshold;
+    stats->data_threshold = data_side.threshold;
+    stats->threshold_scale = plan.scale;
+    stats->spilled_queries = query_side.num_spilled;
+    stats->spilled_data = data_side.num_spilled;
+    stats->resident_bytes =
+        (query_side.resident.size() + data_side.resident.size()) *
+        sizeof(VertexId);
+    stats->spilled_bytes =
+        query_side.spilled_payload + data_side.spilled_payload;
+    stats->spill_cache_bytes =
+        (query_side.arena != nullptr ? query_side.arena->resident_cap_bytes()
+                                     : 0) +
+        (data_side.arena != nullptr ? data_side.arena->resident_cap_bytes()
+                                    : 0);
+    stats->memory_budget_bytes = shape.budget_bytes;
+  }
+  HybridAdjacency hybrid;
+  hybrid.num_edges = num_edges;
+  auto move_side = [](SideState&& s) {
+    HybridAdjacency::Side out;
+    out.degree = std::move(s.degree);
+    out.loc = std::move(s.loc);
+    out.resident = std::move(s.resident);
+    out.spill = std::move(s.arena);
+    return out;
+  };
+  hybrid.query = move_side(std::move(query_side));
+  hybrid.data = move_side(std::move(data_side));
+  return BipartiteGraph(std::move(hybrid));
+}
+
+}  // namespace
+
+// -------------------------------------------------------- text edge list ----
+
+Result<BipartiteGraph> StreamingIngestEdgeList(
+    const std::string& path, const StreamingIngestOptions& options,
+    StreamingIngestStats* stats) {
+  const BudgetShape shape = ShapeBudget(options);
+
+  // Pass 1: compact ids (first-appearance order, exactly as the in-memory
+  // reader) and count raw per-vertex degrees.
+  std::unordered_map<int64_t, VertexId> query_ids, data_ids;
+  SideState query_side, data_side;
+  uint64_t edges_read = 0;
+  SHP_RETURN_IF_ERROR(ForEachEdgePair(path, [&](int64_t q, int64_t d) {
+    auto [qit, q_new] = query_ids.try_emplace(
+        q, static_cast<VertexId>(query_ids.size()));
+    if (q_new) query_side.degree.push_back(0);
+    auto [dit, d_new] =
+        data_ids.try_emplace(d, static_cast<VertexId>(data_ids.size()));
+    if (d_new) data_side.degree.push_back(0);
+    ++query_side.degree[qit->second];
+    ++data_side.degree[dit->second];
+    ++edges_read;
+  }));
+  if (edges_read == 0) return Status::InvalidArgument("edge list: no edges");
+
+  const uint64_t num_queries = query_side.degree.size();
+  const uint64_t num_data = data_side.degree.size();
+  // Metadata (degree + loc) plus ingest transients: the id maps, the pass-2
+  // fill cursors, the threshold-planning degree profiles (sorted copy +
+  // prefix sums), and the two scatter buffers.
+  const uint64_t fixed_bytes =
+      (num_queries + num_data) * (sizeof(uint32_t) + sizeof(uint64_t)) +
+      (num_queries + num_data) * kIdMapBytesPerEntry +
+      (num_queries + num_data) * sizeof(uint32_t) +
+      (num_queries + num_data) * (sizeof(uint32_t) + sizeof(uint64_t)) +
+      2 * shape.scatter_buffer;
+
+  DegreeProfile query_profile(query_side.degree);
+  DegreeProfile data_profile(data_side.degree);
+  const double mean_query =
+      static_cast<double>(edges_read) / static_cast<double>(num_queries);
+  const double mean_data =
+      static_cast<double>(edges_read) / static_cast<double>(num_data);
+  auto plan_result = FitThresholds(
+      query_profile, data_profile, options.high_degree_factor * mean_query,
+      options.high_degree_factor * mean_data, fixed_bytes, shape.cache_total,
+      shape.budget_bytes);
+  if (!plan_result.ok()) return plan_result.status();
+  const ThresholdPlan plan = plan_result.value();
+
+  if (plan.spills && options.spill_dir.empty()) {
+    return Status::InvalidArgument(
+        "streaming ingest: spill_dir required (thresholds " +
+        std::to_string(plan.query_threshold) + "/" +
+        std::to_string(plan.data_threshold) + " spill adjacency)");
+  }
+  if (plan.spills) SHP_RETURN_IF_ERROR(EnsureDir(options.spill_dir));
+
+  SHP_RETURN_IF_ERROR(LayOutSide(&query_side, plan.query_threshold,
+                                 options.spill_dir + "/query_spill.shpa",
+                                 shape.scatter_buffer, /*track_fill=*/true,
+                                 /*scatter=*/true));
+  SHP_RETURN_IF_ERROR(LayOutSide(&data_side, plan.data_threshold,
+                                 options.spill_dir + "/data_spill.shpa",
+                                 shape.scatter_buffer, /*track_fill=*/true,
+                                 /*scatter=*/true));
+
+  // Pass 2: route every edge to the resident arena or the spill writer.
+  Status route = Status::Ok();
+  uint64_t edges_seen = 0;
+  SHP_RETURN_IF_ERROR(ForEachEdgePair(path, [&](int64_t q, int64_t d) {
+    if (!route.ok()) return;
+    auto qit = query_ids.find(q);
+    auto dit = data_ids.find(d);
+    if (qit == query_ids.end() || dit == data_ids.end()) {
+      route = Status::Corruption(
+          "streaming ingest: input changed between passes (new id)");
+      return;
+    }
+    ++edges_seen;
+    route = AddNeighbor(&query_side, qit->second, dit->second);
+    if (!route.ok()) return;
+    route = AddNeighbor(&data_side, dit->second, qit->second);
+  }));
+  SHP_RETURN_IF_ERROR(route);
+  if (edges_seen != edges_read) {
+    return Status::Corruption(
+        "streaming ingest: input changed between passes (" +
+        std::to_string(edges_read) + " pairs became " +
+        std::to_string(edges_seen) + ")");
+  }
+  query_ids.clear();
+  data_ids.clear();
+
+  SHP_RETURN_IF_ERROR(NormalizeResident(&query_side));
+  SHP_RETURN_IF_ERROR(NormalizeResident(&data_side));
+  SHP_RETURN_IF_ERROR(FinishSpill(&query_side, /*normalize=*/true));
+  SHP_RETURN_IF_ERROR(FinishSpill(&data_side, /*normalize=*/true));
+
+  // Deduplication is symmetric, so both directions agree on the edge count.
+  EdgeIndex num_edges = 0, data_edges = 0;
+  for (uint32_t d : query_side.degree) num_edges += d;
+  for (uint32_t d : data_side.degree) data_edges += d;
+  if (num_edges != data_edges) {
+    return Status::Internal("streaming ingest: side edge counts diverged (" +
+                            std::to_string(num_edges) + " vs " +
+                            std::to_string(data_edges) + ")");
+  }
+
+  const int arenas = (query_side.writer.has_value() ? 1 : 0) +
+                     (data_side.writer.has_value() ? 1 : 0);
+  const uint64_t cache_each = arenas > 0 ? shape.cache_total / arenas : 0;
+  SHP_RETURN_IF_ERROR(
+      OpenSpill(&query_side, cache_each, options.keep_spill_files));
+  SHP_RETURN_IF_ERROR(
+      OpenSpill(&data_side, cache_each, options.keep_spill_files));
+
+  return AssembleHybrid(std::move(query_side), std::move(data_side),
+                        num_edges, shape, plan, edges_read, stats);
+}
+
+// ------------------------------------------------------- binary snapshot ----
+
+namespace {
+
+/// fread wrapper chaining the snapshot's FNV-1a checksum.
+class ChecksummingReader {
+ public:
+  explicit ChecksummingReader(std::FILE* f) : f_(f) {}
+
+  template <typename T>
+  bool ReadValue(T* value) {
+    if (std::fread(value, sizeof(T), 1, f_) != 1) return false;
+    checksum_ = Fnv1a64(value, sizeof(T), checksum_);
+    return true;
+  }
+
+  bool ReadBytes(void* data, size_t size) {
+    if (size == 0) return true;
+    if (std::fread(data, 1, size, f_) != size) return false;
+    checksum_ = Fnv1a64(data, size, checksum_);
+    return true;
+  }
+
+  uint64_t checksum() const { return checksum_; }
+
+ private:
+  std::FILE* f_;
+  uint64_t checksum_ = kFnv1a64Init;
+};
+
+bool OffsetsWellFormed(const std::vector<EdgeIndex>& offsets,
+                       EdgeIndex num_edges) {
+  if (offsets.empty() || offsets.front() != 0 || offsets.back() != num_edges) {
+    return false;
+  }
+  for (size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i] < offsets[i - 1]) return false;
+  }
+  return true;
+}
+
+/// Pass 2 over one side of the snapshot: lists arrive contiguously and
+/// sorted, so resident lists are copied straight into the packed arena and
+/// spilled lists take the arena writer's sequential path. Enforces strictly
+/// ascending in-range ids (the invariant WriteBinaryGraph guarantees).
+Status PlaceBinarySide(std::FILE* f, uint64_t adj_start, SideState* side,
+                       VertexId neighbor_limit, const std::string& path,
+                       const char* side_name) {
+  if (std::fseek(f, static_cast<long>(adj_start), SEEK_SET) != 0) {
+    return Status::IoError(path + ": seek failed");
+  }
+  std::vector<VertexId> chunk(256 * 1024);
+  const size_t n = side->degree.size();
+  for (size_t v = 0; v < n; ++v) {
+    const uint32_t deg = side->degree[v];
+    const uint64_t loc = side->loc[v];
+    const bool spilled = (loc & HybridAdjacency::kSpilledBit) != 0;
+    if (spilled) {
+      SHP_RETURN_IF_ERROR(
+          side->writer->BeginEntry(static_cast<VertexId>(v), deg));
+    }
+    VertexId* dst = spilled ? nullptr : side->resident.data() + loc;
+    uint64_t remaining = deg;
+    VertexId prev = kInvalidVertex;  // wraps: first compare uses have_prev
+    bool have_prev = false;
+    while (remaining > 0) {
+      const size_t take =
+          static_cast<size_t>(std::min<uint64_t>(remaining, chunk.size()));
+      if (std::fread(chunk.data(), sizeof(VertexId), take, f) != take) {
+        return Status::Corruption(path + ": truncated adjacency");
+      }
+      for (size_t i = 0; i < take; ++i) {
+        const VertexId id = chunk[i];
+        if (id >= neighbor_limit || (have_prev && id <= prev)) {
+          return Status::Corruption(
+              path + ": " + side_name + " adjacency of vertex " +
+              std::to_string(v) + " not sorted/unique/in-range");
+        }
+        prev = id;
+        have_prev = true;
+      }
+      if (spilled) {
+        SHP_RETURN_IF_ERROR(side->writer->AppendToEntry(
+            std::span<const VertexId>(chunk.data(), take)));
+      } else {
+        std::memcpy(dst, chunk.data(), take * sizeof(VertexId));
+        dst += take;
+      }
+      remaining -= take;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<BipartiteGraph> StreamingIngestBinary(
+    const std::string& path, const StreamingIngestOptions& options,
+    StreamingIngestStats* stats) {
+  const BudgetShape shape = ShapeBudget(options);
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open " + path);
+  struct FileCloser {
+    std::FILE* f;
+    ~FileCloser() { std::fclose(f); }
+  } closer{f};
+
+  uint64_t file_size = 0;
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    return Status::IoError(path + ": seek failed");
+  }
+  {
+    const long end = std::ftell(f);
+    if (end < 0) return Status::IoError(path + ": tell failed");
+    file_size = static_cast<uint64_t>(end);
+    std::rewind(f);
+  }
+
+  char magic[4];
+  if (std::fread(magic, 1, 4, f) != 4 ||
+      std::memcmp(magic, kBinaryMagic, 4) != 0) {
+    return Status::Corruption(path + ": bad magic");
+  }
+  ChecksummingReader reader(f);
+  uint32_t version = 0;
+  VertexId num_queries = 0, num_data = 0;
+  EdgeIndex num_edges = 0;
+  if (!reader.ReadValue(&version)) {
+    return Status::Corruption(path + ": truncated file");
+  }
+  if (version != kBinaryVersion) {
+    return Status::Corruption(path + ": unsupported version " +
+                              std::to_string(version));
+  }
+  if (!reader.ReadValue(&num_queries) || !reader.ReadValue(&num_data) ||
+      !reader.ReadValue(&num_edges)) {
+    return Status::Corruption(path + ": truncated file");
+  }
+  // Same size pin as ReadBinaryGraph: counts are validated against the real
+  // file size before any count-sized allocation.
+  const uint64_t header_bytes = 4 + sizeof(version) + sizeof(num_queries) +
+                                sizeof(num_data) + sizeof(num_edges);
+  const uint64_t body_bytes =
+      (uint64_t{num_queries} + 1 + uint64_t{num_data} + 1) *
+          sizeof(EdgeIndex) +
+      2 * num_edges * sizeof(VertexId) + sizeof(uint64_t);
+  if (num_edges > file_size || body_bytes != file_size - header_bytes) {
+    return Status::Corruption(path + ": header counts do not match size " +
+                              std::to_string(file_size));
+  }
+
+  // Pass 1 (single sequential sweep): capture both offsets arrays, stream
+  // the adjacency through the checksum without keeping it.
+  std::vector<EdgeIndex> query_offsets(uint64_t{num_queries} + 1);
+  std::vector<EdgeIndex> data_offsets(uint64_t{num_data} + 1);
+  if (!reader.ReadBytes(query_offsets.data(),
+                        query_offsets.size() * sizeof(EdgeIndex))) {
+    return Status::Corruption(path + ": truncated file");
+  }
+  const uint64_t query_adj_start =
+      header_bytes + query_offsets.size() * sizeof(EdgeIndex);
+  {
+    std::vector<uint8_t> buf(1 << 20);
+    uint64_t left = num_edges * sizeof(VertexId);
+    while (left > 0) {
+      const size_t take =
+          static_cast<size_t>(std::min<uint64_t>(left, buf.size()));
+      if (!reader.ReadBytes(buf.data(), take)) {
+        return Status::Corruption(path + ": truncated file");
+      }
+      left -= take;
+    }
+    if (!reader.ReadBytes(data_offsets.data(),
+                          data_offsets.size() * sizeof(EdgeIndex))) {
+      return Status::Corruption(path + ": truncated file");
+    }
+    left = num_edges * sizeof(VertexId);
+    while (left > 0) {
+      const size_t take =
+          static_cast<size_t>(std::min<uint64_t>(left, buf.size()));
+      if (!reader.ReadBytes(buf.data(), take)) {
+        return Status::Corruption(path + ": truncated file");
+      }
+      left -= take;
+    }
+  }
+  const uint64_t data_adj_start = query_adj_start +
+                                  num_edges * sizeof(VertexId) +
+                                  data_offsets.size() * sizeof(EdgeIndex);
+  uint64_t stored_checksum = 0;
+  if (std::fread(&stored_checksum, sizeof(stored_checksum), 1, f) != 1) {
+    return Status::Corruption(path + ": truncated file");
+  }
+  if (stored_checksum != reader.checksum()) {
+    return Status::Corruption(path + ": checksum mismatch");
+  }
+  if (!OffsetsWellFormed(query_offsets, num_edges) ||
+      !OffsetsWellFormed(data_offsets, num_edges)) {
+    return Status::Corruption(path + ": inconsistent offsets");
+  }
+
+  SideState query_side, data_side;
+  auto degrees_from_offsets = [&](const std::vector<EdgeIndex>& offsets,
+                                  std::vector<uint32_t>* out) -> Status {
+    out->resize(offsets.size() - 1);
+    for (size_t i = 0; i + 1 < offsets.size(); ++i) {
+      const EdgeIndex d = offsets[i + 1] - offsets[i];
+      if (d > std::numeric_limits<uint32_t>::max()) {
+        return Status::Corruption(path + ": degree overflow at vertex " +
+                                  std::to_string(i));
+      }
+      (*out)[i] = static_cast<uint32_t>(d);
+    }
+    return Status::Ok();
+  };
+  SHP_RETURN_IF_ERROR(degrees_from_offsets(query_offsets, &query_side.degree));
+  SHP_RETURN_IF_ERROR(degrees_from_offsets(data_offsets, &data_side.degree));
+  query_offsets.clear();
+  query_offsets.shrink_to_fit();
+  data_offsets.clear();
+  data_offsets.shrink_to_fit();
+
+  // Metadata + transients: the offsets arrays (freed before refinement but
+  // alive through planning), the threshold-planning degree profiles, the
+  // 1 MB checksum/copy chunk, and the two sequential append buffers.
+  const uint64_t fixed_bytes =
+      (uint64_t{num_queries} + num_data) *
+          (sizeof(uint32_t) + sizeof(uint64_t)) +
+      (uint64_t{num_queries} + num_data + 2) * sizeof(EdgeIndex) +
+      (uint64_t{num_queries} + num_data) *
+          (sizeof(uint32_t) + sizeof(uint64_t)) +
+      (1 << 20) + 2 * shape.scatter_buffer;
+
+  DegreeProfile query_profile(query_side.degree);
+  DegreeProfile data_profile(data_side.degree);
+  const double mean_query =
+      num_queries > 0 ? static_cast<double>(num_edges) / num_queries : 0.0;
+  const double mean_data =
+      num_data > 0 ? static_cast<double>(num_edges) / num_data : 0.0;
+  auto plan_result = FitThresholds(
+      query_profile, data_profile, options.high_degree_factor * mean_query,
+      options.high_degree_factor * mean_data, fixed_bytes, shape.cache_total,
+      shape.budget_bytes);
+  if (!plan_result.ok()) return plan_result.status();
+  const ThresholdPlan plan = plan_result.value();
+
+  if (plan.spills && options.spill_dir.empty()) {
+    return Status::InvalidArgument(
+        "streaming ingest: spill_dir required (thresholds " +
+        std::to_string(plan.query_threshold) + "/" +
+        std::to_string(plan.data_threshold) + " spill adjacency)");
+  }
+  if (plan.spills) SHP_RETURN_IF_ERROR(EnsureDir(options.spill_dir));
+
+  SHP_RETURN_IF_ERROR(LayOutSide(&query_side, plan.query_threshold,
+                                 options.spill_dir + "/query_spill.shpa",
+                                 shape.scatter_buffer, /*track_fill=*/false,
+                                 /*scatter=*/false));
+  SHP_RETURN_IF_ERROR(LayOutSide(&data_side, plan.data_threshold,
+                                 options.spill_dir + "/data_spill.shpa",
+                                 shape.scatter_buffer, /*track_fill=*/false,
+                                 /*scatter=*/false));
+
+  // Pass 2: place each side. Lists are already sorted/unique, so no
+  // normalization pass; spilled lists keep their single-pass CRC.
+  SHP_RETURN_IF_ERROR(PlaceBinarySide(f, query_adj_start, &query_side,
+                                      num_data, path, "query"));
+  SHP_RETURN_IF_ERROR(
+      PlaceBinarySide(f, data_adj_start, &data_side, num_queries, path,
+                      "data"));
+  SHP_RETURN_IF_ERROR(FinishSpill(&query_side, /*normalize=*/false));
+  SHP_RETURN_IF_ERROR(FinishSpill(&data_side, /*normalize=*/false));
+
+  const int arenas = (query_side.writer.has_value() ? 1 : 0) +
+                     (data_side.writer.has_value() ? 1 : 0);
+  const uint64_t cache_each = arenas > 0 ? shape.cache_total / arenas : 0;
+  SHP_RETURN_IF_ERROR(
+      OpenSpill(&query_side, cache_each, options.keep_spill_files));
+  SHP_RETURN_IF_ERROR(
+      OpenSpill(&data_side, cache_each, options.keep_spill_files));
+
+  return AssembleHybrid(std::move(query_side), std::move(data_side),
+                        num_edges, shape, plan, /*edges_read=*/num_edges,
+                        stats);
+}
+
+}  // namespace shp

@@ -1,0 +1,103 @@
+// Bounded-memory streaming ingest: build a partitionable BipartiteGraph
+// whose full CSR footprint exceeds RAM, under an explicit memory budget.
+//
+// The split follows HEP's hybrid in-memory/streaming recipe (Mayer &
+// Jacobsen, "Hybrid Edge Partitioner"): adjacency lists of *low-degree*
+// vertices — the overwhelming majority under a power law, but a minority of
+// the edges — stay in a packed in-RAM arena, while lists of vertices whose
+// degree exceeds a threshold T are spilled to a CRC32C-framed on-disk arena
+// (graph/disk_arena.h) and served back as zero-copy spans out of an mmap'd
+// view with a windowed residency cap. T = floor(high_degree_factor × mean
+// degree), per side:
+//
+//   high_degree_factor = 0   → every non-empty list spills (pure streaming)
+//   high_degree_factor = 1   → above-average-degree vertices spill
+//   high_degree_factor → ∞   → nothing spills (degenerate in-memory build)
+//
+// The factor decides the split; the budget only tightens it. Memory-budget
+// accounting (bytes charged against memory_budget_mb):
+//
+//   per-vertex metadata   12 B × (|Q| + |D|)   degree u32 + location u64
+//   resident adjacency     4 B × Σ resident deg
+//   spill residency caps   the two arenas' madvise window caps
+//   ingest transients      pass-2 fill cursors, and for the edge-list path
+//                          the sparse→dense id maps (≈48 B per distinct id)
+//
+// If that sum exceeds the budget at the requested factor, the thresholds
+// are scaled down geometrically (spilling more) until it fits; if even the
+// all-spilled split cannot fit the metadata, ingest fails with
+// InvalidArgument rather than over-allocating.
+//
+// Determinism contract: the resulting graph is *identical* (vertex
+// numbering, degrees, neighbor order) to the in-memory loaders —
+// ReadBipartiteEdgeList(path, /*drop_trivial=*/false) for the text path,
+// ReadBinaryGraph(path) for the SHPG path — so refinement trajectories over
+// a spilled graph are bit-for-bit those of the in-memory run. Note the
+// streaming text path always keeps trivial (degree<2) queries: dropping
+// them would renumber vertices mid-stream.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "graph/bipartite_graph.h"
+
+namespace shp {
+
+struct StreamingIngestOptions {
+  /// Ceiling for the resident footprint of the *returned graph plus ingest
+  /// transients* (see accounting above). The process baseline (code,
+  /// allocator, partitioner state) is outside the graph's charge.
+  uint64_t memory_budget_mb = 64;
+
+  /// Spill threshold knob: a side's lists spill iff degree > floor(factor ×
+  /// that side's mean degree). See header comment for the 0 / 1 / ∞ shapes.
+  double high_degree_factor = 1.0;
+
+  /// Directory for the spill arena files. Required whenever anything
+  /// spills; created if missing.
+  std::string spill_dir;
+
+  /// Combined madvise residency cap for the spill arenas' mappings, in MB.
+  /// 0 = budget/4. Split evenly across the (up to two) arenas, floored at
+  /// two windows each.
+  uint64_t spill_cache_mb = 0;
+
+  /// Keep the arena files on disk after the mappings are open (default:
+  /// unlink immediately; the mappings keep them alive until the graph dies).
+  bool keep_spill_files = false;
+};
+
+struct StreamingIngestStats {
+  uint64_t edges_read = 0;      ///< raw pairs seen (before dedup)
+  EdgeIndex num_edges = 0;      ///< final deduplicated edge count
+  VertexId num_queries = 0;
+  VertexId num_data = 0;
+  uint32_t query_threshold = 0;  ///< final T: query lists spill iff deg > T
+  uint32_t data_threshold = 0;
+  double threshold_scale = 1.0;  ///< α after the budget clamp (1 = no clamp)
+  uint32_t spilled_queries = 0;
+  uint32_t spilled_data = 0;
+  uint64_t resident_bytes = 0;   ///< packed in-RAM adjacency, both sides
+  uint64_t spilled_bytes = 0;    ///< arena payload bytes, both sides
+  uint64_t spill_cache_bytes = 0;  ///< total residency cap across arenas
+  uint64_t memory_budget_bytes = 0;
+};
+
+/// Streams a bipartite "q d" text edge list (two counting/placement passes
+/// over the file; memory bounded per the accounting above). Sparse ids are
+/// compacted in first-appearance order, exactly as ReadBipartiteEdgeList.
+Result<BipartiteGraph> StreamingIngestEdgeList(
+    const std::string& path, const StreamingIngestOptions& options,
+    StreamingIngestStats* stats = nullptr);
+
+/// Streams an SHPG binary snapshot (graph/io_binary.h): one full pass
+/// verifies the FNV-1a checksum and captures the offset arrays, a second
+/// pass places each side's already-sorted lists. Per-vertex lists arrive
+/// contiguously, so spilled lists take the arena's sequential path.
+Result<BipartiteGraph> StreamingIngestBinary(
+    const std::string& path, const StreamingIngestOptions& options,
+    StreamingIngestStats* stats = nullptr);
+
+}  // namespace shp

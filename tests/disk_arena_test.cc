@@ -1,0 +1,381 @@
+// DiskArena tests: writer round-trips (sequential and scatter feeding),
+// the mangled-fixture sweep mirrored from io_test.cc (CRC flip, every-byte
+// truncation, out-of-range / misaligned offsets, non-ascending index,
+// oversized footer counts), and the windowed residency cap.
+#include "graph/disk_arena.h"
+
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/checksum.h"
+#include "common/status.h"
+
+namespace shp {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+std::vector<char> Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void Dump(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream(path, std::ios::binary | std::ios::trunc)
+      .write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::vector<VertexId> ToVec(std::span<const VertexId> s) {
+  return {s.begin(), s.end()};
+}
+
+// Writes a small sequential-mode arena: vertex 3 -> {1, 2}, vertex 7 -> {0},
+// vertex 9 -> {4, 5, 6}.
+std::string WriteSampleArena(const std::string& name) {
+  const std::string path = TempPath(name);
+  auto writer = DiskArenaWriter::Create(path);
+  EXPECT_TRUE(writer.ok()) << writer.status().ToString();
+  DiskArenaWriter w = std::move(writer).value();
+  const std::vector<VertexId> a = {1, 2}, b = {0}, c = {4, 5, 6};
+  EXPECT_TRUE(w.BeginEntry(3, 2).ok());
+  EXPECT_TRUE(w.AppendToEntry(a).ok());
+  EXPECT_TRUE(w.BeginEntry(7, 1).ok());
+  EXPECT_TRUE(w.AppendToEntry(b).ok());
+  EXPECT_TRUE(w.BeginEntry(9, 3).ok());
+  EXPECT_TRUE(w.AppendToEntry(c).ok());
+  EXPECT_TRUE(w.Finish(/*normalize=*/false).ok());
+  return path;
+}
+
+TEST(DiskArenaWriter, SequentialRoundTrip) {
+  const std::string path = WriteSampleArena("seq.shpa");
+  auto arena = DiskArena::Open(path, /*resident_cap_bytes=*/0);
+  ASSERT_TRUE(arena.ok()) << arena.status().ToString();
+  const DiskArena& a = *arena.value();
+  ASSERT_EQ(a.index().size(), 3u);
+  EXPECT_EQ(ToVec(a.Neighbors(3)), (std::vector<VertexId>{1, 2}));
+  EXPECT_EQ(ToVec(a.Neighbors(7)), (std::vector<VertexId>{0}));
+  EXPECT_EQ(ToVec(a.Neighbors(9)), (std::vector<VertexId>{4, 5, 6}));
+  EXPECT_TRUE(a.Neighbors(4).empty());   // between entries
+  EXPECT_TRUE(a.Neighbors(99).empty());  // past the last entry
+  EXPECT_EQ(a.payload_bytes(), 6 * sizeof(VertexId));
+}
+
+TEST(DiskArenaWriter, SequentialChunkedAppends) {
+  const std::string path = TempPath("chunked.shpa");
+  auto writer = DiskArenaWriter::Create(path);
+  ASSERT_TRUE(writer.ok());
+  DiskArenaWriter w = std::move(writer).value();
+  std::vector<VertexId> list(1000);
+  for (uint32_t i = 0; i < 1000; ++i) list[i] = i;
+  ASSERT_TRUE(w.BeginEntry(0, 1000).ok());
+  ASSERT_TRUE(w.AppendToEntry(std::span(list).subspan(0, 300)).ok());
+  ASSERT_TRUE(w.AppendToEntry(std::span(list).subspan(300)).ok());
+  ASSERT_TRUE(w.Finish(/*normalize=*/false).ok());
+
+  auto arena = DiskArena::Open(path, 0);
+  ASSERT_TRUE(arena.ok()) << arena.status().ToString();
+  EXPECT_EQ(ToVec(arena.value()->Neighbors(0)), list);
+}
+
+TEST(DiskArenaWriter, ScatterNormalizesSortsAndDeduplicates) {
+  const std::string path = TempPath("scatter.shpa");
+  auto writer = DiskArenaWriter::Create(path);
+  ASSERT_TRUE(writer.ok());
+  DiskArenaWriter w = std::move(writer).value();
+  // Raw counts include a duplicate for vertex 5; arrivals are interleaved.
+  ASSERT_TRUE(w.PlanScatter({{2, 3}, {5, 4}}).ok());
+  ASSERT_TRUE(w.ScatterAdd(1, 9).ok());
+  ASSERT_TRUE(w.ScatterAdd(0, 7).ok());
+  ASSERT_TRUE(w.ScatterAdd(1, 3).ok());
+  ASSERT_TRUE(w.ScatterAdd(0, 1).ok());
+  ASSERT_TRUE(w.ScatterAdd(1, 9).ok());  // duplicate
+  ASSERT_TRUE(w.ScatterAdd(0, 4).ok());
+  ASSERT_TRUE(w.ScatterAdd(1, 0).ok());
+  ASSERT_TRUE(w.Finish(/*normalize=*/true).ok());
+  // Post-normalize index reflects the deduplicated counts.
+  ASSERT_EQ(w.index().size(), 2u);
+  EXPECT_EQ(w.index()[1].count, 3u);
+
+  auto arena = DiskArena::Open(path, 0);
+  ASSERT_TRUE(arena.ok()) << arena.status().ToString();
+  EXPECT_EQ(ToVec(arena.value()->Neighbors(2)), (std::vector<VertexId>{1, 4, 7}));
+  EXPECT_EQ(ToVec(arena.value()->Neighbors(5)), (std::vector<VertexId>{0, 3, 9}));
+}
+
+TEST(DiskArenaWriter, RejectsModeMixingAndShortEntries) {
+  {
+    auto w = DiskArenaWriter::Create(TempPath("mix1.shpa"));
+    ASSERT_TRUE(w.ok());
+    DiskArenaWriter writer = std::move(w).value();
+    ASSERT_TRUE(writer.PlanScatter({{0, 1}}).ok());
+    EXPECT_EQ(writer.BeginEntry(1, 1).code(), StatusCode::kInvalidArgument);
+    // Scatter feeding must normalize.
+    EXPECT_EQ(writer.Finish(false).code(), StatusCode::kInvalidArgument);
+    // Unfilled slot: vertex 0 never received its neighbor.
+    EXPECT_EQ(writer.Finish(true).code(), StatusCode::kInvalidArgument);
+  }
+  {
+    auto w = DiskArenaWriter::Create(TempPath("mix2.shpa"));
+    ASSERT_TRUE(w.ok());
+    DiskArenaWriter writer = std::move(w).value();
+    ASSERT_TRUE(writer.BeginEntry(4, 2).ok());
+    // Descending vertex and short entry both rejected.
+    EXPECT_EQ(writer.BeginEntry(3, 1).code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(writer.Finish(false).code(), StatusCode::kInvalidArgument);
+  }
+  {
+    auto w = DiskArenaWriter::Create(TempPath("mix3.shpa"));
+    ASSERT_TRUE(w.ok());
+    DiskArenaWriter writer = std::move(w).value();
+    ASSERT_TRUE(writer.PlanScatter({{0, 1}}).ok());
+    ASSERT_TRUE(writer.ScatterAdd(0, 5).ok());
+    EXPECT_EQ(writer.ScatterAdd(0, 6).code(),
+              StatusCode::kInvalidArgument);  // overflow
+    EXPECT_EQ(writer.ScatterAdd(1, 0).code(),
+              StatusCode::kInvalidArgument);  // rank out of range
+  }
+}
+
+// ---- mangled fixtures ----
+
+TEST(DiskArena, DetectsBitFlipAnywhere) {
+  const std::string path = WriteSampleArena("flip.shpa");
+  const std::vector<char> full = Slurp(path);
+  // Flip one bit in every covered byte (everything after the magic): header
+  // version, payload, index, footer counts, and the CRC field itself.
+  for (size_t i = 4; i < full.size(); ++i) {
+    std::vector<char> mangled = full;
+    mangled[i] = static_cast<char>(mangled[i] ^ 0x10);
+    const std::string mangled_path = TempPath("flip_now.shpa");
+    Dump(mangled_path, mangled);
+    auto result = DiskArena::Open(mangled_path, 0);
+    EXPECT_FALSE(result.ok()) << "bit flip at byte " << i << " accepted";
+  }
+}
+
+TEST(DiskArena, EveryTruncationPointIsAStatus) {
+  const std::string path = WriteSampleArena("trunc.shpa");
+  const std::vector<char> full = Slurp(path);
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    const std::string cut_path = TempPath("trunc_now.shpa");
+    Dump(cut_path, {full.begin(), full.begin() + static_cast<long>(cut)});
+    auto result = DiskArena::Open(cut_path, 0);
+    EXPECT_FALSE(result.ok()) << "prefix of " << cut << " bytes accepted";
+  }
+}
+
+TEST(DiskArena, RejectsWrongMagic) {
+  const std::string path = WriteSampleArena("magic.shpa");
+  std::vector<char> bytes = Slurp(path);
+  bytes[0] = 'X';
+  Dump(path, bytes);
+  auto result = DiskArena::Open(path, 0);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+// Builds an arena file byte-for-byte with a VALID CRC32C, so structural
+// validation past the checksum is reachable (io_test BinaryFixture idiom).
+class ArenaFixture {
+ public:
+  ArenaFixture() {
+    bytes_ = {'S', 'H', 'P', 'A'};
+    Value(uint32_t{1});  // version
+  }
+
+  template <typename T>
+  ArenaFixture& Value(T v) {
+    const auto* p = reinterpret_cast<const uint8_t*>(&v);
+    bytes_.insert(bytes_.end(), p, p + sizeof(T));
+    return *this;
+  }
+
+  ArenaFixture& Payload(const std::vector<VertexId>& lists) {
+    for (VertexId v : lists) Value(v);
+    payload_bytes_ = lists.size() * sizeof(VertexId);
+    return *this;
+  }
+
+  ArenaFixture& Entry(VertexId v, uint32_t count, uint64_t offset) {
+    Value(v).Value(count).Value(offset);
+    ++num_entries_;
+    return *this;
+  }
+
+  std::string WriteTo(const std::string& name) {
+    Value(num_entries_).Value(payload_bytes_);
+    const uint32_t crc = Crc32c(bytes_.data() + 4, bytes_.size() - 4, 0);
+    Value(crc);
+    const std::string path = TempPath(name);
+    std::ofstream f(path, std::ios::binary);
+    f.write(reinterpret_cast<const char*>(bytes_.data()),
+            static_cast<std::streamsize>(bytes_.size()));
+    return path;
+  }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  uint64_t num_entries_ = 0;
+  uint64_t payload_bytes_ = 0;
+};
+
+TEST(DiskArena, RejectsOutOfRangeOffset) {
+  // Valid CRC; entry points past the payload region.
+  const std::string path = ArenaFixture()
+                               .Payload({1, 2})
+                               .Entry(0, 2, /*offset=*/64)
+                               .WriteTo("oorange.shpa");
+  auto result = DiskArena::Open(path, 0);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(DiskArena, RejectsCountOverflowingPayload) {
+  // Offset in range but count runs past the payload end.
+  const std::string path = ArenaFixture()
+                               .Payload({1, 2})
+                               .Entry(0, 5, /*offset=*/4)
+                               .WriteTo("overflow.shpa");
+  auto result = DiskArena::Open(path, 0);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(DiskArena, RejectsMisalignedOffset) {
+  const std::string path = ArenaFixture()
+                               .Payload({1, 2})
+                               .Entry(0, 1, /*offset=*/2)
+                               .WriteTo("misaligned.shpa");
+  auto result = DiskArena::Open(path, 0);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(DiskArena, RejectsNonAscendingIndex) {
+  const std::string path = ArenaFixture()
+                               .Payload({1, 2})
+                               .Entry(5, 1, 0)
+                               .Entry(5, 1, 4)
+                               .WriteTo("nonascending.shpa");
+  auto result = DiskArena::Open(path, 0);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(DiskArena, RejectsOversizedFooterCountsBeforeAllocating) {
+  // Footer claims 10^15 entries in a 48-byte file: the size pin must reject
+  // it before the index allocation is attempted. The CRC is deliberately
+  // bogus too — the count pin fires first, so Open must not even read the
+  // payload region the footer implies.
+  const std::string path = TempPath("oversized.shpa");
+  std::vector<uint8_t> bytes = {'S', 'H', 'P', 'A', 1, 0, 0, 0};
+  const uint64_t entries = 1000000000000000ull;
+  const uint64_t payload = 0;
+  const uint32_t crc = 0xdeadbeef;
+  const auto put = [&bytes](const void* p, size_t n) {
+    const auto* b = static_cast<const uint8_t*>(p);
+    bytes.insert(bytes.end(), b, b + n);
+  };
+  put(&entries, 8);
+  put(&payload, 8);
+  put(&crc, 4);
+  Dump(path, {bytes.begin(), bytes.end()});
+  auto result = DiskArena::Open(path, 0);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(DiskArena, MissingFileIsIoError) {
+  auto result = DiskArena::Open(TempPath("does_not_exist.shpa"), 0);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+// ---- residency cap ----
+
+TEST(DiskArena, ResidencyCapEvictsAndTracksPeak) {
+  // Payload spanning many windows: 64 lists x 16 KB = 1 MB = 8 windows.
+  const std::string path = TempPath("resident.shpa");
+  auto writer = DiskArenaWriter::Create(path);
+  ASSERT_TRUE(writer.ok());
+  DiskArenaWriter w = std::move(writer).value();
+  std::vector<VertexId> list(4096);
+  for (VertexId v = 0; v < 64; ++v) {
+    for (uint32_t i = 0; i < list.size(); ++i) list[i] = v * 100003u + i;
+    ASSERT_TRUE(w.BeginEntry(v, static_cast<uint32_t>(list.size())).ok());
+    ASSERT_TRUE(w.AppendToEntry(list).ok());
+  }
+  ASSERT_TRUE(w.Finish(/*normalize=*/false).ok());
+
+  // Cap at 3 windows; a full scan must evict but never exceed the cap.
+  auto arena = DiskArena::Open(path, 3 * DiskArena::kWindowBytes);
+  ASSERT_TRUE(arena.ok()) << arena.status().ToString();
+  const DiskArena& a = *arena.value();
+  EXPECT_EQ(a.resident_cap_bytes(), 3 * DiskArena::kWindowBytes);
+  uint64_t checksum = 0;
+  for (VertexId v = 0; v < 64; ++v) {
+    for (VertexId n : a.Neighbors(v)) checksum += n;
+  }
+  EXPECT_NE(checksum, 0u);
+  EXPECT_GT(a.window_evictions(), 0u);
+  EXPECT_LE(a.peak_resident_windows(), 3u);
+  // Re-reading an evicted list refaults the identical bytes.
+  EXPECT_EQ(a.Neighbors(0)[0], 0u * 100003u);
+  EXPECT_EQ(a.Neighbors(63)[4095], 63u * 100003u + 4095u);
+}
+
+TEST(DiskArena, UnboundedCapDoesNoTracking) {
+  const std::string path = WriteSampleArena("unbounded.shpa");
+  auto arena = DiskArena::Open(path, 0);
+  ASSERT_TRUE(arena.ok());
+  (void)arena.value()->Neighbors(3);
+  EXPECT_EQ(arena.value()->resident_cap_bytes(), 0u);
+  EXPECT_EQ(arena.value()->windows_touched(), 0u);
+  EXPECT_EQ(arena.value()->window_evictions(), 0u);
+}
+
+TEST(DiskArena, ConcurrentScansStayUnderCap) {
+  // Four threads scanning disjoint ranges: the CLOCK second-chance evictor
+  // must keep peak residency at the cap (the FIFO-only design leaked here).
+  const std::string path = TempPath("concurrent.shpa");
+  auto writer = DiskArenaWriter::Create(path);
+  ASSERT_TRUE(writer.ok());
+  DiskArenaWriter w = std::move(writer).value();
+  std::vector<VertexId> list(2048);
+  for (VertexId v = 0; v < 128; ++v) {
+    for (uint32_t i = 0; i < list.size(); ++i) list[i] = v + i;
+    ASSERT_TRUE(w.BeginEntry(v, static_cast<uint32_t>(list.size())).ok());
+    ASSERT_TRUE(w.AppendToEntry(list).ok());
+  }
+  ASSERT_TRUE(w.Finish(false).ok());
+
+  auto arena = DiskArena::Open(path, 2 * DiskArena::kWindowBytes);
+  ASSERT_TRUE(arena.ok());
+  const DiskArena& a = *arena.value();
+  std::vector<std::thread> threads;
+  std::vector<uint64_t> sums(4, 0);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&a, &sums, t] {
+      for (int round = 0; round < 3; ++round) {
+        for (VertexId v = static_cast<VertexId>(t) * 32;
+             v < (static_cast<VertexId>(t) + 1) * 32; ++v) {
+          for (VertexId n : a.Neighbors(v)) sums[static_cast<size_t>(t)] += n;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < 4; ++t) EXPECT_NE(sums[static_cast<size_t>(t)], 0u);
+  EXPECT_LE(a.peak_resident_windows(), 2u);
+}
+
+}  // namespace
+}  // namespace shp

@@ -31,7 +31,17 @@ and fails (exit 1) on:
     This gate reads only the fresh file — baselines that predate the
     envelope simply lack the field and are skipped.
 
- 4. Serving gate (only when --serving-fresh/--serving-baseline are given):
+ 4. Ingest gate (only when --ingest-fresh/--ingest-baseline are given):
+    for the streaming-ingest series in BENCH_ingest.json, any increase of
+    `spilled_bytes` over the baseline fails outright — the spill volume is
+    a deterministic function of the generator seed and the threshold fit,
+    so growth means the budget accounting or the split rule changed; and
+    the fresh `refine_slowdown` (spilled-graph iteration time over the
+    in-memory iteration time, a within-run ratio and therefore
+    host-speed-invariant) must not exceed the baseline's slowdown by more
+    than --max-regression.
+
+ 5. Serving gate (only when --serving-fresh/--serving-baseline are given):
     for every scenario series in BENCH_serving.json, the during-migration
     p99 inflation — worst during-phase p99 divided by the run's starting
     p99, a within-run ratio and therefore host-speed-invariant — must not
@@ -57,6 +67,7 @@ ENVELOPE_SERIES = ("bsp_push_varint", "bsp_push_grouped_varint")
 ENVELOPE_BUDGET = 0.04
 SERVING_SERIES = ("serving_powerlaw", "serving_hotkey", "serving_diurnal",
                   "serving_worker_kill")
+INGEST_BYTE_SERIES = ("ingest_edgelist", "ingest_binary")
 
 
 MISSING = object()
@@ -93,6 +104,11 @@ def main():
                         help="committed BENCH_refine.json to diff against")
     parser.add_argument("--max-regression", type=float, default=0.20,
                         help="allowed fractional median-ms regression")
+    parser.add_argument("--ingest-fresh", default=None,
+                        help="BENCH_ingest.json produced by this run "
+                        "(enables the streaming-ingest gate)")
+    parser.add_argument("--ingest-baseline", default=None,
+                        help="committed BENCH_ingest.json to diff against")
     parser.add_argument("--serving-fresh", default=None,
                         help="BENCH_serving.json produced by this run "
                         "(enables the serving p99 gate)")
@@ -204,6 +220,71 @@ def main():
                 f"(budget {ENVELOPE_BUDGET:.0%})")
         print(f"  {name:<18} envelope {envelope:>10}  payload "
               f"{payload:>12}  {fraction:6.2%}  {verdict}")
+
+    # --- ingest gate: spill volume (deterministic) + refine slowdown ---
+    if args.ingest_fresh is not None:
+        ingest_fresh = load(args.ingest_fresh)
+        ingest_base = load(args.ingest_baseline) \
+            if args.ingest_baseline is not None else MISSING
+        if not isinstance(ingest_fresh, dict):
+            failures.append(
+                f"ingest: fresh results {args.ingest_fresh} missing or "
+                "unreadable")
+        elif ingest_base is MISSING:
+            print(f"ingest gate: SKIP — baseline "
+                  f"{args.ingest_baseline} does not exist")
+        elif not isinstance(ingest_base, dict):
+            failures.append(
+                f"ingest: baseline {args.ingest_baseline} exists but is "
+                "unreadable — a corrupt baseline must not silently disable "
+                "the gate")
+        else:
+            print("ingest gate (spilled bytes, any increase fails):")
+            for name in INGEST_BYTE_SERIES:
+                fresh_series = ingest_fresh.get(name)
+                base_series = ingest_base.get(name)
+                if not isinstance(fresh_series, dict) or \
+                        not isinstance(base_series, dict):
+                    print(f"  {name:<18} not in both files — skipped")
+                    continue
+                fresh_bytes = fresh_series.get("spilled_bytes")
+                base_bytes = base_series.get("spilled_bytes")
+                if not isinstance(fresh_bytes, int) or \
+                        not isinstance(base_bytes, int):
+                    print(f"  {name:<18} spilled_bytes missing — skipped")
+                    continue
+                verdict = "ok"
+                if fresh_bytes > base_bytes:
+                    verdict = "REGRESSION"
+                    failures.append(
+                        f"{name}: spilled bytes grew "
+                        f"{fresh_bytes - base_bytes:+d} (fresh {fresh_bytes} "
+                        f"vs baseline {base_bytes}) — the spill split is "
+                        "deterministic, so this is an accounting or "
+                        "threshold-fit change, not noise")
+                print(f"  {name:<18} fresh {fresh_bytes:>12}  baseline "
+                      f"{base_bytes:>12}  {verdict}")
+
+            print(f"ingest refine-slowdown gate (within-run ratio, "
+                  f"threshold {args.max_regression:.0%}):")
+            fresh_slow = ingest_fresh.get("refine_slowdown")
+            base_slow = ingest_base.get("refine_slowdown")
+            if not isinstance(fresh_slow, (int, float)) or \
+                    not isinstance(base_slow, (int, float)) or base_slow <= 0:
+                print("  refine_slowdown missing in one file — skipped")
+            else:
+                ratio = fresh_slow / base_slow
+                verdict = "ok"
+                if ratio > 1.0 + args.max_regression:
+                    verdict = "REGRESSION"
+                    failures.append(
+                        f"ingest: refinement slowdown regressed "
+                        f"{ratio - 1.0:+.1%} (fresh {fresh_slow:.4f}x vs "
+                        f"baseline {base_slow:.4f}x of the in-memory "
+                        "iteration time)")
+                print(f"  refine_slowdown    fresh {fresh_slow:7.4f}x  "
+                      f"baseline {base_slow:7.4f}x  ratio {ratio:6.3f}  "
+                      f"{verdict}")
 
     # --- serving gate: during-migration p99 inflation per scenario ---
     if args.serving_fresh is not None:

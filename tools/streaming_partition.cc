@@ -1,0 +1,270 @@
+// End-to-end driver for the bounded-memory streaming ingest (docs/ingest.md).
+//
+// Two modes, split into separate invocations on purpose: peak RSS (VmHWM)
+// is monotone over a process lifetime, so generating the synthetic graph
+// in-process would contaminate the ceiling measurement of the run under
+// test.
+//
+//   generate:  streaming_partition --gen_out=g.shpg --num_queries=300000 \
+//                  --num_data=600000 --target_edges=6000000
+//     Writes a power-law SHPG snapshot (--format=edgelist for text) and
+//     prints the graph's full in-memory footprint, so a caller can pick a
+//     budget ≥10x smaller.
+//
+//   run:       streaming_partition --input=g.shpg --k=16 \
+//                  --memory_budget_mb=24 --high_degree_factor=1.0 \
+//                  --spill_dir=/tmp/spill --iterations=8 --assert_budget
+//     Streams the graph in under the budget, partitions it (SHP-k by
+//     default; --algo=hdrf|dbh for the one-pass baselines), and reports
+//     ingest stats, partition quality, and the RSS delta over the
+//     pre-ingest baseline. --assert_budget exits 3 unless that delta stays
+//     under the budget; --require_spill exits 3 unless adjacency actually
+//     spilled. --compare reruns the same partition on the fully in-memory
+//     load (after the peak is captured) and exits 3 unless the assignment
+//     is bit-identical and quality matches within rtol 1e-4.
+#include <malloc.h>
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "baseline/streaming_dbh.h"
+#include "baseline/streaming_hdrf.h"
+#include "common/env.h"
+#include "common/flags.h"
+#include "common/thread_pool.h"
+#include "core/shp.h"
+#include "graph/disk_arena.h"
+#include "graph/gen_powerlaw.h"
+#include "graph/io_binary.h"
+#include "graph/io_edgelist.h"
+#include "graph/streaming_ingest.h"
+
+namespace {
+
+using namespace shp;  // NOLINT
+
+constexpr int kExitUsage = 1;
+constexpr int kExitAssertFailed = 3;
+
+bool LooksBinary(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char magic[4] = {0, 0, 0, 0};
+  const bool got = std::fread(magic, 1, 4, f) == 4;
+  std::fclose(f);
+  return got && std::memcmp(magic, "SHPG", 4) == 0;
+}
+
+int Generate(const Flags& flags) {
+  PowerLawConfig config;
+  config.num_queries =
+      static_cast<VertexId>(flags.GetInt("num_queries", 300000));
+  config.num_data = static_cast<VertexId>(flags.GetInt("num_data", 600000));
+  config.target_edges =
+      static_cast<EdgeIndex>(flags.GetInt("target_edges", 6000000));
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  BipartiteGraph graph = GeneratePowerLaw(config);
+  const std::string out = flags.GetString("gen_out", "");
+  const std::string format = flags.GetString("format", "binary");
+  Status st = format == "edgelist" ? WriteBipartiteEdgeList(graph, out)
+                                   : WriteBinaryGraph(graph, out);
+  if (!st.ok()) {
+    std::fprintf(stderr, "generate failed: %s\n", st.ToString().c_str());
+    return kExitUsage;
+  }
+  std::printf("generated=%s format=%s queries=%u data=%u edges=%" PRIu64
+              " in_memory_bytes=%zu\n",
+              out.c_str(), format.c_str(), graph.num_queries(),
+              graph.num_data(), graph.num_edges(), graph.MemoryBytes());
+  return 0;
+}
+
+Result<std::vector<BucketId>> RunAlgorithm(const std::string& algo,
+                                           const BipartiteGraph& graph,
+                                           BucketId k, uint32_t iterations,
+                                           uint64_t seed, ThreadPool* pool) {
+  if (algo == "hdrf") {
+    return MakeStreamingHdrf()->Partition(graph, k, pool);
+  }
+  if (algo == "dbh") {
+    StreamingDbhOptions options;
+    options.salt = seed;
+    return MakeStreamingDbh(options)->Partition(graph, k, pool);
+  }
+  if (algo == "shp") {
+    ShpKOptions options;
+    options.k = k;
+    options.max_iterations = iterations;
+    options.seed = seed;
+    return MakeShpK(options)->Partition(graph, k, pool);
+  }
+  return Status::InvalidArgument("unknown --algo " + algo +
+                                 " (want shp|hdrf|dbh)");
+}
+
+int Run(const Flags& flags) {
+#ifdef __GLIBC__
+  // glibc grows one malloc arena per thread by default; each arena retains
+  // freed memory independently, which inflates peak RSS by megabytes per
+  // worker and would dominate the ceiling this tool exists to measure.
+  ::mallopt(M_ARENA_MAX, 1);
+#endif
+  const std::string input = flags.GetString("input", "");
+  const bool binary = flags.GetString("format", "") == "binary" ||
+                      (flags.GetString("format", "").empty() &&
+                       LooksBinary(input));
+  const BucketId k = static_cast<BucketId>(flags.GetInt("k", 16));
+  const uint32_t iterations =
+      static_cast<uint32_t>(flags.GetInt("iterations", 8));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const std::string algo = flags.GetString("algo", "shp");
+
+  StreamingIngestOptions options;
+  options.memory_budget_mb =
+      static_cast<uint64_t>(flags.GetInt("memory_budget_mb", 64));
+  options.high_degree_factor = flags.GetDouble("high_degree_factor", 1.0);
+  options.spill_dir = flags.GetString("spill_dir", "/tmp/shp_spill");
+  options.spill_cache_mb =
+      static_cast<uint64_t>(flags.GetInt("spill_cache_mb", 0));
+  options.keep_spill_files = flags.GetBool("keep_spill", false);
+
+  ThreadPool pool(static_cast<size_t>(flags.GetInt("threads", 4)));
+
+  const uint64_t baseline_rss = CurrentRssBytes();
+  StreamingIngestStats stats;
+  auto ingested = binary ? StreamingIngestBinary(input, options, &stats)
+                         : StreamingIngestEdgeList(input, options, &stats);
+  if (!ingested.ok()) {
+    std::fprintf(stderr, "ingest failed: %s\n",
+                 ingested.status().ToString().c_str());
+    return kExitUsage;
+  }
+  const BipartiteGraph& graph = ingested.value();
+  std::printf("ingest format=%s queries=%u data=%u edges=%" PRIu64
+              " thresholds=%u/%u scale=%.3f spilled_vertices=%u/%u "
+              "resident_bytes=%" PRIu64 " spilled_bytes=%" PRIu64
+              " cache_bytes=%" PRIu64 " graph_bytes=%zu\n",
+              binary ? "binary" : "edgelist", stats.num_queries,
+              stats.num_data, stats.num_edges, stats.query_threshold,
+              stats.data_threshold, stats.threshold_scale,
+              stats.spilled_queries, stats.spilled_data, stats.resident_bytes,
+              stats.spilled_bytes, stats.spill_cache_bytes,
+              graph.MemoryBytes());
+
+  std::printf("rss_phase ingest_done current=%" PRIu64 " peak=%" PRIu64 "\n",
+              CurrentRssBytes(), PeakRssBytes());
+
+  auto assignment =
+      RunAlgorithm(algo, graph, k, iterations, seed, &pool);
+  std::printf("rss_phase partition_done current=%" PRIu64 " peak=%" PRIu64
+              "\n",
+              CurrentRssBytes(), PeakRssBytes());
+  if (!assignment.ok()) {
+    std::fprintf(stderr, "partition failed: %s\n",
+                 assignment.status().ToString().c_str());
+    return kExitUsage;
+  }
+  const PartitionSummary summary =
+      SummarizePartition(graph, assignment.value(), k, 0.5, &pool);
+  std::printf("partition algo=%s k=%d fanout=%.6f p_fanout=%.6f "
+              "imbalance=%.4f\n",
+              algo.c_str(), k, summary.fanout, summary.p_fanout,
+              summary.imbalance);
+
+  if (const HybridAdjacency* hybrid = graph.hybrid(); hybrid != nullptr) {
+    auto print_arena = [](const char* side, const HybridAdjacency::Side& s) {
+      if (s.spill == nullptr) return;
+      std::printf("arena side=%s touched=%" PRIu64 " evictions=%" PRIu64
+                  " peak_windows=%" PRIu64 " cap_bytes=%" PRIu64 "\n",
+                  side, s.spill->windows_touched(),
+                  s.spill->window_evictions(),
+                  s.spill->peak_resident_windows(),
+                  s.spill->resident_cap_bytes());
+    };
+    print_arena("query", hybrid->query);
+    print_arena("data", hybrid->data);
+  }
+
+  // Peak is captured before any optional in-memory comparison load.
+  const uint64_t peak_rss = PeakRssBytes();
+  const uint64_t rss_delta =
+      peak_rss > baseline_rss ? peak_rss - baseline_rss : 0;
+  const uint64_t budget_bytes = options.memory_budget_mb << 20;
+  std::printf("rss baseline_bytes=%" PRIu64 " peak_bytes=%" PRIu64
+              " delta_bytes=%" PRIu64 " budget_bytes=%" PRIu64 "\n",
+              baseline_rss, peak_rss, rss_delta, budget_bytes);
+
+  int exit_code = 0;
+  if (flags.GetBool("require_spill", false) && stats.spilled_bytes == 0) {
+    std::fprintf(stderr, "FAIL: nothing spilled (spilled_bytes=0)\n");
+    exit_code = kExitAssertFailed;
+  }
+  if (flags.GetBool("assert_budget", false) && rss_delta > budget_bytes) {
+    std::fprintf(stderr,
+                 "FAIL: peak RSS delta %" PRIu64
+                 " bytes exceeds budget %" PRIu64 " bytes\n",
+                 rss_delta, budget_bytes);
+    exit_code = kExitAssertFailed;
+  }
+
+  if (flags.GetBool("compare", false)) {
+    auto in_memory = binary
+                         ? ReadBinaryGraph(input)
+                         : ReadBipartiteEdgeList(input, /*drop_trivial=*/false);
+    if (!in_memory.ok()) {
+      std::fprintf(stderr, "compare load failed: %s\n",
+                   in_memory.status().ToString().c_str());
+      return kExitUsage;
+    }
+    auto reference =
+        RunAlgorithm(algo, in_memory.value(), k, iterations, seed, &pool);
+    if (!reference.ok()) {
+      std::fprintf(stderr, "compare partition failed: %s\n",
+                   reference.status().ToString().c_str());
+      return kExitUsage;
+    }
+    const PartitionSummary ref_summary = SummarizePartition(
+        in_memory.value(), reference.value(), k, 0.5, &pool);
+    const bool identical = assignment.value() == reference.value();
+    const double rtol =
+        std::abs(summary.fanout - ref_summary.fanout) /
+        std::max(1.0, std::abs(ref_summary.fanout));
+    std::printf("compare identical_assignment=%d fanout_in_memory=%.6f "
+                "fanout_streaming=%.6f rtol=%.3e\n",
+                identical ? 1 : 0, ref_summary.fanout, summary.fanout, rtol);
+    if (!identical || rtol > 1e-4) {
+      std::fprintf(stderr,
+                   "FAIL: streaming run diverged from in-memory run\n");
+      exit_code = kExitAssertFailed;
+    }
+  }
+  return exit_code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags = Flags::Parse(argc, argv);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
+    return kExitUsage;
+  }
+  if (flags.value().Has("gen_out")) return Generate(flags.value());
+  if (flags.value().Has("input")) return Run(flags.value());
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  %s --gen_out=G.shpg [--num_queries=N --num_data=N "
+      "--target_edges=N --seed=S --format=binary|edgelist]\n"
+      "  %s --input=G.shpg --k=16 --memory_budget_mb=24 "
+      "[--high_degree_factor=F --spill_dir=DIR --spill_cache_mb=M "
+      "--iterations=I --seed=S --algo=shp|hdrf|dbh --threads=T "
+      "--assert_budget --require_spill --compare --keep_spill]\n",
+      flags.value().program_name().c_str(),
+      flags.value().program_name().c_str());
+  return kExitUsage;
+}
